@@ -1,0 +1,377 @@
+// Benchmarks, one group per experiment of the reproduction (see DESIGN.md
+// §4 and EXPERIMENTS.md). Each BenchmarkE*/BenchmarkF3 target exercises
+// the operator(s) behind the corresponding experiment table at a fixed
+// workload; cmd/geobench prints the full tables.
+package geostreams_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"geostreams/internal/bench"
+	"geostreams/internal/cascade"
+	"geostreams/internal/coord"
+	"geostreams/internal/core"
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// Workload: a 128x96 sector, 2 sectors, two bands, pre-rendered once.
+var (
+	wlOnce    sync.Once
+	wlInfoRow stream.Info
+	wlRowsVis []*stream.Chunk
+	wlRowsNir []*stream.Chunk
+	wlInfoImg stream.Info
+	wlImg     []*stream.Chunk
+	wlRegion  = geom.R(-122, 36, -120, 38)
+)
+
+func workload(b *testing.B) {
+	b.Helper()
+	wlOnce.Do(func() {
+		scene := sat.DefaultScene(1)
+		mk := func(org stream.Organization, band string) (stream.Info, []*stream.Chunk) {
+			im, err := sat.NewLatLonImager(wlRegion, 128, 96, scene,
+				[]string{"vis", "nir"}, org, 2)
+			if err != nil {
+				panic(err)
+			}
+			g := stream.NewGroup(context.Background())
+			streams, err := im.Streams(g)
+			if err != nil {
+				panic(err)
+			}
+			other := "nir"
+			if band == "nir" {
+				other = "vis"
+			}
+			go stream.Drain(context.Background(), streams[other]) //nolint:errcheck
+			chunks, err := stream.Collect(context.Background(), streams[band])
+			if err != nil {
+				panic(err)
+			}
+			if err := g.Wait(); err != nil {
+				panic(err)
+			}
+			idx := 0
+			if band == "nir" {
+				idx = 1
+			}
+			return im.Info(im.Bands[idx]), chunks
+		}
+		wlInfoRow, wlRowsVis = mk(stream.RowByRow, "vis")
+		_, wlRowsNir = mk(stream.RowByRow, "nir")
+		wlInfoImg, wlImg = mk(stream.ImageByImage, "vis")
+	})
+}
+
+func points(chunks []*stream.Chunk) int64 {
+	var n int64
+	for _, c := range chunks {
+		n += int64(c.NumPoints())
+	}
+	return n
+}
+
+// runUnary replays the workload through op once.
+func runUnary(b *testing.B, op stream.Operator, info stream.Info, chunks []*stream.Chunk) {
+	b.Helper()
+	g := stream.NewGroup(context.Background())
+	src := stream.FromChunks(g, info, chunks)
+	out, _, err := stream.Apply(g, op, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := stream.Drain(context.Background(), out); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchUnary(b *testing.B, mkOp func() stream.Operator, info stream.Info, chunks []*stream.Chunk) {
+	b.Helper()
+	pts := points(chunks)
+	b.SetBytes(pts * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runUnary(b, mkOp(), info, chunks)
+	}
+	b.ReportMetric(float64(pts), "points/op")
+}
+
+// --- E1: ingest ---------------------------------------------------------
+
+func BenchmarkE1_IngestRowByRow(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.SpatialRestrict{Region: geom.WorldRegion{}}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE1_IngestImageByImage(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.SpatialRestrict{Region: geom.WorldRegion{}}
+	}, wlInfoImg, wlImg)
+}
+
+func BenchmarkE1_IngestPointByPoint(b *testing.B) {
+	scene := sat.DefaultScene(2)
+	l := &sat.LIDARScanner{
+		Name: "lidar", Region: wlRegion,
+		Bands:          []sat.Band{{Name: "z", Field: scene.BandField(sat.BandVIS)}},
+		PointsPerChunk: 256, NumChunks: 64, Seed: 5,
+	}
+	b.SetBytes(256 * 64 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := stream.NewGroup(context.Background())
+		streams, err := l.Streams(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := stream.Drain(context.Background(), streams["z"]); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: restrictions -----------------------------------------------------
+
+func BenchmarkE2_SpatialRestriction(b *testing.B) {
+	workload(b)
+	region := geom.NewRectRegion(geom.R(-121.7, 36.3, -120.3, 37.7))
+	benchUnary(b, func() stream.Operator {
+		return core.SpatialRestrict{Region: region}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE2_TemporalRestriction(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.TemporalRestrict{Times: geom.NewInterval(0, 1)}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE2_ValueRestriction(b *testing.B) {
+	workload(b)
+	rng, err := valueset.NewRange(100, 800)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchUnary(b, func() stream.Operator {
+		return core.ValueRestrict{Values: rng}
+	}, wlInfoRow, wlRowsVis)
+}
+
+// --- E3: value transforms ---------------------------------------------------
+
+func BenchmarkE3_MapPointwise(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.ValueTransform{Fn: func(v float64) float64 { return v * 0.25 }, Label: "scale"}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE3_StretchLinear(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.Stretch{Kind: core.StretchLinear, OutMin: 0, OutMax: 255}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE3_StretchEqualize(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return core.Stretch{Kind: core.StretchEqualize, OutMin: 0, OutMax: 255}
+	}, wlInfoRow, wlRowsVis)
+}
+
+// --- E4: zooms --------------------------------------------------------------
+
+func BenchmarkE4_ZoomIn2(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator { return core.ZoomIn{K: 2} }, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE4_ZoomOut4(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator { return core.ZoomOut{K: 4} }, wlInfoRow, wlRowsVis)
+}
+
+// --- E5: re-projection --------------------------------------------------------
+
+func benchReproject(b *testing.B, progressive bool) {
+	scene := sat.DefaultScene(3)
+	im, err := sat.NewGOESImager(-75, wlRegion, 96, 72, scene, []string{"vis"}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0 := stream.NewGroup(context.Background())
+	streams, err := im.Streams(g0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks, err := stream.Collect(context.Background(), streams["vis"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g0.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	info := im.Info(im.Bands[0])
+	b.SetBytes(points(chunks) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runUnary(b, core.NewReproject(info.CRS, coord.LatLon{}, core.Bilinear, progressive), info, chunks)
+	}
+}
+
+func BenchmarkE5_ReprojectBlocking(b *testing.B)    { benchReproject(b, false) }
+func BenchmarkE5_ReprojectProgressive(b *testing.B) { benchReproject(b, true) }
+
+// --- E6: composition -----------------------------------------------------------
+
+func benchCompose(b *testing.B, aInfo, bInfo stream.Info, ac, bc []*stream.Chunk) {
+	b.Helper()
+	b.SetBytes(points(ac) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := stream.NewGroup(context.Background())
+		as := stream.FromChunks(g, aInfo, ac)
+		bs := stream.FromChunks(g, bInfo, bc)
+		out, _, err := stream.Apply2(g, core.Compose{Gamma: valueset.Sub}, as, bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := stream.Drain(context.Background(), out); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_ComposeRowByRow(b *testing.B) {
+	workload(b)
+	nirInfo := wlInfoRow
+	nirInfo.Band = "nir"
+	benchCompose(b, nirInfo, wlInfoRow, wlRowsNir, wlRowsVis)
+}
+
+// --- E7: optimizer -----------------------------------------------------------
+
+func benchQuery(b *testing.B, optimize bool) {
+	q := "rselect(stretch(ndvi(nir, vis), linear, 0, 255), rect(-121.2, 36.8, -120.8, 37.2))"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := stream.NewGroup(context.Background())
+		scene := sat.DefaultScene(1)
+		im, err := sat.NewLatLonImager(wlRegion, 128, 96, scene,
+			[]string{"nir", "vis"}, stream.RowByRow, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sources, err := im.Streams(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		catalog := map[string]stream.Info{
+			"nir": im.Info(im.Bands[0]), "vis": im.Info(im.Bands[1]),
+		}
+		plan, err := queryParse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if optimize {
+			if plan, err = queryOptimize(plan, catalog); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out, _, err := queryBuild(g, plan, sources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := stream.Drain(context.Background(), out); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_QueryNaive(b *testing.B)     { benchQuery(b, false) }
+func BenchmarkE7_QueryOptimized(b *testing.B) { benchQuery(b, true) }
+
+// --- E8: cascade tree ----------------------------------------------------------
+
+func benchIndex(b *testing.B, mk func() cascade.Index, n int) {
+	idx := mk()
+	for i := 0; i < n; i++ {
+		x := float64(i%64) / 64 * 2
+		y := float64(i/64%64) / 64 * 2
+		idx.Insert(cascade.QueryID(i), geom.R(-122+x, 36+y, -121.8+x, 36.2+y))
+	}
+	var out []cascade.QueryID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.V2(-121+float64(i%100)/100, 36.5+float64(i%97)/97)
+		out = idx.Stab(p, out[:0])
+	}
+}
+
+func BenchmarkE8_StabNaive1024(b *testing.B) {
+	benchIndex(b, func() cascade.Index { return cascade.NewNaive() }, 1024)
+}
+
+func BenchmarkE8_StabGrid1024(b *testing.B) {
+	benchIndex(b, func() cascade.Index {
+		g, err := cascade.NewGrid(wlRegion, 32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}, 1024)
+}
+
+func BenchmarkE8_StabTree1024(b *testing.B) {
+	benchIndex(b, func() cascade.Index { return cascade.NewTree() }, 1024)
+}
+
+// --- E9: aggregates ---------------------------------------------------------------
+
+func BenchmarkE9_TemporalAggregateW8(b *testing.B) {
+	workload(b)
+	benchUnary(b, func() stream.Operator {
+		return &core.TemporalAggregate{Fn: core.AggMean, Window: 8}
+	}, wlInfoRow, wlRowsVis)
+}
+
+func BenchmarkE9_RegionalAggregate(b *testing.B) {
+	workload(b)
+	region := geom.NewRectRegion(geom.R(-121.5, 36.5, -120.5, 37.5))
+	benchUnary(b, func() stream.Operator {
+		return core.RegionalAggregate{Fn: core.AggMean, Region: region}
+	}, wlInfoRow, wlRowsVis)
+}
+
+// --- F3: end to end ------------------------------------------------------------------
+
+func BenchmarkF3_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.F3EndToEnd(bench.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

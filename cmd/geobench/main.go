@@ -1,0 +1,73 @@
+// Command geobench runs the experiment suite that reproduces the paper's
+// evaluation claims and prints the result tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"geostreams/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "workload scale: quick or default")
+	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, A1..A3) or 'all'")
+	w := flag.Int("w", 0, "override sector width (points)")
+	h := flag.Int("h", 0, "override sector height (points)")
+	sectors := flag.Int("sectors", 0, "override sector count")
+	flag.Parse()
+
+	cfg := bench.Default
+	if *scale == "quick" {
+		cfg = bench.Quick
+	} else if *scale != "default" {
+		fmt.Fprintf(os.Stderr, "geobench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *w > 0 {
+		cfg.W = *w
+	}
+	if *h > 0 {
+		cfg.H = *h
+	}
+	if *sectors > 0 {
+		cfg.Sectors = *sectors
+	}
+
+	want := map[string]bool{}
+	runAll := *expList == "all"
+	if !runAll {
+		for _, id := range strings.Split(*expList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	fmt.Printf("GeoStreams experiment suite — sector %dx%d (%d pts), %d sectors\n\n",
+		cfg.W, cfg.H, cfg.Frame(), cfg.Sectors)
+	failed := 0
+	for _, e := range bench.AllWithAblations() {
+		if !runAll && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n\n", e.ID, err)
+			failed++
+			continue
+		}
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

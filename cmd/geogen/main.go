@@ -1,0 +1,157 @@
+// Command geogen renders synthetic instrument data to PNG files without a
+// server — useful for inspecting the simulated scene, the band physics,
+// and derived NDVI.
+//
+// Usage:
+//
+//	geogen [-out ./frames] [-region "-122,36,-120,38"] [-w 512] [-h 384]
+//	       [-sectors 2] [-seed 42] [-bands vis,nir,ir] [-ndvi]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"geostreams/internal/core"
+	"geostreams/internal/geom"
+	"geostreams/internal/raster"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	regionStr := flag.String("region", "-122,36,-120,38", "scan region lon0,lat0,lon1,lat1")
+	w := flag.Int("w", 512, "sector width")
+	h := flag.Int("h", 384, "sector height")
+	sectors := flag.Int("sectors", 2, "sectors to render")
+	seed := flag.Int64("seed", 42, "scene seed")
+	bandsStr := flag.String("bands", "vis,nir,ir", "bands to render")
+	ndvi := flag.Bool("ndvi", true, "also render NDVI from nir and vis")
+	flag.Parse()
+
+	var v [4]float64
+	parts := strings.Split(*regionStr, ",")
+	if len(parts) != 4 {
+		log.Fatalf("geogen: bad region %q", *regionStr)
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("geogen: bad region component %q", p)
+		}
+		v[i] = f
+	}
+	region := geom.R(v[0], v[1], v[2], v[3])
+	bands := strings.Split(*bandsStr, ",")
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("geogen: %v", err)
+	}
+	scene := sat.DefaultScene(*seed)
+	im, err := sat.NewLatLonImager(region, *w, *h, scene, bands, stream.RowByRow, *sectors)
+	if err != nil {
+		log.Fatalf("geogen: %v", err)
+	}
+
+	g := stream.NewGroup(context.Background())
+	streams, err := im.Streams(g)
+	if err != nil {
+		log.Fatalf("geogen: %v", err)
+	}
+
+	// Render each band through a linear stretch; derive NDVI if asked.
+	outputs := map[string]*stream.Stream{}
+	for _, band := range bands {
+		src := streams[band]
+		if (band == "nir" || band == "vis") && *ndvi {
+			tees := stream.Tee(g, src, 2)
+			src = tees[0]
+			streams[band+"_ndvi"] = tees[1]
+		}
+		s, _, err := stream.Apply(g, core.Stretch{Kind: core.StretchLinear, OutMin: 0, OutMax: 255}, src)
+		if err != nil {
+			log.Fatalf("geogen: %v", err)
+		}
+		outputs[band] = s
+	}
+	if *ndvi {
+		nir, okN := streams["nir_ndvi"]
+		vis, okV := streams["vis_ndvi"]
+		if okN && okV {
+			s, _, err := core.BuildNDVI(g, nir, vis)
+			if err != nil {
+				log.Fatalf("geogen: %v", err)
+			}
+			outputs["ndvi"] = s
+		}
+	}
+
+	done := make(chan error, len(outputs))
+	for name, s := range outputs {
+		name, s := name, s
+		go func() { done <- render(*out, name, s) }()
+	}
+	for range outputs {
+		if err := <-done; err != nil {
+			log.Fatalf("geogen: %v", err)
+		}
+	}
+	if err := g.Wait(); err != nil {
+		log.Fatalf("geogen: %v", err)
+	}
+}
+
+// render assembles one product stream into PNG files.
+func render(dir, name string, s *stream.Stream) error {
+	cmName := "gray"
+	vmin, vmax := s.Info.VMin, s.Info.VMax
+	if name == "ndvi" {
+		cmName, vmin, vmax = "ndvi", -1, 1
+	}
+	cm, err := raster.ColormapByName(cmName)
+	if err != nil {
+		return err
+	}
+	asm := raster.NewAssembler()
+	write := func(img *raster.Image) error {
+		path := filepath.Join(dir, fmt.Sprintf("%s_sector%d.png", name, img.T))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := img.EncodePNG(f, cm, vmin, vmax); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%dx%d)\n", path, img.Lat.W, img.Lat.H)
+		return nil
+	}
+	for c := range s.C {
+		imgs, err := asm.Add(c)
+		if err != nil {
+			return err
+		}
+		for _, img := range imgs {
+			if err := write(img); err != nil {
+				return err
+			}
+		}
+	}
+	imgs, err := asm.Flush()
+	if err != nil {
+		return err
+	}
+	for _, img := range imgs {
+		if err := write(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command geoquery is the client for a running geoserver: it registers
+// continuous queries, fetches result frames as PNG files, polls
+// time-series outputs, and inspects server state.
+//
+// Usage (the subcommand comes first; flags follow it):
+//
+//	geoquery catalog [-server URL]
+//	geoquery explain -q 'ndvi(nir, vis)'
+//	geoquery register -q 'stretch(ndvi(nir, vis), linear, 0, 255)' -colormap ndvi
+//	geoquery frames -id 1 -n 5 -out ./frames
+//	geoquery series -id 2 -n 10
+//	geoquery stats
+//	geoquery list
+//	geoquery drop -id 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"geostreams/internal/dsms"
+)
+
+const usage = "usage: geoquery catalog|explain|register|frames|series|stats|list|drop [flags]"
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, usage)
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+
+	fs := flag.NewFlagSet("geoquery "+cmd, flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "geoserver base URL")
+	q := fs.String("q", "", "query text (explain, register)")
+	colormap := fs.String("colormap", "gray", "colormap for register")
+	id := fs.Int64("id", 0, "query id (frames, series, drop)")
+	n := fs.Int("n", 3, "how many frames / series polls to fetch")
+	out := fs.String("out", ".", "output directory for frames")
+	wait := fs.Duration("wait", 10*time.Second, "per-frame wait")
+	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+
+	c := dsms.NewClient(*server)
+	c.HTTP.Timeout = *wait + 10*time.Second
+
+	switch cmd {
+	case "catalog":
+		bands, err := c.Catalog()
+		fatal(err)
+		for _, b := range bands {
+			fmt.Printf("%-6s crs=%-10s org=%-15s stamping=%-16s sector=%dx%d range=[%g, %g]\n",
+				b.Band, b.CRS, b.Organization, b.Stamping, b.SectorW, b.SectorH, b.VMin, b.VMax)
+		}
+	case "explain":
+		requireQ(*q)
+		plan, err := c.Explain(*q)
+		fatal(err)
+		fmt.Print(plan)
+	case "register":
+		requireQ(*q)
+		qi, err := c.Register(*q, *colormap)
+		fatal(err)
+		fmt.Printf("registered query %d (out band %s, crs %s)\nplan:\n%s",
+			qi.ID, qi.OutBand, qi.OutCRS, qi.Plan)
+	case "frames":
+		requireID(*id)
+		fatal(os.MkdirAll(*out, 0o755))
+		for i := 0; i < *n; i++ {
+			f, ok, err := c.NextFrame(*id, *wait)
+			fatal(err)
+			if !ok {
+				fmt.Println("no more frames")
+				return
+			}
+			name := filepath.Join(*out, fmt.Sprintf("q%d_sector%d.png", *id, f.Sector))
+			fatal(os.WriteFile(name, f.PNG, 0o644))
+			fmt.Printf("wrote %s (%dx%d, %d bytes)\n", name, f.Width, f.Height, len(f.PNG))
+		}
+	case "series":
+		requireID(*id)
+		next := 0
+		for i := 0; i < *n; i++ {
+			pts, nx, err := c.Series(*id, next)
+			fatal(err)
+			next = nx
+			for _, p := range pts {
+				fmt.Printf("t=%d  (%.4f, %.4f)  value=%g\n", p.T, p.X, p.Y, p.Val)
+			}
+			if len(pts) == 0 {
+				time.Sleep(500 * time.Millisecond)
+			}
+		}
+	case "stats":
+		hs, err := c.Stats()
+		fatal(err)
+		for _, h := range hs {
+			fmt.Printf("band %-6s subscribers=%d delivered=%d dropped=%d routed=%d\n",
+				h.Band, h.Subscribers, h.Delivered, h.Dropped, h.Routed)
+		}
+	case "list":
+		qs, err := c.Queries()
+		fatal(err)
+		for _, qi := range qs {
+			fmt.Printf("query %d: %s\n", qi.ID, qi.Query)
+			for _, op := range qi.Operators {
+				fmt.Printf("  %-45s in=%-10d out=%-10d peak_buffer=%d\n",
+					op.Name, op.PointsIn, op.PointsOut, op.PeakBuffer)
+			}
+		}
+	case "drop":
+		requireID(*id)
+		fatal(c.Deregister(*id))
+		fmt.Printf("deregistered query %d\n", *id)
+	default:
+		fmt.Fprintf(os.Stderr, "geoquery: unknown command %q\n%s\n", cmd, usage)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatalf("geoquery: %v", err)
+	}
+}
+
+func requireQ(q string) {
+	if q == "" {
+		log.Fatal("geoquery: -q is required")
+	}
+}
+
+func requireID(id int64) {
+	if id == 0 {
+		log.Fatal("geoquery: -id is required")
+	}
+}

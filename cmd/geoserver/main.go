@@ -1,0 +1,124 @@
+// Command geoserver runs the GeoStreams DSMS (the paper's Fig. 3
+// architecture) over a simulated GOES-class instrument and serves the
+// HTTP query API.
+//
+// Usage:
+//
+//	geoserver [-addr :8080] [-goes] [-subsat -75]
+//	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
+//	          [-sectors 0] [-interval 2s] [-seed 42]
+//
+// With -sectors 0 the instrument scans forever. Try:
+//
+//	curl localhost:8080/catalog
+//	curl -s localhost:8080/explain --get --data-urlencode \
+//	    'q=rselect(ndvi(nir, vis), rect(-121.5, 36.5, -120.5, 37.5))'
+//	curl -s localhost:8080/queries -d \
+//	    '{"query": "stretch(ndvi(nir, vis), linear, 0, 255)", "colormap": "ndvi"}'
+//	curl -s localhost:8080/queries/1/frame -o frame.png
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"geostreams/internal/dsms"
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+func parseRegion(s string) (geom.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("region needs 4 comma-separated numbers, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("bad region component %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	return geom.R(v[0], v[1], v[2], v[3]), nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	useGOES := flag.Bool("goes", false, "scan in GEOS satellite-view coordinates (GOES Variable Format analogue)")
+	subsat := flag.Float64("subsat", -75, "sub-satellite longitude for -goes")
+	regionStr := flag.String("region", "-122,36,-120,38", "scan region lon0,lat0,lon1,lat1")
+	w := flag.Int("w", 256, "sector width (points)")
+	h := flag.Int("h", 192, "sector height (points)")
+	sectors := flag.Int("sectors", 0, "number of scan sectors (0 = unlimited)")
+	interval := flag.Duration("interval", 2*time.Second, "time between scan sectors")
+	seed := flag.Int64("seed", 42, "scene seed")
+	flag.Parse()
+
+	region, err := parseRegion(*regionStr)
+	if err != nil {
+		log.Fatalf("geoserver: %v", err)
+	}
+	nSectors := *sectors
+	if nSectors <= 0 {
+		nSectors = math.MaxInt32 // effectively unlimited
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	srv := dsms.NewServer(ctx)
+	scene := sat.DefaultScene(*seed)
+	bands := []string{"vis", "nir", "ir"}
+	var im *sat.Imager
+	if *useGOES {
+		im, err = sat.NewGOESImager(*subsat, region, *w, *h, scene, bands, nSectors)
+	} else {
+		im, err = sat.NewLatLonImager(region, *w, *h, scene, bands, stream.RowByRow, nSectors)
+	}
+	if err != nil {
+		log.Fatalf("geoserver: instrument: %v", err)
+	}
+	im.Interval = *interval
+	streams, err := im.Streams(srv.Group())
+	if err != nil {
+		log.Fatalf("geoserver: %v", err)
+	}
+	for _, band := range bands {
+		if err := srv.AddSource(streams[band]); err != nil {
+			log.Fatalf("geoserver: %v", err)
+		}
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Println("geoserver: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx) //nolint:errcheck
+		srv.Close()                   //nolint:errcheck
+	}()
+
+	crs := "latlon"
+	if *useGOES {
+		crs = fmt.Sprintf("geos:%g", *subsat)
+	}
+	log.Printf("geoserver: bands %v over %v in %s, sector %dx%d every %s",
+		bands, region, crs, *w, *h, *interval)
+	log.Printf("geoserver: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("geoserver: %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package geostreams is a data stream management system for streaming
+// geospatial image data — a from-scratch Go implementation of the data and
+// query model of Gertz, Hart, Rueda, Singhal & Zhang, "A Data and Query
+// Model for Streaming Geospatial Image Data" (EDBT 2006; the UC Davis
+// GeoStreams project).
+//
+// A GeoStream is a function G : X → V from a spatio-temporal point lattice
+// X = S × T (a regularly spaced spatial grid with an associated coordinate
+// system, crossed with logical timestamps) to a value set V. This package
+// exposes:
+//
+//   - the data model: lattices, regions, time sets, coordinate systems
+//     (lat/lon, Mercator, UTM, the GEOS geostationary view), chunks, and
+//     stream metadata;
+//   - the query algebra: stream restrictions (spatial/temporal/value),
+//     stream transforms (point-wise and frame-buffered value transforms,
+//     zooms, re-projection, rotation), stream compositions
+//     (+, −, ×, ÷, sup, inf — NDVI being the canonical derived product),
+//     and spatio-temporal aggregates;
+//   - a query language with a rule-based optimizer (restriction merging
+//     and push-down, including inverse-CRS region mapping below
+//     re-projections) and an EXPLAIN facility;
+//   - instrument simulators reproducing the three point organizations of
+//     the paper's Fig. 1 (image-by-image, row-by-row, point-by-point);
+//   - the DSMS server of Fig. 3: HTTP query registration, a shared
+//     cascade-tree spatial restriction stage multiplexing one instrument
+//     stream to many continuous queries, and PNG delivery.
+//
+// The quickest route through the API:
+//
+//	g := geostreams.NewGroup(ctx)
+//	im, _ := geostreams.NewLatLonImager(region, 256, 256, scene,
+//	        []string{"vis", "nir"}, geostreams.RowByRow, 10)
+//	sources, _ := im.Streams(g)
+//	plan, _ := geostreams.ParseQuery(`rselect(ndvi(nir, vis), rect(...))`, bands)
+//	plan, _ = geostreams.OptimizeQuery(plan, catalog)
+//	out, stats, _ := geostreams.BuildQuery(g, plan, sources)
+//	... consume out.C ...
+//	err := g.Wait()
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package geostreams
+
+import (
+	"context"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/core"
+	"geostreams/internal/dsms"
+	"geostreams/internal/geom"
+	"geostreams/internal/query"
+	"geostreams/internal/raster"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// --- Data model --------------------------------------------------------
+
+// Vec2 is a point in the 2-D spatial domain.
+type Vec2 = geom.Vec2
+
+// Rect is an axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Region is a spatial region of interest (restriction argument).
+type Region = geom.Region
+
+// Timestamp is a logical timestamp (scan-sector id or measurement time).
+type Timestamp = geom.Timestamp
+
+// Point is a spatio-temporal point x = (s, t).
+type Point = geom.Point
+
+// TimeSet is a set of timestamps (temporal restriction argument).
+type TimeSet = geom.TimeSet
+
+// Lattice is a regularly spaced point lattice with a geo-transform.
+type Lattice = geom.Lattice
+
+// CRS is a coordinate reference system.
+type CRS = coord.CRS
+
+// Chunk is one stream element: a grid patch, a point list, or
+// end-of-sector punctuation.
+type Chunk = stream.Chunk
+
+// Stream is a GeoStream: metadata plus a channel of chunks.
+type Stream = stream.Stream
+
+// Info is a stream's static metadata.
+type Info = stream.Info
+
+// Stats instruments one operator (points in/out, peak buffered points).
+type Stats = stream.Stats
+
+// Group runs the goroutines of a pipeline and collects the first error.
+type Group = stream.Group
+
+// Organization is the physical point organization (Fig. 1).
+type Organization = stream.Organization
+
+// Point organizations.
+const (
+	ImageByImage = stream.ImageByImage
+	RowByRow     = stream.RowByRow
+	PointByPoint = stream.PointByPoint
+)
+
+// Gamma is a composition operator (γ ∈ {+, −, ×, ÷, sup, inf}).
+type Gamma = valueset.Gamma
+
+// Composition operators.
+const (
+	Add = valueset.Add
+	Sub = valueset.Sub
+	Mul = valueset.Mul
+	Div = valueset.Div
+	Sup = valueset.Sup
+	Inf = valueset.Inf
+)
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return geom.V2(x, y) }
+
+// R constructs a Rect from two corners in any order.
+func R(x0, y0, x1, y1 float64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// RectRegion wraps a Rect as a Region.
+func RectRegion(r Rect) Region { return geom.NewRectRegion(r) }
+
+// Disk returns a circular region.
+func Disk(cx, cy, radius float64) Region { return geom.Disk(cx, cy, radius) }
+
+// Polygon returns a polygonal region.
+func Polygon(verts []Vec2) (Region, error) { return geom.NewPolygonRegion(verts) }
+
+// Interval returns the half-open timestamp interval [start, end).
+func Interval(start, end Timestamp) TimeSet { return geom.NewInterval(start, end) }
+
+// NewLattice validates and constructs a lattice.
+func NewLattice(x0, y0, dx, dy float64, w, h int) (Lattice, error) {
+	return geom.NewLattice(x0, y0, dx, dy, w, h)
+}
+
+// ParseCRS resolves a coordinate system name: "latlon", "mercator",
+// "utm:<zone>[s]", "geos:<lon>".
+func ParseCRS(name string) (CRS, error) { return coord.Parse(name) }
+
+// TransformPoint maps a point between coordinate systems.
+func TransformPoint(from, to CRS, v Vec2) (Vec2, error) { return coord.Transform(from, to, v) }
+
+// NewGroup creates a pipeline group bounded by ctx.
+func NewGroup(ctx context.Context) *Group { return stream.NewGroup(ctx) }
+
+// Collect drains a stream into a slice (tests, examples).
+func Collect(ctx context.Context, s *Stream) ([]*Chunk, error) { return stream.Collect(ctx, s) }
+
+// --- Operators (the §3 algebra) -----------------------------------------
+
+// Restrict applies the spatial restriction G|R.
+func Restrict(g *Group, in *Stream, region Region) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.SpatialRestrict{Region: region}, in)
+}
+
+// RestrictTime applies the temporal restriction G|T.
+func RestrictTime(g *Group, in *Stream, times TimeSet) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.TemporalRestrict{Times: times}, in)
+}
+
+// MapValues applies a point-wise value transform f∘G.
+func MapValues(g *Group, in *Stream, fn func(float64) float64, label string) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.ValueTransform{Fn: fn, Label: label}, in)
+}
+
+// StretchLinear applies the frame-buffered linear contrast stretch onto
+// [outMin, outMax].
+func StretchLinear(g *Group, in *Stream, outMin, outMax float64) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.Stretch{Kind: core.StretchLinear, OutMin: outMin, OutMax: outMax}, in)
+}
+
+// ZoomIn increases the lattice resolution k-fold (no buffering).
+func ZoomIn(g *Group, in *Stream, k int) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.ZoomIn{K: k}, in)
+}
+
+// ZoomOut decreases the lattice resolution k-fold (buffers k rows).
+func ZoomOut(g *Group, in *Stream, k int) (*Stream, *Stats, error) {
+	return stream.Apply(g, core.ZoomOut{K: k}, in)
+}
+
+// Reproject re-projects the stream into a new coordinate system with
+// bilinear resampling, progressively when the stream carries sector
+// metadata.
+func Reproject(g *Group, in *Stream, to CRS) (*Stream, *Stats, error) {
+	op := core.NewReproject(in.Info.CRS, to, core.Bilinear, in.Info.HasSectorMeta)
+	return stream.Apply(g, op, in)
+}
+
+// Compose applies the point-wise composition G1 γ G2.
+func Compose(g *Group, gamma Gamma, a, b *Stream) (*Stream, *Stats, error) {
+	return stream.Apply2(g, core.Compose{Gamma: gamma}, a, b)
+}
+
+// NDVI wires the normalized difference vegetation index
+// (NIR − VIS)/(NIR + VIS) over two band streams.
+func NDVI(g *Group, nir, vis *Stream) (*Stream, []*Stats, error) {
+	return core.BuildNDVI(g, nir, vis)
+}
+
+// --- Query language -----------------------------------------------------
+
+// QueryPlan is a parsed (and possibly optimized) logical plan.
+type QueryPlan = query.Node
+
+// ParseQuery compiles a query string against a set of band names.
+func ParseQuery(src string, bands map[string]bool) (QueryPlan, error) {
+	return query.Parse(src, bands)
+}
+
+// OptimizeQuery applies the §3.4 rewrite rules.
+func OptimizeQuery(plan QueryPlan, catalog map[string]Info) (QueryPlan, error) {
+	return query.Optimize(plan, catalog)
+}
+
+// BuildQuery wires a plan into a running pipeline over the given sources.
+func BuildQuery(g *Group, plan QueryPlan, sources map[string]*Stream) (*Stream, []*Stats, error) {
+	return query.Build(g, plan, sources)
+}
+
+// ExplainQuery renders a plan with per-operator cost predictions.
+func ExplainQuery(plan QueryPlan, catalog map[string]Info) (string, error) {
+	return query.Explain(plan, catalog)
+}
+
+// --- Instrument simulation ----------------------------------------------
+
+// Scene is a correlated multi-band synthetic Earth scene.
+type Scene = sat.Scene
+
+// Imager is a simulated frame- or line-scanning instrument.
+type Imager = sat.Imager
+
+// LIDARScanner is a simulated point-by-point instrument.
+type LIDARScanner = sat.LIDARScanner
+
+// DefaultScene returns a plausible scene seeded deterministically.
+func DefaultScene(seed int64) *Scene { return sat.DefaultScene(seed) }
+
+// NewGOESImager simulates a GOES-class imager viewing `region` from the
+// geostationary longitude subLon, scanning w×h sectors row-by-row in GEOS
+// scan-angle coordinates.
+func NewGOESImager(subLon float64, region Rect, w, h int, scene *Scene, bands []string, sectors int) (*Imager, error) {
+	return sat.NewGOESImager(subLon, region, w, h, scene, bands, sectors)
+}
+
+// NewLatLonImager simulates an instrument scanning directly in geographic
+// coordinates (the cheap workload generator).
+func NewLatLonImager(region Rect, w, h int, scene *Scene, bands []string, org Organization, sectors int) (*Imager, error) {
+	return sat.NewLatLonImager(region, w, h, scene, bands, org, sectors)
+}
+
+// --- Raster delivery ------------------------------------------------------
+
+// Image is an assembled georeferenced raster frame.
+type Image = raster.Image
+
+// Assembler reassembles stream chunks into whole frames.
+type Assembler = raster.Assembler
+
+// NewAssembler builds a frame assembler.
+func NewAssembler() *Assembler { return raster.NewAssembler() }
+
+// --- DSMS server ----------------------------------------------------------
+
+// Server is the Fig. 3 stream management system.
+type Server = dsms.Server
+
+// ServerClient is the HTTP client for a Server.
+type ServerClient = dsms.Client
+
+// DeliveryOptions configure query result rendering.
+type DeliveryOptions = dsms.DeliveryOptions
+
+// NewServer creates a DSMS bounded by ctx; attach sources, register
+// queries, then call Start.
+func NewServer(ctx context.Context) *Server { return dsms.NewServer(ctx) }
+
+// NewServerClient builds a client for a server base URL.
+func NewServerClient(baseURL string) *ServerClient { return dsms.NewClient(baseURL) }

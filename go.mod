@@ -1,0 +1,3 @@
+module geostreams
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation. The EDBT 2006 paper is a model paper: its "evaluation" is a
+// set of operator cost and behaviour claims in §3 plus Figs. 1–3, not
+// numeric tables. Each claim becomes a measured experiment here; the
+// experiment index lives in DESIGN.md and results are recorded in
+// EXPERIMENTS.md. cmd/geobench prints these tables; the root
+// bench_test.go wraps the same harness functions as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config scales the synthetic workloads.
+type Config struct {
+	// W, H is the scan-sector size in points.
+	W, H int
+	// Sectors is how many sectors each stream carries.
+	Sectors int
+	// MaxQueries bounds the E8 sweep.
+	MaxQueries int
+}
+
+// Quick is sized for unit tests and CI.
+var Quick = Config{W: 64, H: 48, Sectors: 2, MaxQueries: 256}
+
+// Default is sized for the reported experiment tables.
+var Default = Config{W: 256, H: 192, Sectors: 4, MaxQueries: 4096}
+
+// Frame returns the sector size in points.
+func (c Config) Frame() int { return c.W * c.H }
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "  claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		fmt.Fprint(w, "  ")
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(cfg Config) (*Table, error)
+}
+
+// All lists every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "ingest throughput per organization", E1Ingest},
+		{"E2", "restriction operators: O(1)/point, zero buffering", E2Restrictions},
+		{"E3", "stretch transform: buffer = largest frame", E3Stretch},
+		{"E4", "zoom: in buffers nothing, out buffers k rows", E4Zoom},
+		{"E5", "re-projection: blocking vs metadata-driven progressive", E5Reproject},
+		{"E6", "composition: buffering by organization; stamping policies", E6Compose},
+		{"E7", "restriction push-down: optimized vs naive plans", E7Pushdown},
+		{"E8", "cascade tree vs baselines for N concurrent queries", E8Cascade},
+		{"E9", "spatio-temporal aggregate: space ∝ window × frame", E9Aggregate},
+		{"F3", "end-to-end DSMS over HTTP (architecture of Fig. 3)", F3EndToEnd},
+	}
+}
+
+// fmtDur renders a duration compactly.
+func fmtDur(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }
+
+// fmtRate renders points/second.
+func fmtRate(points int64, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	r := float64(points) / d.Seconds()
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1f Mpts/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1f kpts/s", r/1e3)
+	}
+	return fmt.Sprintf("%.0f pts/s", r)
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at the Quick scale
+// and sanity-checks the tables; the behavioural assertions per claim live
+// in the operator packages, so here we verify the harness itself produces
+// well-formed, claim-consistent tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id = %s, want %s", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(r), len(tbl.Columns), r)
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Render(&buf)
+			if !strings.Contains(buf.String(), tbl.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+// findRows selects rows whose first k cells match.
+func findRows(tbl *Table, prefix ...string) [][]string {
+	var out [][]string
+	for _, r := range tbl.Rows {
+		ok := true
+		for i, p := range prefix {
+			if i >= len(r) || r[i] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func cell(t *testing.T, tbl *Table, row []string, col string) string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return row[i]
+		}
+	}
+	t.Fatalf("no column %q in %v", col, tbl.Columns)
+	return ""
+}
+
+func atoi(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("not an integer: %q", s)
+	}
+	return v
+}
+
+// The paper's qualitative shape claims, checked against the Quick-scale
+// measurements.
+
+func TestE2ShapeZeroBuffer(t *testing.T) {
+	tbl, err := E2Restrictions(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if got := cell(t, tbl, r, "peak buffer (pts)"); got != "0" {
+			t.Fatalf("restriction row buffered %s points: %v", got, r)
+		}
+	}
+}
+
+func TestE3ShapeStretchBuffersFrame(t *testing.T) {
+	tbl, err := E3Stretch(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		frame := atoi(t, cell(t, tbl, r, "frame (pts)"))
+		buf := atoi(t, cell(t, tbl, r, "peak buffer (pts)"))
+		if strings.HasPrefix(r[0], "map") {
+			if buf != 0 {
+				t.Fatalf("point-wise map buffered %d points", buf)
+			}
+			continue
+		}
+		if buf != frame {
+			t.Fatalf("stretch peak buffer %d != frame %d", buf, frame)
+		}
+	}
+}
+
+func TestE4ShapeZoomRows(t *testing.T) {
+	tbl, err := E4Zoom(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		buf := atoi(t, cell(t, tbl, r, "peak buffer (pts)"))
+		k := atoi(t, cell(t, tbl, r, "k"))
+		switch r[0] {
+		case "zoom-in":
+			if buf != 0 {
+				t.Fatalf("zoom-in buffered %d points", buf)
+			}
+		case "zoom-out":
+			if buf != k*int64(Quick.W) {
+				t.Fatalf("zoom-out k=%d buffered %d points, want %d", k, buf, k*int64(Quick.W))
+			}
+		}
+	}
+}
+
+func TestE5ShapeProgressiveSmaller(t *testing.T) {
+	tbl, err := E5Reproject(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	blocking := atoi(t, cell(t, tbl, tbl.Rows[0], "peak buffer (pts)"))
+	progressive := atoi(t, cell(t, tbl, tbl.Rows[1], "peak buffer (pts)"))
+	if progressive*2 >= blocking {
+		t.Fatalf("progressive buffer %d not well below blocking %d", progressive, blocking)
+	}
+}
+
+func TestE6ShapeMatchingAndBuffering(t *testing.T) {
+	tbl, err := E6Compose(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		match := cell(t, tbl, r, "match rate")
+		buf := atoi(t, cell(t, tbl, r, "peak buffer (pts)"))
+		switch {
+		case r[1] == "measurement-time":
+			if match != "0%" {
+				t.Fatalf("measurement-time match rate = %s", match)
+			}
+		case r[0] == "image-by-image":
+			if match != "100%" || buf < int64(Quick.Frame()) {
+				t.Fatalf("image compose: match=%s buffer=%d", match, buf)
+			}
+		case r[0] == "row-by-row":
+			if match != "100%" || buf >= int64(Quick.Frame())/2 {
+				t.Fatalf("row compose: match=%s buffer=%d (frame %d)", match, buf, Quick.Frame())
+			}
+		}
+	}
+}
+
+func TestE7ShapeOptimizerWins(t *testing.T) {
+	tbl, err := E7Pushdown(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 1% selectivity the optimized plan must process far fewer points.
+	rows := findRows(tbl, "1%")
+	if len(rows) != 2 {
+		t.Fatalf("1%% rows = %d", len(rows))
+	}
+	naive := atoi(t, cell(t, tbl, rows[0], "points processed"))
+	opt := atoi(t, cell(t, tbl, rows[1], "points processed"))
+	if opt*2 >= naive {
+		t.Fatalf("optimizer at 1%%: %d vs naive %d points", opt, naive)
+	}
+}
+
+func TestE8ShapeTreeBeatsNaive(t *testing.T) {
+	tbl, err := E8Cascade(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest N, the cascade tree's stab must beat the naive scan.
+	last := findRows(tbl, strconv.Itoa(Quick.MaxQueries))
+	var naive, tree float64
+	for _, r := range last {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell(t, tbl, r, "speedup vs naive"), "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r[1] {
+		case "naive":
+			naive = v
+		case "cascade-tree":
+			tree = v
+		}
+	}
+	if tree <= naive {
+		t.Fatalf("cascade tree speedup %gx not above naive %gx at N=%d", tree, naive, Quick.MaxQueries)
+	}
+}
+
+func TestE9ShapeWindowScaling(t *testing.T) {
+	tbl, err := E9Aggregate(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer grows with the window.
+	var prev int64 = -1
+	for _, r := range tbl.Rows {
+		if r[0] != "mean over time" {
+			continue
+		}
+		buf := atoi(t, cell(t, tbl, r, "peak buffer (pts)"))
+		if buf <= prev {
+			t.Fatalf("aggregate buffer not growing with window: %v", tbl.Rows)
+		}
+		prev = buf
+	}
+}

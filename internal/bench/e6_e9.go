@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"geostreams/internal/cascade"
+	"geostreams/internal/core"
+	"geostreams/internal/geom"
+	"geostreams/internal/query"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// E6Compose verifies the two §3.3 claims about stream composition: the
+// buffering requirement depends on the point organization (full image vs
+// a few rows), and points only ever match under scan-sector timestamping.
+func E6Compose(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "stream composition: buffering by organization and stamping policy (§3.3)",
+		Claim: "image-by-image buffers a complete image, row-by-row a single row; measurement-time stamps never match",
+		Columns: []string{"organization", "stamping", "match rate", "peak buffer (pts)",
+			"buffer/frame", "buffer rows"},
+	}
+	for _, org := range []stream.Organization{stream.ImageByImage, stream.RowByRow} {
+		for _, stamp := range []stream.StampPolicy{stream.StampSectorID, stream.StampMeasurementTime} {
+			ai, bi, ac, bc, err := preRenderPair(cfg, org, stamp)
+			if err != nil {
+				return nil, err
+			}
+			in := totalPoints(ac)
+			// Keep shedding from masking the measurement-time case.
+			op := core.Compose{Gamma: valueset.Sub, MaxPending: 2 * cfg.Frame() * cfg.Sectors}
+			points, _, st, err := runOp2(op, ai, bi, ac, bc)
+			if err != nil {
+				return nil, err
+			}
+			frame := float64(cfg.Frame())
+			t.AddRow(org.String(), stamp.String(),
+				fmt.Sprintf("%.0f%%", 100*float64(points)/float64(in)),
+				fmtI(st.PeakBufferedPoints()),
+				fmtF(float64(st.PeakBufferedPoints())/frame),
+				fmtF(float64(st.PeakBufferedPoints())/float64(cfg.W)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"row-by-row buffering is a handful of rows (channel slack), never a frame",
+		"with measurement-time stamps the pending state is capped and shed; match rate 0%")
+	return t, nil
+}
+
+// E7Pushdown runs the §3.4 running-example query with and without the
+// optimizer across region selectivities, measuring wall time and the total
+// points processed by all operators — the "most significant space and time
+// gains" claim.
+func E7Pushdown(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "spatial restriction push-down (§3.4 running example)",
+		Claim: "pushing the spatial restriction inward yields the dominant space/time gain, growing as selectivity shrinks",
+		Columns: []string{"selectivity", "plan", "wall time", "points processed",
+			"points speedup", "time speedup"},
+	}
+	type result struct {
+		elapsed time.Duration
+		points  int64
+	}
+	run := func(sel float64, optimize bool) (result, error) {
+		g := stream.NewGroup(context.Background())
+		im, err := newImager(cfg, stream.RowByRow, []string{"nir", "vis"})
+		if err != nil {
+			return result{}, err
+		}
+		sources, err := im.Streams(g)
+		if err != nil {
+			return result{}, err
+		}
+		catalog := map[string]stream.Info{
+			"nir": im.Info(im.Bands[0]),
+			"vis": im.Info(im.Bands[1]),
+		}
+		// A centred sub-rectangle with the requested area fraction.
+		cx, cy := benchRegion.Center().X, benchRegion.Center().Y
+		hw := benchRegion.Width() / 2 * math.Sqrt(sel)
+		hh := benchRegion.Height() / 2 * math.Sqrt(sel)
+		q := fmt.Sprintf(
+			"rselect(stretch(ndvi(nir, vis), linear, 0, 255), rect(%f, %f, %f, %f))",
+			cx-hw, cy-hh, cx+hw, cy+hh)
+		plan, err := query.Parse(q, map[string]bool{"nir": true, "vis": true})
+		if err != nil {
+			return result{}, err
+		}
+		if optimize {
+			if plan, err = query.Optimize(plan, catalog); err != nil {
+				return result{}, err
+			}
+		}
+		out, stats, err := query.Build(g, plan, sources)
+		if err != nil {
+			return result{}, err
+		}
+		start := time.Now()
+		if _, _, err := stream.Drain(context.Background(), out); err != nil {
+			return result{}, err
+		}
+		elapsed := time.Since(start)
+		if err := g.Wait(); err != nil {
+			return result{}, err
+		}
+		var processed int64
+		for _, st := range stats {
+			processed += st.PointsIn.Load()
+		}
+		return result{elapsed: elapsed, points: processed}, nil
+	}
+
+	for _, sel := range []float64{0.01, 0.05, 0.25, 1.0} {
+		naive, err := run(sel, false)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := run(sel, true)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%.0f%%", sel*100)
+		t.AddRow(label, "naive", fmtDur(naive.elapsed), fmtI(naive.points), "", "")
+		pSpeed := float64(naive.points) / float64(maxI64(opt.points, 1))
+		tSpeed := float64(naive.elapsed) / float64(maxI64(int64(opt.elapsed), 1))
+		t.AddRow(label, "optimized", fmtDur(opt.elapsed), fmtI(opt.points),
+			fmtF(pSpeed)+"x", fmtF(tSpeed)+"x")
+	}
+	return t, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E8Cascade compares the dynamic cascade tree against the uniform grid and
+// the naive per-query scan for N registered query regions (§4 / ref [10]).
+func E8Cascade(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "multi-query spatial restriction: dynamic cascade tree vs baselines (§4, ref [10])",
+		Claim: "a shared index answers \"which queries want this point\" far cheaper than filtering per query",
+		Columns: []string{"queries", "index", "stab cost", "probe cost",
+			"speedup vs naive"},
+	}
+	rng := rand.New(rand.NewSource(8))
+	domain := benchRegion
+	mkRect := func() geom.Rect {
+		w := domain.Width() * (0.02 + 0.1*rng.Float64())
+		h := domain.Height() * (0.02 + 0.1*rng.Float64())
+		x := domain.MinX + rng.Float64()*(domain.Width()-w)
+		y := domain.MinY + rng.Float64()*(domain.Height()-h)
+		return geom.R(x, y, x+w, y+h)
+	}
+	probePts := make([]geom.Vec2, 4096)
+	for i := range probePts {
+		probePts[i] = geom.V2(domain.MinX+rng.Float64()*domain.Width(),
+			domain.MinY+rng.Float64()*domain.Height())
+	}
+	probeRects := make([]geom.Rect, 512)
+	for i := range probeRects {
+		probeRects[i] = mkRect()
+	}
+
+	for n := 16; n <= cfg.MaxQueries; n *= 4 {
+		rects := make([]geom.Rect, n)
+		rng2 := rand.New(rand.NewSource(int64(n)))
+		for i := range rects {
+			w := domain.Width() * (0.02 + 0.1*rng2.Float64())
+			h := domain.Height() * (0.02 + 0.1*rng2.Float64())
+			x := domain.MinX + rng2.Float64()*(domain.Width()-w)
+			y := domain.MinY + rng2.Float64()*(domain.Height()-h)
+			rects[i] = geom.R(x, y, x+w, y+h)
+		}
+		grid, err := cascade.NewGrid(domain, 32, 32)
+		if err != nil {
+			return nil, err
+		}
+		indexes := []cascade.Index{cascade.NewNaive(), grid, cascade.NewTree()}
+		var naiveStab time.Duration
+		for _, idx := range indexes {
+			for i, r := range rects {
+				idx.Insert(cascade.QueryID(i), r)
+			}
+			var out []cascade.QueryID
+			start := time.Now()
+			for _, p := range probePts {
+				out = idx.Stab(p, out[:0])
+			}
+			stab := time.Since(start)
+			start = time.Now()
+			for _, r := range probeRects {
+				out = idx.Probe(r, out[:0])
+			}
+			probe := time.Since(start)
+			if idx.Name() == "naive" {
+				naiveStab = stab
+			}
+			speed := float64(naiveStab) / float64(maxI64(int64(stab), 1))
+			t.AddRow(fmtI(int64(n)), idx.Name(),
+				fmt.Sprintf("%.0f ns/pt", float64(stab.Nanoseconds())/float64(len(probePts))),
+				fmt.Sprintf("%.0f ns/rect", float64(probe.Nanoseconds())/float64(len(probeRects))),
+				fmtF(speed)+"x")
+		}
+	}
+	return t, nil
+}
+
+// E9Aggregate measures the spatio-temporal aggregate extension (§6 / ref
+// [27]): per-sector output, space ∝ window × frame.
+func E9Aggregate(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "spatio-temporal aggregates over raster streams (§6, ref [27])",
+		Claim: "the window aggregate integrates as a stream operator with space ∝ window × frame",
+		Columns: []string{"aggregate", "window", "peak buffer (pts)", "buffer/frame",
+			"per-point cost"},
+	}
+	c2 := cfg
+	if c2.Sectors < 8 {
+		c2.Sectors = 8
+	}
+	info, chunks, err := preRender(c2, stream.RowByRow, "vis")
+	if err != nil {
+		return nil, err
+	}
+	points := totalPoints(chunks)
+	for _, w := range []int{2, 4, 8} {
+		_, elapsed, st, err := runOp(&core.TemporalAggregate{Fn: core.AggMean, Window: w}, info, chunks)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("mean over time", fmtI(int64(w)), fmtI(st.PeakBufferedPoints()),
+			fmtF(float64(st.PeakBufferedPoints())/float64(c2.Frame())),
+			nsPerPoint(points, elapsed))
+	}
+	// Regional time series: O(1) state.
+	region := geom.NewRectRegion(geom.R(-121.5, 36.5, -120.5, 37.5))
+	_, elapsed, st, err := runOp(core.RegionalAggregate{Fn: core.AggMean, Region: region}, info, chunks)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("regional mean series", "per-sector", fmtI(st.PeakBufferedPoints()),
+		fmtF(0), nsPerPoint(points, elapsed))
+	return t, nil
+}

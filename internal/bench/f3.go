@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"image/png"
+	"net/http/httptest"
+	"time"
+
+	"geostreams/internal/dsms"
+	"geostreams/internal/stream"
+)
+
+// F3EndToEnd drives the complete Fig. 3 architecture over real HTTP:
+// instrument simulation → stream generator → registration/parsing →
+// optimization → shared cascade-tree restriction → execution → PNG
+// delivery → client decode. It reports end-to-end frame latency and
+// throughput for a mix of continuous queries.
+func F3EndToEnd(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "F3",
+		Title: "end-to-end DSMS over HTTP (architecture of Fig. 3)",
+		Claim: "the full generator→parser→optimizer→execution→PNG-delivery loop runs continuously for concurrent queries",
+		Columns: []string{"query", "frames", "bytes PNG", "avg frame latency",
+			"total"},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := dsms.NewServer(ctx)
+	im, err := newImager(cfg, stream.RowByRow, []string{"nir", "vis"})
+	if err != nil {
+		return nil, err
+	}
+	streams, err := im.Streams(srv.Group())
+	if err != nil {
+		return nil, err
+	}
+	for _, band := range []string{"nir", "vis"} {
+		if err := srv.AddSource(streams[band]); err != nil {
+			return nil, err
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close() //nolint:errcheck
+	client := dsms.NewClient(ts.URL)
+
+	queries := []struct {
+		label, q, cm string
+	}{
+		{"vis ROI", "rselect(vis, rect(-121.7, 36.3, -120.3, 37.7))", "gray"},
+		{"NDVI stretched", "stretch(ndvi(nir, vis), linear, 0, 255)", "ndvi"},
+		{"IR-style threshold", "threshold(vis, 600, 0, 1)", "thermal"},
+	}
+	regs := make([]dsms.QueryInfo, len(queries))
+	for i, q := range queries {
+		qi, err := client.Register(q.q, q.cm)
+		if err != nil {
+			return nil, fmt.Errorf("register %q: %w", q.label, err)
+		}
+		regs[i] = qi
+	}
+	srv.Start()
+
+	for i, q := range queries {
+		frames, bytesTotal := 0, 0
+		var latSum time.Duration
+		start := time.Now()
+		last := start
+		for {
+			f, ok, err := client.NextFrame(int64(regs[i].ID), 10*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			now := time.Now()
+			latSum += now.Sub(last)
+			last = now
+			frames++
+			bytesTotal += len(f.PNG)
+			if _, err := png.Decode(bytes.NewReader(f.PNG)); err != nil {
+				return nil, fmt.Errorf("%s: bad PNG: %w", q.label, err)
+			}
+		}
+		total := time.Since(start)
+		if frames == 0 {
+			return nil, fmt.Errorf("%s: no frames delivered", q.label)
+		}
+		t.AddRow(q.label, fmtI(int64(frames)), fmtI(int64(bytesTotal)),
+			fmtDur(latSum/time.Duration(frames)), fmtDur(total))
+	}
+	return t, nil
+}

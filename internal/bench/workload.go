@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+// benchRegion is the geographic window every workload scans.
+var benchRegion = geom.R(-122, 36, -120, 38)
+
+// newImager builds the standard two-band workload generator.
+func newImager(cfg Config, org stream.Organization, bands []string) (*sat.Imager, error) {
+	scene := sat.DefaultScene(20060327) // EDBT'06 in Munich
+	return sat.NewLatLonImager(benchRegion, cfg.W, cfg.H, scene, bands, org, cfg.Sectors)
+}
+
+// preRender materializes a band's chunks up front so measurements exclude
+// the synthetic-field sampling cost.
+func preRender(cfg Config, org stream.Organization, band string) (stream.Info, []*stream.Chunk, error) {
+	im, err := newImager(cfg, org, []string{band})
+	if err != nil {
+		return stream.Info{}, nil, err
+	}
+	g := stream.NewGroup(context.Background())
+	streams, err := im.Streams(g)
+	if err != nil {
+		return stream.Info{}, nil, err
+	}
+	chunks, err := stream.Collect(context.Background(), streams[band])
+	if err != nil {
+		return stream.Info{}, nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return stream.Info{}, nil, err
+	}
+	return im.Info(im.Bands[0]), chunks, nil
+}
+
+// preRenderPair materializes two bands with a chosen stamping policy.
+func preRenderPair(cfg Config, org stream.Organization, stamp stream.StampPolicy) (a, b stream.Info, ac, bc []*stream.Chunk, err error) {
+	im, err := newImager(cfg, org, []string{"nir", "vis"})
+	if err != nil {
+		return a, b, nil, nil, err
+	}
+	im.Stamp = stamp
+	if ac, err = replayBand(cfg, org, stamp, "nir"); err != nil {
+		return a, b, nil, nil, err
+	}
+	if bc, err = replayBand(cfg, org, stamp, "vis"); err != nil {
+		return a, b, nil, nil, err
+	}
+	return im.Info(im.Bands[0]), im.Info(im.Bands[1]), ac, bc, nil
+}
+
+// replayBand renders a single band's chunk sequence deterministically.
+func replayBand(cfg Config, org stream.Organization, stamp stream.StampPolicy, band string) ([]*stream.Chunk, error) {
+	im, err := newImager(cfg, org, []string{"nir", "vis"})
+	if err != nil {
+		return nil, err
+	}
+	im.Stamp = stamp
+	g := stream.NewGroup(context.Background())
+	streams, err := im.Streams(g)
+	if err != nil {
+		return nil, err
+	}
+	other := "vis"
+	if band == "vis" {
+		other = "nir"
+	}
+	go stream.Drain(context.Background(), streams[other]) //nolint:errcheck
+	chunks, err := stream.Collect(context.Background(), streams[band])
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return chunks, nil
+}
+
+// runOp replays chunks through a unary operator and reports the drained
+// totals, elapsed wall time, and the operator's stats.
+func runOp(op stream.Operator, info stream.Info, chunks []*stream.Chunk) (points int64, elapsed time.Duration, st *stream.Stats, err error) {
+	g := stream.NewGroup(context.Background())
+	src := stream.FromChunks(g, info, chunks)
+	out, st, err := stream.Apply(g, op, src)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	start := time.Now()
+	_, points, err = stream.Drain(context.Background(), out)
+	elapsed = time.Since(start)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return 0, 0, nil, err
+	}
+	return points, elapsed, st, nil
+}
+
+// runOp2 replays two chunk streams through a binary operator.
+func runOp2(op stream.BinaryOperator, ai, bi stream.Info, ac, bc []*stream.Chunk) (points int64, elapsed time.Duration, st *stream.Stats, err error) {
+	g := stream.NewGroup(context.Background())
+	as := stream.FromChunks(g, ai, ac)
+	bs := stream.FromChunks(g, bi, bc)
+	out, st, err := stream.Apply2(g, op, as, bs)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	start := time.Now()
+	_, points, err = stream.Drain(context.Background(), out)
+	elapsed = time.Since(start)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return 0, 0, nil, err
+	}
+	return points, elapsed, st, nil
+}
+
+// totalPoints sums data points across chunks.
+func totalPoints(chunks []*stream.Chunk) int64 {
+	var n int64
+	for _, c := range chunks {
+		n += int64(c.NumPoints())
+	}
+	return n
+}
+
+// nsPerPoint formats per-point cost.
+func nsPerPoint(points int64, d time.Duration) string {
+	if points == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f ns/pt", float64(d.Nanoseconds())/float64(points))
+}

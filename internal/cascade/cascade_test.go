@@ -1,0 +1,245 @@
+package cascade
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geostreams/internal/geom"
+)
+
+func sortedIDs(ids []QueryID) []QueryID {
+	out := append([]QueryID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []QueryID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a, b = sortedIDs(a), sortedIDs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func makeIndexes(t *testing.T) []Index {
+	t.Helper()
+	g, err := NewGrid(geom.R(0, 0, 100, 100), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Index{NewNaive(), g, NewTree()}
+}
+
+func TestIndexBasics(t *testing.T) {
+	for _, idx := range makeIndexes(t) {
+		idx.Insert(1, geom.R(10, 10, 20, 20))
+		idx.Insert(2, geom.R(15, 15, 30, 30))
+		idx.Insert(3, geom.R(50, 50, 60, 60))
+		if idx.Len() != 3 {
+			t.Fatalf("%s: Len = %d", idx.Name(), idx.Len())
+		}
+		if got := idx.Stab(geom.V2(17, 17), nil); !equalIDs(got, []QueryID{1, 2}) {
+			t.Fatalf("%s: Stab = %v", idx.Name(), got)
+		}
+		if got := idx.Stab(geom.V2(55, 55), nil); !equalIDs(got, []QueryID{3}) {
+			t.Fatalf("%s: Stab = %v", idx.Name(), got)
+		}
+		if got := idx.Stab(geom.V2(90, 90), nil); len(got) != 0 {
+			t.Fatalf("%s: empty Stab = %v", idx.Name(), got)
+		}
+		if got := idx.Probe(geom.R(18, 18, 55, 55), nil); !equalIDs(got, []QueryID{1, 2, 3}) {
+			t.Fatalf("%s: Probe = %v", idx.Name(), got)
+		}
+		idx.Remove(2)
+		if idx.Len() != 2 {
+			t.Fatalf("%s: Len after remove = %d", idx.Name(), idx.Len())
+		}
+		if got := idx.Stab(geom.V2(17, 17), nil); !equalIDs(got, []QueryID{1}) {
+			t.Fatalf("%s: Stab after remove = %v", idx.Name(), got)
+		}
+		// Removing an unknown id is a no-op.
+		idx.Remove(999)
+		if idx.Len() != 2 {
+			t.Fatalf("%s: remove unknown changed Len", idx.Name())
+		}
+	}
+}
+
+func TestIndexReinsertReplaces(t *testing.T) {
+	for _, idx := range makeIndexes(t) {
+		idx.Insert(7, geom.R(0, 0, 10, 10))
+		idx.Insert(7, geom.R(40, 40, 50, 50))
+		if idx.Len() != 1 {
+			t.Fatalf("%s: re-insert duplicated: Len=%d", idx.Name(), idx.Len())
+		}
+		if got := idx.Stab(geom.V2(5, 5), nil); len(got) != 0 {
+			t.Fatalf("%s: old region still live", idx.Name())
+		}
+		if got := idx.Stab(geom.V2(45, 45), nil); !equalIDs(got, []QueryID{7}) {
+			t.Fatalf("%s: new region missing", idx.Name())
+		}
+	}
+}
+
+// Property: grid and tree always agree with the naive index under random
+// workloads of inserts, removes, stabs, and probes.
+func TestIndexAgreementRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	naive := NewNaive()
+	grid, err := NewGrid(geom.R(0, 0, 100, 100), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewTree()
+	others := []Index{grid, tree}
+
+	live := map[QueryID]bool{}
+	nextID := QueryID(1)
+	randRect := func() geom.Rect {
+		x, y := rng.Float64()*95, rng.Float64()*95
+		return geom.R(x, y, x+rng.Float64()*20, y+rng.Float64()*20)
+	}
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			id := nextID
+			nextID++
+			r := randRect()
+			naive.Insert(id, r)
+			for _, o := range others {
+				o.Insert(id, r)
+			}
+			live[id] = true
+		case op < 6 && len(live) > 0: // remove
+			var id QueryID
+			for k := range live {
+				id = k
+				break
+			}
+			delete(live, id)
+			naive.Remove(id)
+			for _, o := range others {
+				o.Remove(id)
+			}
+		case op < 9: // stab
+			p := geom.V2(rng.Float64()*110-5, rng.Float64()*110-5)
+			want := naive.Stab(p, nil)
+			for _, o := range others {
+				if got := o.Stab(p, nil); !equalIDs(got, want) {
+					t.Fatalf("step %d: %s.Stab(%v) = %v, want %v", step, o.Name(), p, got, want)
+				}
+			}
+		default: // probe
+			q := randRect()
+			want := naive.Probe(q, nil)
+			for _, o := range others {
+				if got := o.Probe(q, nil); !equalIDs(got, want) {
+					t.Fatalf("step %d: %s.Probe(%v) = %v, want %v", step, o.Name(), q, got, want)
+				}
+			}
+		}
+	}
+	for _, o := range others {
+		if o.Len() != naive.Len() {
+			t.Fatalf("%s: Len = %d, want %d", o.Name(), o.Len(), naive.Len())
+		}
+	}
+}
+
+func TestTreeSplitsUnderLoad(t *testing.T) {
+	tree := NewTree()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tree.Insert(QueryID(i), geom.R(x, y, x+5, y+5))
+	}
+	if d := tree.Depth(); d < 4 {
+		t.Fatalf("tree depth %d: did not split under load", d)
+	}
+	if tree.Len() != 2000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	// Stab must still be exact: rebuild the same workload into a naive
+	// index (same seed) and compare.
+	p := geom.V2(500, 500)
+	got := tree.Stab(p, nil)
+	naive := NewNaive()
+	rng = rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		naive.Insert(QueryID(i), geom.R(x, y, x+5, y+5))
+	}
+	if !equalIDs(got, naive.Stab(p, nil)) {
+		t.Fatal("tree stab disagrees with naive after splits")
+	}
+}
+
+func TestTreeRebuildAfterChurn(t *testing.T) {
+	tree := NewTree()
+	// Insert then remove many regions; the survivor set must stay exact.
+	for i := 0; i < 500; i++ {
+		x := float64(i % 50)
+		tree.Insert(QueryID(i), geom.R(x, x, x+2, x+2))
+	}
+	for i := 0; i < 500; i += 2 {
+		tree.Remove(QueryID(i))
+	}
+	if tree.Len() != 250 {
+		t.Fatalf("Len after churn = %d", tree.Len())
+	}
+	got := tree.Stab(geom.V2(11, 11), nil)
+	// Regions with x in [9, 11] and odd survive: ids where i%50 in {9,10,11} and odd.
+	var want []QueryID
+	for i := 1; i < 500; i += 2 {
+		x := float64(i % 50)
+		if geom.R(x, x, x+2, x+2).Contains(geom.V2(11, 11)) {
+			want = append(want, QueryID(i))
+		}
+	}
+	if !equalIDs(got, want) {
+		t.Fatalf("Stab after churn = %v, want %v", got, want)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(geom.EmptyRect(), 4, 4); err == nil {
+		t.Fatal("empty domain must be rejected")
+	}
+	if _, err := NewGrid(geom.R(0, 0, 1, 1), 0, 4); err == nil {
+		t.Fatal("zero cells must be rejected")
+	}
+}
+
+func TestGridOutsideDomainRegions(t *testing.T) {
+	g, err := NewGrid(geom.R(0, 0, 10, 10), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, geom.R(50, 50, 60, 60)) // fully outside domain
+	if got := g.Stab(geom.V2(55, 55), nil); !equalIDs(got, []QueryID{1}) {
+		t.Fatalf("outside-domain region lost: %v", got)
+	}
+	g.Remove(1)
+	if got := g.Stab(geom.V2(55, 55), nil); len(got) != 0 {
+		t.Fatal("outside-domain region not removed")
+	}
+}
+
+func TestIdenticalRegionsNoInfiniteSplit(t *testing.T) {
+	// Many identical regions cannot be separated by any split; the tree
+	// must not recurse forever.
+	tree := NewTree()
+	for i := 0; i < 100; i++ {
+		tree.Insert(QueryID(i), geom.R(5, 5, 6, 6))
+	}
+	got := tree.Stab(geom.V2(5.5, 5.5), nil)
+	if len(got) != 100 {
+		t.Fatalf("Stab = %d ids, want 100", len(got))
+	}
+}

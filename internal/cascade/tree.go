@@ -1,0 +1,266 @@
+package cascade
+
+import (
+	"sort"
+
+	"geostreams/internal/geom"
+)
+
+// Tree is the dynamic cascade tree of Hart/Gertz/Zhang (SSTD'05, the
+// paper's reference [10]): a binary space partition over the registered
+// query regions in which every region is stored at the single deepest node
+// whose cell fully contains it. A stab query then only examines the
+// regions stored along one root-to-leaf path — the "cascade" — so its cost
+// is O(depth + answers) instead of O(queries).
+//
+// Dynamics: insertion descends to the owning node, splitting leaves whose
+// resident count exceeds a threshold; removal uses an id→node map. The
+// tree rebuilds itself (re-splitting at the medians of current region
+// centers) when the number of mutations since the last build exceeds the
+// current size, keeping the partition balanced under churn.
+type Tree struct {
+	root      *treeNode
+	byID      map[QueryID]*treeNode
+	mutations int
+	// LeafCapacity is the resident count that triggers a leaf split
+	// (default 8).
+	LeafCapacity int
+	// MaxDepth bounds splitting (default 24).
+	MaxDepth int
+}
+
+type treeNode struct {
+	// splitX: vertical split line at splitVal (children partition x);
+	// otherwise horizontal (children partition y). Leaves have no
+	// children.
+	splitX   bool
+	splitVal float64
+	lo, hi   *treeNode
+	parent   *treeNode
+	depth    int
+	// resident regions: either spanning the split line, or stored in a
+	// leaf.
+	resident []entry
+}
+
+// NewTree returns an empty dynamic cascade tree.
+func NewTree() *Tree {
+	return &Tree{
+		root:         &treeNode{},
+		byID:         make(map[QueryID]*treeNode),
+		LeafCapacity: 8,
+		MaxDepth:     24,
+	}
+}
+
+func (t *Tree) Name() string { return "cascade-tree" }
+func (t *Tree) Len() int     { return len(t.byID) }
+
+// Insert registers a region, splitting and rebuilding as needed.
+func (t *Tree) Insert(id QueryID, r geom.Rect) {
+	if _, exists := t.byID[id]; exists {
+		t.Remove(id)
+	}
+	t.insertAt(t.root, entry{id, r})
+	t.mutations++
+	t.maybeRebuild()
+}
+
+// insertAt descends from n to the deepest node whose cell contains the
+// region (i.e. until the region spans a split line or a leaf is reached).
+func (t *Tree) insertAt(n *treeNode, e entry) {
+	for {
+		if n.lo == nil { // leaf
+			n.resident = append(n.resident, e)
+			t.byID[e.id] = n
+			t.maybeSplit(n)
+			return
+		}
+		if n.splitX {
+			switch {
+			case e.r.MaxX <= n.splitVal:
+				n = n.lo
+			case e.r.MinX >= n.splitVal:
+				n = n.hi
+			default: // spans the split line: lives here
+				n.resident = append(n.resident, e)
+				t.byID[e.id] = n
+				return
+			}
+		} else {
+			switch {
+			case e.r.MaxY <= n.splitVal:
+				n = n.lo
+			case e.r.MinY >= n.splitVal:
+				n = n.hi
+			default:
+				n.resident = append(n.resident, e)
+				t.byID[e.id] = n
+				return
+			}
+		}
+	}
+}
+
+// maybeSplit turns an over-full leaf into an internal node split at the
+// median of its residents' centers.
+func (t *Tree) maybeSplit(n *treeNode) {
+	if len(n.resident) <= t.LeafCapacity || n.depth >= t.MaxDepth {
+		return
+	}
+	splitX := n.depth%2 == 0
+	centers := make([]float64, len(n.resident))
+	for i, e := range n.resident {
+		c := e.r.Center()
+		if splitX {
+			centers[i] = c.X
+		} else {
+			centers[i] = c.Y
+		}
+	}
+	sort.Float64s(centers)
+	median := centers[len(centers)/2]
+	// Degenerate median (all centers equal) cannot split usefully.
+	if centers[0] == centers[len(centers)-1] {
+		return
+	}
+	n.splitX = splitX
+	n.splitVal = median
+	n.lo = &treeNode{parent: n, depth: n.depth + 1}
+	n.hi = &treeNode{parent: n, depth: n.depth + 1}
+	old := n.resident
+	n.resident = nil
+	for _, e := range old {
+		delete(t.byID, e.id)
+		t.insertAt(n, e)
+	}
+}
+
+// Remove deregisters a region.
+func (t *Tree) Remove(id QueryID) {
+	n, exists := t.byID[id]
+	if !exists {
+		return
+	}
+	delete(t.byID, id)
+	for i := range n.resident {
+		if n.resident[i].id == id {
+			n.resident = append(n.resident[:i], n.resident[i+1:]...)
+			break
+		}
+	}
+	t.mutations++
+	t.maybeRebuild()
+}
+
+// maybeRebuild reconstructs the partition after heavy churn.
+func (t *Tree) maybeRebuild() {
+	if t.mutations <= len(t.byID)+16 {
+		return
+	}
+	entries := make([]entry, 0, len(t.byID))
+	seen := make(map[QueryID]struct{}, len(t.byID))
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		for _, e := range n.resident {
+			if _, dup := seen[e.id]; !dup {
+				seen[e.id] = struct{}{}
+				entries = append(entries, e)
+			}
+		}
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(t.root)
+	t.root = &treeNode{}
+	t.byID = make(map[QueryID]*treeNode, len(entries))
+	t.mutations = 0
+	for _, e := range entries {
+		t.insertAt(t.root, e)
+	}
+}
+
+// Stab walks the single root-to-leaf path containing p, testing resident
+// regions at each node.
+func (t *Tree) Stab(p geom.Vec2, out []QueryID) []QueryID {
+	n := t.root
+	for n != nil {
+		for _, e := range n.resident {
+			if e.r.Contains(p) {
+				out = append(out, e.id)
+			}
+		}
+		if n.lo == nil {
+			break
+		}
+		var v float64
+		if n.splitX {
+			v = p.X
+		} else {
+			v = p.Y
+		}
+		if v < n.splitVal {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	return out
+}
+
+// Probe visits every subtree whose cell intersects q.
+func (t *Tree) Probe(q geom.Rect, out []QueryID) []QueryID {
+	if q.Empty() {
+		return out
+	}
+	var visit func(n *treeNode)
+	visit = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		for _, e := range n.resident {
+			if e.r.Intersects(q) {
+				out = append(out, e.id)
+			}
+		}
+		if n.lo == nil {
+			return
+		}
+		if n.splitX {
+			if q.MinX < n.splitVal {
+				visit(n.lo)
+			}
+			if q.MaxX >= n.splitVal {
+				visit(n.hi)
+			}
+		} else {
+			if q.MinY < n.splitVal {
+				visit(n.lo)
+			}
+			if q.MaxY >= n.splitVal {
+				visit(n.hi)
+			}
+		}
+	}
+	visit(t.root)
+	return out
+}
+
+// Depth returns the maximum depth of the tree (diagnostics).
+func (t *Tree) Depth() int {
+	var f func(n *treeNode) int
+	f = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		l, h := f(n.lo), f(n.hi)
+		if h > l {
+			l = h
+		}
+		return l + 1
+	}
+	return f(t.root)
+}

@@ -1,0 +1,123 @@
+// Package coord implements the coordinate systems the GeoStreams data
+// model attaches to the spatial component of a point lattice (§2,
+// Definition 5: "a stream G is a GeoStream if a coordinate system is
+// associated with the spatial component S").
+//
+// Everything is implemented from scratch in pure Go (the paper's prototype
+// delegated to PROJ.4): geographic lat/lon, spherical Mercator, UTM
+// (transverse Mercator on the WGS-84 ellipsoid), and the GEOS
+// geostationary-satellite projection that stands in for the GOES Variable
+// Format scan geometry.
+package coord
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"geostreams/internal/geom"
+)
+
+// CRS is a coordinate reference system. Forward maps geographic
+// coordinates — always (lon, lat) in degrees — into the CRS's planar
+// coordinates; Inverse maps back. Both may fail for points outside the
+// projection's domain (e.g. a location not visible from a geostationary
+// satellite).
+type CRS interface {
+	// Name returns the canonical identifier, parseable by Parse.
+	Name() string
+	// Forward maps (lon°, lat°) to planar (x, y).
+	Forward(lonlat geom.Vec2) (geom.Vec2, error)
+	// Inverse maps planar (x, y) back to (lon°, lat°).
+	Inverse(xy geom.Vec2) (geom.Vec2, error)
+}
+
+// ErrOutOfDomain is wrapped by projection errors for points outside the
+// projectable domain.
+var ErrOutOfDomain = fmt.Errorf("coord: point outside projection domain")
+
+// Same reports whether two CRS denote the same system.
+func Same(a, b CRS) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Name() == b.Name()
+}
+
+// Transform maps a planar point in the `from` system to the `to` system by
+// round-tripping through geographic coordinates.
+func Transform(from, to CRS, v geom.Vec2) (geom.Vec2, error) {
+	if Same(from, to) {
+		return v, nil
+	}
+	ll, err := from.Inverse(v)
+	if err != nil {
+		return geom.Vec2{}, fmt.Errorf("transform %s->%s inverse: %w", from.Name(), to.Name(), err)
+	}
+	out, err := to.Forward(ll)
+	if err != nil {
+		return geom.Vec2{}, fmt.Errorf("transform %s->%s forward: %w", from.Name(), to.Name(), err)
+	}
+	return out, nil
+}
+
+// Parse resolves a CRS identifier from the query language:
+//
+//	latlon            geographic WGS-84 degrees
+//	mercator          spherical web Mercator (meters)
+//	utm:<zone>        UTM north, zone 1..60 (meters)
+//	utm:<zone>s       UTM south
+//	geos:<lon>        geostationary view from sub-satellite longitude <lon>
+func Parse(name string) (CRS, error) {
+	name = strings.TrimSpace(strings.ToLower(name))
+	switch {
+	case name == "latlon" || name == "lonlat" || name == "wgs84":
+		return LatLon{}, nil
+	case name == "mercator":
+		return Mercator{}, nil
+	case strings.HasPrefix(name, "utm:"):
+		arg := strings.TrimPrefix(name, "utm:")
+		south := false
+		if strings.HasSuffix(arg, "s") {
+			south = true
+			arg = strings.TrimSuffix(arg, "s")
+		} else {
+			arg = strings.TrimSuffix(arg, "n")
+		}
+		zone, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("coord: bad UTM zone %q: %v", arg, err)
+		}
+		return NewUTM(zone, south)
+	case strings.HasPrefix(name, "geos:"):
+		lon, err := strconv.ParseFloat(strings.TrimPrefix(name, "geos:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("coord: bad GEOS sub-satellite longitude %q: %v", name, err)
+		}
+		return NewGEOS(lon), nil
+	}
+	return nil, fmt.Errorf("coord: unknown CRS %q", name)
+}
+
+// MustParse is Parse that panics on error; for tests and package literals.
+func MustParse(name string) CRS {
+	c, err := Parse(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+const (
+	deg2rad = math.Pi / 180
+	rad2deg = 180 / math.Pi
+)
+
+// WGS-84 ellipsoid and derived constants used by UTM and GEOS.
+const (
+	wgs84A  = 6378137.0         // semi-major axis (m)
+	wgs84F  = 1 / 298.257223563 // flattening
+	wgs84B  = wgs84A * (1 - wgs84F)
+	wgs84E2 = wgs84F * (2 - wgs84F) // first eccentricity squared
+)

@@ -1,0 +1,36 @@
+package coord
+
+import (
+	"fmt"
+
+	"geostreams/internal/geom"
+)
+
+// LatLon is the geographic coordinate system: planar coordinates are
+// simply (longitude°, latitude°). It is the common interchange system in
+// the prototype (§4: the DSMS converts GOES Variable Format point sets
+// "into point lattices based on latitude/longitude").
+type LatLon struct{}
+
+func (LatLon) Name() string { return "latlon" }
+
+func (LatLon) Forward(lonlat geom.Vec2) (geom.Vec2, error) {
+	if err := checkLonLat(lonlat); err != nil {
+		return geom.Vec2{}, err
+	}
+	return lonlat, nil
+}
+
+func (LatLon) Inverse(xy geom.Vec2) (geom.Vec2, error) {
+	if err := checkLonLat(xy); err != nil {
+		return geom.Vec2{}, err
+	}
+	return xy, nil
+}
+
+func checkLonLat(v geom.Vec2) error {
+	if v.X < -180.000001 || v.X > 180.000001 || v.Y < -90.000001 || v.Y > 90.000001 {
+		return fmt.Errorf("%w: lon/lat (%g, %g)", ErrOutOfDomain, v.X, v.Y)
+	}
+	return nil
+}

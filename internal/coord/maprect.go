@@ -1,0 +1,98 @@
+package coord
+
+import (
+	"fmt"
+
+	"geostreams/internal/geom"
+)
+
+// MapRect conservatively maps a rectangle from one CRS to another by
+// sampling points along its boundary and interior, transforming each, and
+// taking the bounding box of the successes. The result is then expanded by
+// a small safety margin so that lattice points just inside the original
+// rectangle cannot fall outside the mapped one.
+//
+// This is the geometric engine behind the §3.4 rewrite: to push a spatial
+// restriction (stated in the query's CRS, e.g. UTM) below a re-projection,
+// "R needs to be mapped to the coordinate system C" of the source stream.
+// A sampled bounding box is conservative, never exact — the restriction
+// operator above the transform still applies the precise region.
+//
+// samplesPerEdge controls the boundary sampling density; 16 is plenty for
+// the smooth projections in this package. An error is returned only when
+// no sample point is transformable (the rectangle is entirely outside the
+// target domain).
+func MapRect(from, to CRS, r geom.Rect, samplesPerEdge int) (geom.Rect, error) {
+	if Same(from, to) {
+		return r, nil
+	}
+	if r.Empty() {
+		return geom.EmptyRect(), nil
+	}
+	if samplesPerEdge < 2 {
+		samplesPerEdge = 2
+	}
+	out := geom.EmptyRect()
+	okCount := 0
+	n := samplesPerEdge
+	sample := func(v geom.Vec2) {
+		m, err := Transform(from, to, v)
+		if err != nil {
+			return
+		}
+		okCount++
+		out = out.Union(geom.Rect{MinX: m.X, MinY: m.Y, MaxX: m.X, MaxY: m.Y})
+	}
+	// Boundary and a sparse interior grid: interior extrema matter for
+	// projections whose distortion peaks away from edges (e.g. a rect
+	// straddling a UTM central meridian).
+	for i := 0; i <= n; i++ {
+		fi := float64(i) / float64(n)
+		for j := 0; j <= n; j++ {
+			fj := float64(j) / float64(n)
+			onBoundary := i == 0 || i == n || j == 0 || j == n
+			interior := i%4 == 0 && j%4 == 0
+			if !onBoundary && !interior {
+				continue
+			}
+			sample(geom.Vec2{
+				X: r.MinX + fi*(r.MaxX-r.MinX),
+				Y: r.MinY + fj*(r.MaxY-r.MinY),
+			})
+		}
+	}
+	if okCount == 0 {
+		return geom.EmptyRect(), fmt.Errorf("coord: rect %v unmappable from %s to %s: %w",
+			r, from.Name(), to.Name(), ErrOutOfDomain)
+	}
+	// Safety margin: half the largest sampling step observed in target
+	// units, plus a relative epsilon.
+	margin := 0.02*(out.Width()+out.Height())/2 + 1e-9
+	return out.Expand(margin), nil
+}
+
+// MapRegion wraps a region defined in CRS `to` as a region testable in CRS
+// `from`: membership transforms the probe point forward and tests the
+// original region. Its bounds are the inverse-mapped bounding box. This is
+// how a pushed-down restriction keeps exact semantics while living below a
+// re-projection.
+func MapRegion(from, to CRS, region geom.Region) (geom.Region, error) {
+	if Same(from, to) {
+		return region, nil
+	}
+	box, err := MapRect(to, from, region.Bounds(), 16)
+	if err != nil {
+		return nil, err
+	}
+	return geom.FuncRegion{
+		Fn: func(v geom.Vec2) bool {
+			m, err := Transform(from, to, v)
+			if err != nil {
+				return false
+			}
+			return region.Contains(m)
+		},
+		Box: box,
+		Tag: fmt.Sprintf("mapped(%s->%s, %s)", to.Name(), from.Name(), region.String()),
+	}, nil
+}

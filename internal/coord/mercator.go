@@ -1,0 +1,45 @@
+package coord
+
+import (
+	"fmt"
+	"math"
+
+	"geostreams/internal/geom"
+)
+
+// Mercator is the spherical ("web") Mercator projection on a sphere of
+// radius wgs84A, in meters. Latitudes beyond ±85.06° (the square web
+// Mercator cutoff) are out of domain.
+type Mercator struct{}
+
+// mercMaxLat is the latitude where |y| = π·R (the web-Mercator square).
+var mercMaxLat = (2*math.Atan(math.Exp(math.Pi)) - math.Pi/2) * rad2deg
+
+func (Mercator) Name() string { return "mercator" }
+
+func (Mercator) Forward(lonlat geom.Vec2) (geom.Vec2, error) {
+	if err := checkLonLat(lonlat); err != nil {
+		return geom.Vec2{}, err
+	}
+	if math.Abs(lonlat.Y) > mercMaxLat {
+		return geom.Vec2{}, fmt.Errorf("%w: latitude %g beyond Mercator cutoff %.4f",
+			ErrOutOfDomain, lonlat.Y, mercMaxLat)
+	}
+	lam := lonlat.X * deg2rad
+	phi := lonlat.Y * deg2rad
+	return geom.Vec2{
+		X: wgs84A * lam,
+		Y: wgs84A * math.Log(math.Tan(math.Pi/4+phi/2)),
+	}, nil
+}
+
+func (Mercator) Inverse(xy geom.Vec2) (geom.Vec2, error) {
+	lim := wgs84A * math.Pi
+	if math.Abs(xy.X) > lim*1.000001 || math.Abs(xy.Y) > lim*1.000001 {
+		return geom.Vec2{}, fmt.Errorf("%w: mercator (%g, %g)", ErrOutOfDomain, xy.X, xy.Y)
+	}
+	return geom.Vec2{
+		X: xy.X / wgs84A * rad2deg,
+		Y: (2*math.Atan(math.Exp(xy.Y/wgs84A)) - math.Pi/2) * rad2deg,
+	}, nil
+}

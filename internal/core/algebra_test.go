@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// Algebraic laws of stream composition, verified at the stream level (not
+// just on scalar values): for commutative γ, G1 γ G2 and G2 γ G1 produce
+// identical streams; sup/inf are idempotent (G γ G = G); composition with
+// a zero stream is the identity for +.
+
+// randomField builds a deterministic pseudo-random field function.
+func randomField(seed int64) func(c, r int) float64 {
+	return func(c, r int) float64 {
+		h := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(c)*0xd6e8feb86659fd93 ^ uint64(r)*0xa2f9836e4e441529
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		return float64(h%2048) / 2
+	}
+}
+
+func composeStreams(t *testing.T, gamma valueset.Gamma, aF, bF func(c, r int) float64, seed int64) map[[2]int]float64 {
+	t.Helper()
+	lat := sectorLattice(t, 16, 12)
+	a := rowChunks(t, lat, 1, aF)
+	b := rowChunks(t, lat, 1, bF)
+	got, _ := runBinary(t, Compose{Gamma: gamma}, rowInfo("a", lat), rowInfo("b", lat), a, b)
+	out := map[[2]int]float64{}
+	for _, c := range got {
+		if c.Kind != stream.KindGrid {
+			continue
+		}
+		g := c.Grid
+		_, row, ok := lat.Index(g.Lat.Coord(0, 0))
+		if !ok {
+			t.Fatalf("output row off lattice")
+		}
+		for col := 0; col < g.Lat.W; col++ {
+			out[[2]int{col, row}] = g.Vals[col]
+		}
+	}
+	return out
+}
+
+func TestComposeCommutativityProperty(t *testing.T) {
+	aF, bF := randomField(1), randomField(2)
+	for _, gamma := range []valueset.Gamma{valueset.Add, valueset.Mul, valueset.Sup, valueset.Inf} {
+		ab := composeStreams(t, gamma, aF, bF, 1)
+		ba := composeStreams(t, gamma, bF, aF, 2)
+		if len(ab) == 0 || len(ab) != len(ba) {
+			t.Fatalf("%v: sizes %d vs %d", gamma, len(ab), len(ba))
+		}
+		for k, v := range ab {
+			if ov := ba[k]; !almostEq(v, ov, 1e-12) {
+				t.Fatalf("%v not commutative at %v: %g vs %g", gamma, k, v, ov)
+			}
+		}
+	}
+}
+
+func TestComposeIdempotenceOfLattice(t *testing.T) {
+	f := randomField(3)
+	for _, gamma := range []valueset.Gamma{valueset.Sup, valueset.Inf} {
+		gg := composeStreams(t, gamma, f, f, 3)
+		for k, v := range gg {
+			if want := f(k[0], k[1]); !almostEq(v, want, 1e-12) {
+				t.Fatalf("%v not idempotent at %v: %g vs %g", gamma, k, v, want)
+			}
+		}
+	}
+}
+
+func TestComposeAdditiveIdentity(t *testing.T) {
+	f := randomField(4)
+	zero := func(c, r int) float64 { return 0 }
+	sum := composeStreams(t, valueset.Add, f, zero, 4)
+	for k, v := range sum {
+		if want := f(k[0], k[1]); !almostEq(v, want, 1e-12) {
+			t.Fatalf("G + 0 != G at %v: %g vs %g", k, v, want)
+		}
+	}
+}
+
+// Stretch determinism: the same frame stretched twice gives bit-identical
+// output (the operator holds no cross-frame state).
+func TestStretchDeterminism(t *testing.T) {
+	lat := sectorLattice(t, 20, 10)
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, lat.NumPoints())
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	fn := func(c, r int) float64 { return vals[r*lat.W+c] }
+	run := func() []float64 {
+		got, _ := runUnary(t,
+			Stretch{Kind: StretchEqualize, OutMin: 0, OutMax: 255},
+			rowInfo("vis", lat), rowChunks(t, lat, 1, fn))
+		var out []float64
+		for _, c := range got {
+			if c.Kind == stream.KindGrid {
+				out = append(out, c.Grid.Vals...)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stretch nondeterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// Restriction distributes over composition (the §3.4 push-down law, at
+// the operator level): (G1 γ G2)|R == (G1|R) γ (G2|R).
+func TestRestrictionDistributesOverComposition(t *testing.T) {
+	lat := sectorLattice(t, 16, 12)
+	aF, bF := randomField(5), randomField(6)
+	roi := lat.Bounds()
+	roi.MinX += 0.03
+	roi.MaxY -= 0.02
+
+	// Left side: compose then restrict.
+	//
+	composed, _ := runBinary(t, Compose{Gamma: valueset.Mul},
+		rowInfo("a", lat), rowInfo("b", lat),
+		rowChunks(t, lat, 1, aF), rowChunks(t, lat, 1, bF))
+	left, _ := runUnary(t, SpatialRestrict{Region: geom.NewRectRegion(roi)}, rowInfo("ab", lat), composed)
+
+	// Right side: restrict both then compose.
+	ra, _ := runUnary(t, SpatialRestrict{Region: geom.NewRectRegion(roi)}, rowInfo("a", lat),
+		rowChunks(t, lat, 1, aF))
+	rb, _ := runUnary(t, SpatialRestrict{Region: geom.NewRectRegion(roi)}, rowInfo("b", lat),
+		rowChunks(t, lat, 1, bF))
+	right, _ := runBinary(t, Compose{Gamma: valueset.Mul},
+		rowInfo("a", lat), rowInfo("b", lat), ra, rb)
+
+	lp, rp := dataPoints(left), dataPoints(right)
+	if len(lp) == 0 || len(lp) != len(rp) {
+		t.Fatalf("cardinality %d vs %d", len(lp), len(rp))
+	}
+	for p, v := range lp {
+		ov, ok := lookupNear(rp, p, 1e-9)
+		if !ok || !almostEq(v, ov, 1e-9) {
+			t.Fatalf("distribution law broken at %v: %g vs %g (ok=%v)", p, v, ov, ok)
+		}
+	}
+}

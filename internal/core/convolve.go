@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/imagealg"
+	"geostreams/internal/stream"
+)
+
+// Convolve is the neighborhood operation the paper's query model admits
+// (§1: "perform different types of neighborhood operations ... on image
+// data"): each output point is a kernel-weighted combination of its
+// spatial neighborhood. Like zoom-out, its space cost is organization
+// dependent — a row-by-row stream buffers exactly the kernel height in
+// scan lines, never a frame.
+//
+// Rows must arrive in scan order within a sector (the guarantee every
+// instrument in internal/sat provides). Sector edges are handled by
+// clamping (replicating the outermost rows/columns), the conventional
+// remote-sensing boundary treatment.
+type Convolve struct {
+	Kernel imagealg.Kernel
+	Label  string
+}
+
+// NewBoxFilter builds an n×n mean smoothing operator.
+func NewBoxFilter(n int) (Convolve, error) {
+	k, err := imagealg.Box(n)
+	if err != nil {
+		return Convolve{}, err
+	}
+	return Convolve{Kernel: k, Label: fmt.Sprintf("box%d", n)}, nil
+}
+
+// NewGaussianFilter builds an n×n Gaussian smoothing operator.
+func NewGaussianFilter(n int, sigma float64) (Convolve, error) {
+	k, err := imagealg.GaussianKernel(n, sigma)
+	if err != nil {
+		return Convolve{}, err
+	}
+	return Convolve{Kernel: k, Label: fmt.Sprintf("gauss%d(%g)", n, sigma)}, nil
+}
+
+func (op Convolve) Name() string { return "convolve(" + op.Label + ")" }
+
+func (op Convolve) OutInfo(in stream.Info) (stream.Info, error) {
+	if op.Kernel.W == 0 || op.Kernel.H == 0 {
+		return stream.Info{}, fmt.Errorf("convolve needs a kernel")
+	}
+	if in.Org == stream.PointByPoint {
+		return stream.Info{}, fmt.Errorf("convolution requires a regular lattice organization")
+	}
+	return in, nil
+}
+
+// convState is the per-sector sliding row window.
+type convState struct {
+	t    geom.Timestamp
+	rows []rowPatch // rows received, in scan order
+	// emitted counts output rows already produced.
+	emitted int
+}
+
+type rowPatch struct {
+	lat  geom.Lattice
+	vals []float64
+}
+
+func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	pad := op.Kernel.H / 2
+	var cur *convState
+
+	emit := func(s *convState, j int, bottom int) error {
+		// Output row j uses input rows [j-pad, j+pad] clamped to
+		// [0, bottom]; rows below `bottom` have not arrived (non-final)
+		// or do not exist (final flush).
+		row := s.rows[j]
+		vals := make([]float64, row.lat.W)
+		for x := 0; x < row.lat.W; x++ {
+			var acc float64
+			bad := false
+			for ky := 0; ky < op.Kernel.H && !bad; ky++ {
+				sy := j + ky - pad
+				if sy < 0 {
+					sy = 0
+				}
+				if sy > bottom {
+					sy = bottom
+				}
+				src := s.rows[sy]
+				for kx := 0; kx < op.Kernel.W; kx++ {
+					sx := x + kx - op.Kernel.W/2
+					if sx < 0 {
+						sx = 0
+					}
+					if sx >= len(src.vals) {
+						sx = len(src.vals) - 1
+					}
+					v := src.vals[sx]
+					acc += v * op.Kernel.Weights[ky*op.Kernel.W+kx]
+					if math.IsNaN(acc) {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				vals[x] = math.NaN()
+			} else {
+				vals[x] = acc
+			}
+		}
+		o, err := stream.NewGridChunk(s.t, row.lat, vals)
+		if err != nil {
+			return err
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+		s.emitted++
+		return nil
+	}
+
+	flush := func(s *convState, final bool) error {
+		if s == nil {
+			return nil
+		}
+		bottom := len(s.rows) - 1
+		if bottom < 0 {
+			return nil
+		}
+		for j := s.emitted; j < len(s.rows); j++ {
+			if !final && j+pad > bottom {
+				break
+			}
+			if err := emit(s, j, bottom); err != nil {
+				return err
+			}
+			// Window slides: row j-pad leaves the working set.
+			if lo := j - pad; lo >= 0 {
+				st.Unbuffer(int64(len(s.rows[lo].vals)))
+			}
+		}
+		if final {
+			// Release the tail still inside the window.
+			for lo := max(0, s.emitted-pad); lo < len(s.rows); lo++ {
+				st.Unbuffer(int64(len(s.rows[lo].vals)))
+			}
+		}
+		return nil
+	}
+
+	for c := range in {
+		st.CountIn(c)
+		switch c.Kind {
+		case stream.KindGrid:
+			if cur != nil && c.T != cur.t {
+				if err := flush(cur, true); err != nil {
+					return err
+				}
+				cur = nil
+			}
+			if cur == nil {
+				cur = &convState{t: c.T}
+			}
+			g := c.Grid
+			for r := 0; r < g.Lat.H; r++ {
+				cur.rows = append(cur.rows, rowPatch{
+					lat:  g.Lat.Row(r),
+					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+				})
+				st.Buffer(int64(g.Lat.W))
+			}
+			if err := flush(cur, false); err != nil {
+				return err
+			}
+		case stream.KindEndOfSector:
+			if cur != nil && cur.t == c.T {
+				if err := flush(cur, true); err != nil {
+					return err
+				}
+				cur = nil
+			}
+			if err := stream.Send(ctx, out, c); err != nil {
+				return err
+			}
+			st.CountOut(c)
+		default:
+			return fmt.Errorf("convolve: unsupported chunk kind %s", c.Kind)
+		}
+	}
+	return flush(cur, true)
+}
+
+// Gradient computes the Sobel gradient magnitude — the shape/edge
+// detection primitive the paper cites from Image Algebra. It is a
+// convolution pair sharing one 3-row window.
+type Gradient struct{}
+
+func (Gradient) Name() string { return "gradient()" }
+
+func (Gradient) OutInfo(in stream.Info) (stream.Info, error) {
+	if in.Org == stream.PointByPoint {
+		return stream.Info{}, fmt.Errorf("gradient requires a regular lattice organization")
+	}
+	out := in
+	out.Band = in.Band + "_grad"
+	// Gradient magnitude of values in [vmin, vmax] is bounded by ~4×span.
+	span := in.VMax - in.VMin
+	out.VMin, out.VMax = 0, 4*span+1
+	return out, nil
+}
+
+func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	// Implemented as a Convolve-style 3-row window computing both Sobel
+	// responses per point.
+	sx, sy := imagealg.SobelX(), imagealg.SobelY()
+	var cur *convState
+
+	emit := func(s *convState, j int, bottom int) error {
+		row := s.rows[j]
+		vals := make([]float64, row.lat.W)
+		for x := 0; x < row.lat.W; x++ {
+			var gx, gy float64
+			bad := false
+			for ky := 0; ky < 3 && !bad; ky++ {
+				syi := j + ky - 1
+				if syi < 0 {
+					syi = 0
+				}
+				if syi > bottom {
+					syi = bottom
+				}
+				src := s.rows[syi]
+				for kx := 0; kx < 3; kx++ {
+					sxi := x + kx - 1
+					if sxi < 0 {
+						sxi = 0
+					}
+					if sxi >= len(src.vals) {
+						sxi = len(src.vals) - 1
+					}
+					v := src.vals[sxi]
+					if math.IsNaN(v) {
+						bad = true
+						break
+					}
+					gx += v * sx.Weights[ky*3+kx]
+					gy += v * sy.Weights[ky*3+kx]
+				}
+			}
+			if bad {
+				vals[x] = math.NaN()
+			} else {
+				vals[x] = math.Hypot(gx, gy)
+			}
+		}
+		o, err := stream.NewGridChunk(s.t, row.lat, vals)
+		if err != nil {
+			return err
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+		s.emitted++
+		if lo := j - 1; lo >= 0 {
+			st.Unbuffer(int64(len(s.rows[lo].vals)))
+		}
+		return nil
+	}
+
+	flush := func(s *convState, final bool) error {
+		if s == nil || len(s.rows) == 0 {
+			return nil
+		}
+		bottom := len(s.rows) - 1
+		for j := s.emitted; j < len(s.rows); j++ {
+			if !final && j+1 > bottom {
+				break
+			}
+			if err := emit(s, j, bottom); err != nil {
+				return err
+			}
+		}
+		if final {
+			for lo := max(0, s.emitted-1); lo < len(s.rows); lo++ {
+				st.Unbuffer(int64(len(s.rows[lo].vals)))
+			}
+		}
+		return nil
+	}
+
+	for c := range in {
+		st.CountIn(c)
+		switch c.Kind {
+		case stream.KindGrid:
+			if cur != nil && c.T != cur.t {
+				if err := flush(cur, true); err != nil {
+					return err
+				}
+				cur = nil
+			}
+			if cur == nil {
+				cur = &convState{t: c.T}
+			}
+			g := c.Grid
+			for r := 0; r < g.Lat.H; r++ {
+				cur.rows = append(cur.rows, rowPatch{
+					lat:  g.Lat.Row(r),
+					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+				})
+				st.Buffer(int64(g.Lat.W))
+			}
+			if err := flush(cur, false); err != nil {
+				return err
+			}
+		case stream.KindEndOfSector:
+			if cur != nil && cur.t == c.T {
+				if err := flush(cur, true); err != nil {
+					return err
+				}
+				cur = nil
+			}
+			if err := stream.Send(ctx, out, c); err != nil {
+				return err
+			}
+			st.CountOut(c)
+		default:
+			return fmt.Errorf("gradient: unsupported chunk kind %s", c.Kind)
+		}
+	}
+	return flush(cur, true)
+}

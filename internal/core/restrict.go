@@ -1,0 +1,246 @@
+// Package core implements the GeoStreams query algebra (§3 of the paper):
+// stream restrictions, stream transforms, stream compositions, and the
+// spatio-temporal aggregate extension, all as closed Stream → Stream
+// operators over the substrate in internal/stream.
+//
+// Dense grid chunks use NaN to mark points that are absent (restricted
+// away) or missing; every operator propagates NaN.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// SpatialRestrict is the operator G|R of Definition 6: it selects exactly
+// the points whose spatial location lies in the region R.
+//
+// As §3.1 claims, the operator processes data point-by-point (chunk-local,
+// no cross-chunk state), is non-blocking, and has constant cost per point;
+// its Stats record zero buffered points. Grid chunks are cropped to the
+// region's bounding box (an index-range computation, not a per-point scan)
+// and, for non-rectangular regions, interior exclusions become NaN.
+type SpatialRestrict struct {
+	Region geom.Region
+}
+
+func (op SpatialRestrict) Name() string { return "restrict_s(" + op.Region.String() + ")" }
+
+func (op SpatialRestrict) OutInfo(in stream.Info) (stream.Info, error) {
+	if op.Region == nil {
+		return stream.Info{}, fmt.Errorf("spatial restriction needs a region")
+	}
+	return in, nil
+}
+
+func (op SpatialRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	_, isRect := op.Region.(geom.RectRegion)
+	bounds := op.Region.Bounds()
+	for c := range in {
+		st.CountIn(c)
+		var o *stream.Chunk
+		switch c.Kind {
+		case stream.KindGrid:
+			o = restrictGrid(c, op.Region, bounds, isRect)
+		case stream.KindPoints:
+			o = restrictPoints(c, op.Region)
+		default: // punctuation passes through
+			o = c
+		}
+		if o == nil {
+			continue // chunk entirely outside the region
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+	}
+	return nil
+}
+
+// restrictGrid crops a grid chunk to the region. It returns nil when no
+// point survives.
+func restrictGrid(c *stream.Chunk, region geom.Region, bounds geom.Rect, isRect bool) *stream.Chunk {
+	lat := c.Grid.Lat
+	c0, r0, c1, r1, ok := lat.ClipRect(bounds)
+	if !ok {
+		return nil
+	}
+	w, h := c1-c0, r1-r0
+	sub := lat.SubGrid(c0, r0, w, h)
+	vals := make([]float64, w*h)
+	any := false
+	for row := 0; row < h; row++ {
+		srcOff := (r0+row)*lat.W + c0
+		dstOff := row * w
+		if isRect {
+			copy(vals[dstOff:dstOff+w], c.Grid.Vals[srcOff:srcOff+w])
+			any = true
+			continue
+		}
+		y := sub.Y0 + float64(row)*sub.DY
+		for col := 0; col < w; col++ {
+			if region.Contains(geom.Vec2{X: sub.X0 + float64(col)*sub.DX, Y: y}) {
+				vals[dstOff+col] = c.Grid.Vals[srcOff+col]
+				any = true
+			} else {
+				vals[dstOff+col] = math.NaN()
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	out, err := stream.NewGridChunk(c.T, sub, vals)
+	if err != nil {
+		// Unreachable: the sub-lattice is valid whenever ClipRect said ok.
+		panic(err)
+	}
+	return out
+}
+
+// restrictPoints filters a point-list chunk. It returns nil when no point
+// survives.
+func restrictPoints(c *stream.Chunk, region geom.Region) *stream.Chunk {
+	var keep []stream.PointValue
+	for _, pv := range c.Points {
+		if region.Contains(pv.P.S) {
+			keep = append(keep, pv)
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	out, err := stream.NewPointsChunk(keep)
+	if err != nil {
+		panic(err) // unreachable: keep is non-empty
+	}
+	return out
+}
+
+// TemporalRestrict is the operator G|T of Definition 7: it selects the
+// points whose timestamp lies in the time set T. Like every restriction it
+// is non-blocking with zero intermediate storage.
+type TemporalRestrict struct {
+	Times geom.TimeSet
+}
+
+func (op TemporalRestrict) Name() string { return "restrict_t(" + op.Times.String() + ")" }
+
+func (op TemporalRestrict) OutInfo(in stream.Info) (stream.Info, error) {
+	if op.Times == nil {
+		return stream.Info{}, fmt.Errorf("temporal restriction needs a time set")
+	}
+	return in, nil
+}
+
+func (op TemporalRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	for c := range in {
+		st.CountIn(c)
+		var o *stream.Chunk
+		switch c.Kind {
+		case stream.KindGrid:
+			if op.Times.Contains(c.T) {
+				o = c
+			}
+		case stream.KindPoints:
+			var keep []stream.PointValue
+			for _, pv := range c.Points {
+				if op.Times.Contains(pv.P.T) {
+					keep = append(keep, pv)
+				}
+			}
+			if len(keep) == len(c.Points) {
+				o = c
+			} else if len(keep) > 0 {
+				var err error
+				if o, err = stream.NewPointsChunk(keep); err != nil {
+					return err
+				}
+			}
+		default:
+			// Punctuation for filtered-out sectors still flows: downstream
+			// operators use it to close buffered state.
+			o = c
+		}
+		if o == nil {
+			continue
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+	}
+	return nil
+}
+
+// ValueRestrict is the operator G|V of §3.1: it selects the points whose
+// value lies in the value set V. On dense grids, excluded points become
+// NaN; on point lists they are dropped.
+type ValueRestrict struct {
+	Values valueset.Set
+}
+
+func (op ValueRestrict) Name() string { return "restrict_v(" + op.Values.String() + ")" }
+
+func (op ValueRestrict) OutInfo(in stream.Info) (stream.Info, error) {
+	if op.Values == nil {
+		return stream.Info{}, fmt.Errorf("value restriction needs a value set")
+	}
+	return in, nil
+}
+
+func (op ValueRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	for c := range in {
+		st.CountIn(c)
+		var o *stream.Chunk
+		switch c.Kind {
+		case stream.KindGrid:
+			o = c
+			// Copy-on-write only when something is actually excluded.
+			var clone *stream.Chunk
+			for i, v := range c.Grid.Vals {
+				if math.IsNaN(v) || op.Values.Contains(v) {
+					continue
+				}
+				if clone == nil {
+					clone = c.CloneGrid()
+				}
+				clone.Grid.Vals[i] = math.NaN()
+			}
+			if clone != nil {
+				o = clone
+			}
+		case stream.KindPoints:
+			var keep []stream.PointValue
+			for _, pv := range c.Points {
+				if op.Values.Contains(pv.V) {
+					keep = append(keep, pv)
+				}
+			}
+			if len(keep) == len(c.Points) {
+				o = c
+			} else if len(keep) > 0 {
+				var err error
+				if o, err = stream.NewPointsChunk(keep); err != nil {
+					return err
+				}
+			}
+		default:
+			o = c
+		}
+		if o == nil {
+			continue
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+	}
+	return nil
+}

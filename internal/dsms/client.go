@@ -1,0 +1,162 @@
+package dsms
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is the Go client for the DSMS HTTP API — what the paper's
+// web-based GUI would sit on top of.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for a server base URL (no trailing slash).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeErr(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("dsms: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("dsms: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// Catalog lists the server's bands.
+func (c *Client) Catalog() ([]BandInfo, error) {
+	var out []BandInfo
+	err := c.get("/catalog", &out)
+	return out, err
+}
+
+// Register submits a continuous query.
+func (c *Client) Register(query, colormap string) (QueryInfo, error) {
+	body, err := json.Marshal(registerRequest{Query: query, Colormap: colormap})
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return QueryInfo{}, decodeErr(resp)
+	}
+	var out QueryInfo
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Queries lists registered queries with stats.
+func (c *Client) Queries() ([]QueryInfo, error) {
+	var out []QueryInfo
+	err := c.get("/queries", &out)
+	return out, err
+}
+
+// ClientFrame is a received frame with its metadata.
+type ClientFrame struct {
+	Sector        int64
+	Width, Height int
+	PNG           []byte
+}
+
+// NextFrame long-polls for the next frame of a query; ok is false on 204
+// (no frame within the wait window).
+func (c *Client) NextFrame(id int64, wait time.Duration) (*ClientFrame, bool, error) {
+	u := fmt.Sprintf("%s/queries/%d/frame?wait=%d", c.BaseURL, id, wait.Milliseconds())
+	resp, err := c.HTTP.Get(u)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, false, nil
+	case http.StatusOK:
+	default:
+		return nil, false, decodeErr(resp)
+	}
+	png, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	sector, _ := strconv.ParseInt(resp.Header.Get("X-Geostreams-Sector"), 10, 64)
+	w, _ := strconv.Atoi(resp.Header.Get("X-Geostreams-Width"))
+	h, _ := strconv.Atoi(resp.Header.Get("X-Geostreams-Height"))
+	return &ClientFrame{Sector: sector, Width: w, Height: h, PNG: png}, true, nil
+}
+
+// Series polls time-series output from index `from`; it returns the
+// points and the next index.
+func (c *Client) Series(id int64, from int) ([]SeriesPoint, int, error) {
+	var out struct {
+		Points []SeriesPoint `json:"points"`
+		Next   int           `json:"next"`
+	}
+	err := c.get(fmt.Sprintf("/queries/%d/series?from=%d", id, from), &out)
+	return out.Points, out.Next, err
+}
+
+// Explain fetches the server's plan rendering for a query string.
+func (c *Client) Explain(query string) (string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/explain?q=" + url.QueryEscape(query))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Deregister removes a query.
+func (c *Client) Deregister(id int64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/queries/%d", c.BaseURL, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeErr(resp)
+	}
+	return nil
+}
+
+// Stats fetches the hub routing telemetry.
+func (c *Client) Stats() ([]HubStats, error) {
+	var out []HubStats
+	err := c.get("/stats", &out)
+	return out, err
+}

@@ -1,0 +1,279 @@
+package dsms
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"geostreams/internal/cascade"
+	"geostreams/internal/geom"
+	"geostreams/internal/query"
+	"geostreams/internal/raster"
+	"geostreams/internal/stream"
+)
+
+// DeliveryOptions configure how a query's results are rendered for the
+// client.
+type DeliveryOptions struct {
+	// Colormap names the rendering palette (gray, ndvi, thermal).
+	Colormap string
+	// VMin/VMax override the render value range; when both zero the
+	// output stream's nominal range is used.
+	VMin, VMax float64
+}
+
+func (o DeliveryOptions) withDefaults(info stream.Info) DeliveryOptions {
+	if o.Colormap == "" {
+		o.Colormap = "gray"
+	}
+	if o.VMin == 0 && o.VMax == 0 {
+		o.VMin, o.VMax = info.VMin, info.VMax
+	}
+	return o
+}
+
+// Frame is one delivered raster product.
+type Frame struct {
+	Sector geom.Timestamp `json:"sector"`
+	Width  int            `json:"width"`
+	Height int            `json:"height"`
+	PNG    []byte         `json:"-"`
+}
+
+// SeriesPoint is one delivered time-series value (point-organized query
+// outputs, e.g. regional aggregates).
+type SeriesPoint struct {
+	T   geom.Timestamp `json:"t"`
+	X   float64        `json:"x"`
+	Y   float64        `json:"y"`
+	Val float64        `json:"value"`
+	NaN bool           `json:"nan,omitempty"`
+}
+
+// Registered is one live continuous query.
+type Registered struct {
+	ID   cascade.QueryID
+	Text string
+	Plan query.Node
+	Info stream.Info
+
+	opts    DeliveryOptions
+	stats   []*stream.Stats
+	group   *stream.Group
+	server  *Server
+	bands   []string
+	frames  *frameQueue
+	series  *seriesBuffer
+	stopped chan struct{}
+	err     error
+}
+
+// Err returns the query's terminal error after it has stopped.
+func (r *Registered) Err() error {
+	select {
+	case <-r.stopped:
+		return r.err
+	default:
+		return nil
+	}
+}
+
+// OperatorStats snapshots the per-operator counters.
+func (r *Registered) OperatorStats() []OperatorStats {
+	out := make([]OperatorStats, len(r.stats))
+	for i, st := range r.stats {
+		out[i] = OperatorStats{
+			Name:       st.Name,
+			ChunksIn:   st.ChunksIn.Load(),
+			ChunksOut:  st.ChunksOut.Load(),
+			PointsIn:   st.PointsIn.Load(),
+			PointsOut:  st.PointsOut.Load(),
+			PeakBuffer: st.PeakBufferedPoints(),
+		}
+	}
+	return out
+}
+
+// OperatorStats is the JSON form of stream.Stats.
+type OperatorStats struct {
+	Name       string `json:"name"`
+	ChunksIn   int64  `json:"chunks_in"`
+	ChunksOut  int64  `json:"chunks_out"`
+	PointsIn   int64  `json:"points_in"`
+	PointsOut  int64  `json:"points_out"`
+	PeakBuffer int64  `json:"peak_buffer_points"`
+}
+
+// deliver consumes the pipeline output: raster outputs are assembled into
+// frames and PNG-encoded; point outputs append to the series buffer.
+func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
+	asm := raster.NewAssembler()
+	cm, err := raster.ColormapByName(r.opts.Colormap)
+	if err != nil {
+		return err
+	}
+	encode := func(img *raster.Image) error {
+		var buf bytes.Buffer
+		if err := img.EncodePNG(&buf, cm, r.opts.VMin, r.opts.VMax); err != nil {
+			return err
+		}
+		r.frames.push(&Frame{
+			Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, PNG: buf.Bytes(),
+		})
+		return nil
+	}
+	for {
+		select {
+		case c, ok := <-out.C:
+			if !ok {
+				imgs, err := asm.Flush()
+				if err != nil {
+					return err
+				}
+				for _, img := range imgs {
+					if err := encode(img); err != nil {
+						return err
+					}
+				}
+				r.frames.close()
+				return nil
+			}
+			if c.Kind == stream.KindPoints {
+				for _, pv := range c.Points {
+					r.series.push(SeriesPoint{
+						T: pv.P.T, X: pv.P.S.X, Y: pv.P.S.Y,
+						Val: pv.V, NaN: math.IsNaN(pv.V),
+					})
+				}
+				continue
+			}
+			imgs, err := asm.Add(c)
+			if err != nil {
+				return err
+			}
+			for _, img := range imgs {
+				if err := encode(img); err != nil {
+					return err
+				}
+			}
+		case <-ctx.Done():
+			r.frames.close()
+			return nil
+		}
+	}
+}
+
+// NextFrame blocks up to wait for the next completed frame; ok is false
+// when the queue closed (query stopped) or the wait elapsed.
+func (r *Registered) NextFrame(wait time.Duration) (*Frame, bool) {
+	return r.frames.popWait(wait)
+}
+
+// Series returns the buffered time-series points since the given index,
+// plus the next index to poll from.
+func (r *Registered) Series(from int) ([]SeriesPoint, int) {
+	return r.series.since(from)
+}
+
+// frameQueue is a bounded FIFO of rendered frames: a slow client sheds the
+// oldest frames instead of stalling the pipeline.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []*Frame
+	max    int
+	closed bool
+	// Shed counts frames dropped to keep the queue bounded.
+	Shed int64
+}
+
+func newFrameQueue(max int) *frameQueue {
+	q := &frameQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *frameQueue) push(f *Frame) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if len(q.buf) >= q.max {
+		q.buf = q.buf[1:]
+		q.Shed++
+	}
+	q.buf = append(q.buf, f)
+	q.cond.Broadcast()
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// popWait removes and returns the oldest frame, waiting up to d for one to
+// arrive.
+func (q *frameQueue) popWait(d time.Duration) (*Frame, bool) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.buf) > 0 {
+			f := q.buf[0]
+			q.buf = q.buf[1:]
+			return f, true
+		}
+		if q.closed || !time.Now().Before(deadline) {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// seriesBuffer retains the most recent time-series points with absolute
+// indexing so clients can poll incrementally.
+type seriesBuffer struct {
+	mu    sync.Mutex
+	buf   []SeriesPoint
+	base  int // absolute index of buf[0]
+	limit int
+}
+
+func newSeriesBuffer(limit int) *seriesBuffer { return &seriesBuffer{limit: limit} }
+
+func (b *seriesBuffer) push(p SeriesPoint) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p)
+	if over := len(b.buf) - b.limit; over > 0 {
+		b.buf = b.buf[over:]
+		b.base += over
+	}
+}
+
+// since returns the points with absolute index >= from and the next index.
+func (b *seriesBuffer) since(from int) ([]SeriesPoint, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < b.base {
+		from = b.base
+	}
+	off := from - b.base
+	if off >= len(b.buf) {
+		return nil, b.base + len(b.buf)
+	}
+	out := append([]SeriesPoint(nil), b.buf[off:]...)
+	return out, b.base + len(b.buf)
+}

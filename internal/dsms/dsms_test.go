@@ -1,0 +1,359 @@
+package dsms
+
+import (
+	"bytes"
+	"context"
+	"image/png"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+// startServer brings up a DSMS over a synthetic two-band imager and
+// returns the server plus a cancel that shuts everything down.
+func startServer(t *testing.T, sectors int) (*Server, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewServer(ctx)
+	scene := sat.DefaultScene(99)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 24, 20, scene,
+		[]string{"vis", "nir"}, stream.RowByRow, sectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := im.Streams(s.Group())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range []string{"vis", "nir"} {
+		if err := s.AddSource(streams[band]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, func() {
+		cancel()
+		s.Close() //nolint:errcheck
+	}
+}
+
+func TestServerRegisterAndReceiveFrames(t *testing.T) {
+	s, stop := startServer(t, 3)
+	defer stop()
+
+	reg, err := s.Register("rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))",
+		DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	got := 0
+	for {
+		f, ok := reg.NextFrame(5 * time.Second)
+		if !ok {
+			break
+		}
+		got++
+		img, err := png.Decode(bytes.NewReader(f.PNG))
+		if err != nil {
+			t.Fatalf("frame %d not valid PNG: %v", got, err)
+		}
+		if img.Bounds().Dx() == 0 {
+			t.Fatal("empty frame")
+		}
+	}
+	if got != 3 {
+		t.Fatalf("received %d frames, want 3", got)
+	}
+	if reg.Err() != nil {
+		t.Fatalf("query error: %v", reg.Err())
+	}
+}
+
+func TestServerNDVISeriesQuery(t *testing.T) {
+	s, stop := startServer(t, 4)
+	defer stop()
+
+	reg, err := s.Register(
+		"agg_r(ndvi(nir, vis), mean, rect(-121.5, 36.5, -120.5, 37.5))",
+		DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	deadline := time.After(10 * time.Second)
+	var pts []SeriesPoint
+	next := 0
+	for len(pts) < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out with %d series points", len(pts))
+		default:
+		}
+		var more []SeriesPoint
+		more, next = reg.Series(next)
+		pts = append(pts, more...)
+		if len(more) == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for _, p := range pts {
+		if p.NaN {
+			continue
+		}
+		if p.Val < -1.001 || p.Val > 1.001 {
+			t.Fatalf("NDVI mean %g out of range", p.Val)
+		}
+	}
+}
+
+func TestServerSharedRestrictionRouting(t *testing.T) {
+	// Two queries with disjoint regions: the hub must route each chunk
+	// only to interested subscribers; a query over an empty region
+	// receives punctuation only.
+	s, stop := startServer(t, 2)
+	defer stop()
+
+	inRegion, err := s.Register("rselect(vis, rect(-121.8, 36.2, -121.0, 37.0))", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRegion, err := s.Register("rselect(vis, rect(10, 10, 20, 20))", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if f, ok := inRegion.NextFrame(5 * time.Second); !ok || len(f.PNG) == 0 {
+		t.Fatal("in-region query must produce frames")
+	}
+	// Wait for the off-region query to finish (sources end after 2
+	// sectors); it must have received no data points.
+	<-offRegion.stopped
+	for _, st := range offRegion.OperatorStats() {
+		if st.PointsIn != 0 {
+			t.Fatalf("off-region operator %s received %d points", st.Name, st.PointsIn)
+		}
+	}
+	// Hub telemetry shows routing happened.
+	hs := s.HubStats()
+	if len(hs) != 2 {
+		t.Fatalf("hub stats = %+v", hs)
+	}
+}
+
+func TestServerDeregister(t *testing.T) {
+	s, stop := startServer(t, 50)
+	defer stop()
+	reg, err := s.Register("vis", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if _, ok := reg.NextFrame(5 * time.Second); !ok {
+		t.Fatal("no first frame")
+	}
+	if err := s.Deregister(reg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Query(reg.ID); ok {
+		t.Fatal("query still registered")
+	}
+	if err := s.Deregister(reg.ID); err == nil {
+		t.Fatal("double deregister must fail")
+	}
+}
+
+func TestServerRejectsBadQueries(t *testing.T) {
+	s, stop := startServer(t, 1)
+	defer stop()
+	for _, q := range []string{
+		"",
+		"nosuchband",
+		"rselect(vis)",
+		"vis + 3",
+	} {
+		if _, err := s.Register(q, DeliveryOptions{}); err == nil {
+			t.Errorf("Register(%q) must fail", q)
+		}
+	}
+}
+
+func TestServerExplain(t *testing.T) {
+	s, stop := startServer(t, 1)
+	defer stop()
+	out, err := s.Explain(`rselect(reproject(ndvi(nir, vis), "utm:10"), rect(400000, 3900000, 700000, 4300000))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-- parsed plan --", "-- optimized plan --", "reproject", "mapped"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	// Fig. 3 complete: HTTP registration, optimization, execution, PNG
+	// delivery, stats, deregistration — through the real HTTP stack.
+	s, stop := startServer(t, 3)
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	cat, err := c.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 2 {
+		t.Fatalf("catalog = %+v", cat)
+	}
+
+	exp, err := c.Explain("ndvi(nir, vis)")
+	if err != nil || len(exp) == 0 {
+		t.Fatalf("explain: %v", err)
+	}
+
+	qi, err := c.Register(
+		"stretch(rselect(ndvi(nir, vis), rect(-121.7, 36.3, -120.3, 37.7)), linear, 0, 255)",
+		"ndvi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if qi.ID == 0 || qi.OutCRS != "latlon" {
+		t.Fatalf("query info = %+v", qi)
+	}
+
+	frames := 0
+	for {
+		f, ok, err := c.NextFrame(int64(qi.ID), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		frames++
+		if _, err := png.Decode(bytes.NewReader(f.PNG)); err != nil {
+			t.Fatalf("bad PNG: %v", err)
+		}
+		if f.Width == 0 || f.Height == 0 {
+			t.Fatal("missing frame metadata headers")
+		}
+	}
+	if frames != 3 {
+		t.Fatalf("received %d frames over HTTP, want 3", frames)
+	}
+
+	list, err := c.Queries()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("queries list: %v, %+v", err, list)
+	}
+	if len(list[0].Operators) == 0 {
+		t.Fatal("query list missing operator stats")
+	}
+
+	hs, err := c.Stats()
+	if err != nil || len(hs) != 2 {
+		t.Fatalf("hub stats: %v, %+v", err, hs)
+	}
+
+	if err := c.Deregister(int64(qi.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("garbage(", ""); err == nil {
+		t.Fatal("bad query must 400 over HTTP")
+	}
+}
+
+func TestChunkDequeShedsOldestData(t *testing.T) {
+	var dropped atomic.Int64
+	d := newChunkDeque(2, &dropped)
+	lat, err := geom.NewLattice(0, 0, 1, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ts geom.Timestamp) *stream.Chunk {
+		c, err := stream.NewGridChunk(ts, lat, []float64{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	d.push(mk(1))
+	d.push(stream.NewEndOfSector(1, lat))
+	d.push(mk(2))
+	d.push(mk(3)) // sheds chunk 1, keeps punctuation
+	if dropped.Load() != 1 {
+		t.Fatalf("dropped = %d", dropped.Load())
+	}
+	c1, _ := d.pop()
+	if c1.Kind != stream.KindEndOfSector {
+		t.Fatalf("first pop = %v (punctuation must survive shedding)", c1.Kind)
+	}
+	c2, _ := d.pop()
+	c3, _ := d.pop()
+	if c2.T != 2 || c3.T != 3 {
+		t.Fatalf("data order wrong: %d, %d", c2.T, c3.T)
+	}
+	d.close()
+	if _, ok := d.pop(); ok {
+		t.Fatal("closed empty deque must report !ok")
+	}
+	d.push(mk(9)) // push after close is a no-op
+}
+
+func TestFrameQueue(t *testing.T) {
+	q := newFrameQueue(2)
+	q.push(&Frame{Sector: 1})
+	q.push(&Frame{Sector: 2})
+	q.push(&Frame{Sector: 3}) // sheds sector 1
+	if q.Shed != 1 {
+		t.Fatalf("shed = %d", q.Shed)
+	}
+	f, ok := q.popWait(time.Second)
+	if !ok || f.Sector != 2 {
+		t.Fatalf("pop = %+v, %v", f, ok)
+	}
+	f, _ = q.popWait(time.Second)
+	if f.Sector != 3 {
+		t.Fatal("queue order wrong")
+	}
+	// Empty + timeout.
+	start := time.Now()
+	if _, ok := q.popWait(50 * time.Millisecond); ok {
+		t.Fatal("empty pop must time out")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timeout returned early")
+	}
+	q.close()
+	if _, ok := q.popWait(time.Second); ok {
+		t.Fatal("closed queue must report !ok immediately")
+	}
+}
+
+func TestSeriesBuffer(t *testing.T) {
+	b := newSeriesBuffer(3)
+	for i := 1; i <= 5; i++ {
+		b.push(SeriesPoint{T: geom.Timestamp(i)})
+	}
+	pts, next := b.since(0)
+	if len(pts) != 3 || pts[0].T != 3 || next != 5 {
+		t.Fatalf("since(0) = %+v next=%d", pts, next)
+	}
+	pts, next = b.since(next)
+	if len(pts) != 0 || next != 5 {
+		t.Fatalf("caught-up since = %+v next=%d", pts, next)
+	}
+	b.push(SeriesPoint{T: 6})
+	pts, _ = b.since(next)
+	if len(pts) != 1 || pts[0].T != 6 {
+		t.Fatalf("incremental since = %+v", pts)
+	}
+}

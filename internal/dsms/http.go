@@ -1,0 +1,243 @@
+package dsms
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"geostreams/internal/cascade"
+	"geostreams/internal/query"
+)
+
+// The HTTP layer of Fig. 3: "user queries, which are converted by the
+// interface to specialized HTTP requests, are transmitted to the server,
+// parsed, and registered." The API:
+//
+//	GET    /catalog                 band metadata
+//	POST   /queries                 register {"query": "...", "colormap": "..."} → QueryInfo
+//	GET    /queries                 list registered queries with stats
+//	GET    /queries/{id}            one query's info and stats
+//	DELETE /queries/{id}            deregister
+//	GET    /queries/{id}/frame      next PNG frame (?wait=ms, default 5000; 204 if none)
+//	GET    /queries/{id}/series     time-series points (?from=index)
+//	GET    /explain?q=...           plan + optimized plan with cost annotations
+//	GET    /stats                   hub routing telemetry
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /catalog", s.handleCatalog)
+	mux.HandleFunc("POST /queries", s.handleRegister)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("GET /queries/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleDelete)
+	mux.HandleFunc("GET /queries/{id}/frame", s.handleFrame)
+	mux.HandleFunc("GET /queries/{id}/series", s.handleSeries)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// BandInfo is the JSON form of a catalog entry.
+type BandInfo struct {
+	Band         string  `json:"band"`
+	CRS          string  `json:"crs"`
+	Organization string  `json:"organization"`
+	Stamping     string  `json:"stamping"`
+	SectorW      int     `json:"sector_width,omitempty"`
+	SectorH      int     `json:"sector_height,omitempty"`
+	VMin         float64 `json:"vmin"`
+	VMax         float64 `json:"vmax"`
+}
+
+// QueryInfo is the JSON form of a registered query.
+type QueryInfo struct {
+	ID        cascade.QueryID `json:"id"`
+	Query     string          `json:"query"`
+	Plan      string          `json:"plan"`
+	OutBand   string          `json:"out_band"`
+	OutCRS    string          `json:"out_crs"`
+	Colormap  string          `json:"colormap"`
+	Operators []OperatorStats `json:"operators,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	cat := s.Catalog()
+	out := make([]BandInfo, 0, len(cat))
+	for _, in := range cat {
+		bi := BandInfo{
+			Band: in.Band, CRS: in.CRS.Name(),
+			Organization: in.Org.String(), Stamping: in.Stamp.String(),
+			VMin: in.VMin, VMax: in.VMax,
+		}
+		if in.HasSectorMeta {
+			bi.SectorW, bi.SectorH = in.SectorGeom.W, in.SectorGeom.H
+		}
+		out = append(out, bi)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type registerRequest struct {
+	Query    string  `json:"query"`
+	Colormap string  `json:"colormap"`
+	VMin     float64 `json:"vmin"`
+	VMax     float64 `json:"vmax"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing \"query\""))
+		return
+	}
+	reg, err := s.Register(req.Query, DeliveryOptions{
+		Colormap: req.Colormap, VMin: req.VMin, VMax: req.VMax,
+	})
+	if err != nil {
+		var syn *query.SyntaxError
+		if errors.As(err, &syn) {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.queryInfo(reg, false))
+}
+
+func (s *Server) queryInfo(r *Registered, withStats bool) QueryInfo {
+	qi := QueryInfo{
+		ID: r.ID, Query: r.Text, Plan: query.Format(r.Plan),
+		OutBand: r.Info.Band, OutCRS: r.Info.CRS.Name(),
+		Colormap: r.opts.Colormap,
+	}
+	if withStats {
+		qi.Operators = r.OperatorStats()
+	}
+	return qi
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	qs := s.Queries()
+	out := make([]QueryInfo, len(qs))
+	for i, r := range qs {
+		out[i] = s.queryInfo(r, true)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Registered, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		return nil, false
+	}
+	reg, ok := s.Query(cascade.QueryID(id))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no query %d", id))
+		return nil, false
+	}
+	return reg, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queryInfo(reg, true))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Deregister(reg.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	wait := 5 * time.Second
+	if ms := r.URL.Query().Get("wait"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", ms))
+			return
+		}
+		wait = time.Duration(v) * time.Millisecond
+	}
+	f, ok := reg.NextFrame(wait)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Geostreams-Sector", strconv.FormatInt(int64(f.Sector), 10))
+	w.Header().Set("X-Geostreams-Width", strconv.Itoa(f.Width))
+	w.Header().Set("X-Geostreams-Height", strconv.Itoa(f.Height))
+	w.WriteHeader(http.StatusOK)
+	w.Write(f.PNG) //nolint:errcheck
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if fs := r.URL.Query().Get("from"); fs != "" {
+		v, err := strconv.Atoi(fs)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from %q", fs))
+			return
+		}
+		from = v
+	}
+	pts, next := reg.Series(from)
+	writeJSON(w, http.StatusOK, map[string]any{"points": pts, "next": next})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	out, err := s.Explain(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.HubStats())
+}

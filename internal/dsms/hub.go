@@ -1,0 +1,290 @@
+// Package dsms implements the prototype stream management system of the
+// paper's §4 (Fig. 3): a server that ingests instrument streams through a
+// stream generator, registers continuous user queries over HTTP, optimizes
+// them (restriction push-down plus a shared cascade-tree spatial
+// restriction stage), executes operator pipelines per query, and delivers
+// results to clients as PNG frames.
+package dsms
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"geostreams/internal/cascade"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+// hub fans one band's instrument stream out to the subscribed query
+// pipelines. It embodies the §4 shared spatial restriction operator: a
+// cascade tree indexes every subscriber's region of interest, each
+// arriving chunk probes the tree with its bounding box, and only matching
+// subscribers receive the chunk. Punctuation goes to everyone (downstream
+// operators need it to flush state).
+type hub struct {
+	info stream.Info
+
+	mu    sync.Mutex
+	subs  map[cascade.QueryID]*subscriber
+	index cascade.Index
+
+	// Routing telemetry: chunks delivered, data chunks shed because a
+	// subscriber fell behind, and total index matches.
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	routed    atomic.Int64
+}
+
+// minSubBuffer is the floor on each subscriber's pending data-chunk
+// budget; beyond the budget the oldest data chunk is shed (punctuation is
+// never shed, so operator state always closes).
+const minSubBuffer = 64
+
+func newHub(info stream.Info) *hub {
+	return &hub{
+		info:  info,
+		subs:  make(map[cascade.QueryID]*subscriber),
+		index: cascade.NewTree(),
+	}
+}
+
+// subBudget sizes a subscriber's pending-chunk budget: at least four scan
+// sectors' worth of row chunks when the sector geometry is known, so a
+// briefly slow query never loses data, while a stuck query still sheds
+// instead of exhausting memory.
+func (h *hub) subBudget() int {
+	budget := minSubBuffer
+	if h.info.HasSectorMeta {
+		if rows := 4 * h.info.SectorGeom.H; rows > budget {
+			budget = rows
+		}
+	}
+	return budget
+}
+
+// subscriber decouples the hub from one query pipeline: the hub appends to
+// a bounded deque (never blocking), a forwarder goroutine drains it into
+// the pipeline's channel, and detaching closes the deque which closes the
+// channel — no send races, no slow-consumer stalls.
+type subscriber struct {
+	id     cascade.QueryID
+	region geom.Rect
+	deque  *chunkDeque
+	out    chan *stream.Chunk
+	done   chan struct{}
+	once   sync.Once
+	hub    *hub
+}
+
+func (s *subscriber) forward() {
+	defer close(s.out)
+	for {
+		c, ok := s.deque.pop()
+		if !ok {
+			return
+		}
+		select {
+		case s.out <- c:
+			s.hub.delivered.Add(1)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// finish closes the deque: the forwarder drains everything already queued
+// and then closes the pipeline's channel. Used when the *source* ends —
+// queued chunks must still reach the query.
+func (s *subscriber) finish() {
+	s.deque.close()
+}
+
+// detach aborts delivery immediately, discarding queued chunks. Used when
+// the *query* goes away (deregistration or pipeline termination); safe to
+// call multiple times and after finish.
+func (s *subscriber) detach() {
+	s.once.Do(func() {
+		close(s.done)
+		s.deque.close()
+	})
+}
+
+// subscribe attaches a query's interest in this band.
+func (h *hub) subscribe(id cascade.QueryID, region geom.Rect) *stream.Stream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &subscriber{
+		id: id, region: region,
+		deque: newChunkDeque(h.subBudget(), &h.dropped),
+		out:   make(chan *stream.Chunk, stream.DefaultBuffer),
+		done:  make(chan struct{}),
+		hub:   h,
+	}
+	h.subs[id] = s
+	h.index.Insert(id, region)
+	go s.forward()
+	return &stream.Stream{Info: h.info, C: s.out}
+}
+
+// unsubscribe detaches a query and ends its stream.
+func (h *hub) unsubscribe(id cascade.QueryID) {
+	h.mu.Lock()
+	s, ok := h.subs[id]
+	if ok {
+		delete(h.subs, id)
+		h.index.Remove(id)
+	}
+	h.mu.Unlock()
+	if ok {
+		s.detach()
+	}
+}
+
+// closeAll finishes every subscriber (source ended): queued chunks drain,
+// then each subscriber's stream closes, letting query pipelines complete
+// normally.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	subs := make([]*subscriber, 0, len(h.subs))
+	for id, s := range h.subs {
+		delete(h.subs, id)
+		h.index.Remove(id)
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.finish()
+	}
+}
+
+// run consumes the band stream until it closes, routing chunks.
+func (h *hub) run(ctx context.Context, src *stream.Stream) error {
+	defer h.closeAll()
+	for {
+		select {
+		case c, ok := <-src.C:
+			if !ok {
+				return nil
+			}
+			h.route(c)
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// route enqueues one chunk for the subscribers whose regions its bounds
+// intersect; punctuation goes to everyone.
+func (h *hub) route(c *stream.Chunk) {
+	h.mu.Lock()
+	var targets []*subscriber
+	if c.IsData() {
+		ids := h.index.Probe(c.Bounds(), nil)
+		h.routed.Add(int64(len(ids)))
+		for _, id := range ids {
+			if s, ok := h.subs[id]; ok {
+				targets = append(targets, s)
+			}
+		}
+	} else {
+		for _, s := range h.subs {
+			targets = append(targets, s)
+		}
+	}
+	h.mu.Unlock()
+
+	for _, s := range targets {
+		s.deque.push(c)
+	}
+}
+
+// HubStats is the routing telemetry of one band hub.
+type HubStats struct {
+	Band        string `json:"band"`
+	Subscribers int    `json:"subscribers"`
+	Delivered   int64  `json:"delivered_chunks"`
+	Dropped     int64  `json:"dropped_chunks"`
+	Routed      int64  `json:"routed_matches"`
+}
+
+func (h *hub) stats() HubStats {
+	h.mu.Lock()
+	n := len(h.subs)
+	h.mu.Unlock()
+	return HubStats{
+		Band:        h.info.Band,
+		Subscribers: n,
+		Delivered:   h.delivered.Load(),
+		Dropped:     h.dropped.Load(),
+		Routed:      h.routed.Load(),
+	}
+}
+
+// chunkDeque is the bounded handoff between the hub and one subscriber:
+// pushes never block (the oldest *data* chunk is shed when the data count
+// exceeds the cap; punctuation is always retained), pops block until a
+// chunk arrives or the deque closes.
+type chunkDeque struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []*stream.Chunk
+	data    int // count of data chunks in buf
+	maxData int
+	closed  bool
+	dropped *atomic.Int64
+}
+
+func newChunkDeque(maxData int, dropped *atomic.Int64) *chunkDeque {
+	d := &chunkDeque{maxData: maxData, dropped: dropped}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *chunkDeque) push(c *stream.Chunk) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if c.IsData() && d.data >= d.maxData {
+		// Shed the oldest data chunk, keeping punctuation in place.
+		for i, old := range d.buf {
+			if old.IsData() {
+				d.buf = append(d.buf[:i], d.buf[i+1:]...)
+				d.data--
+				d.dropped.Add(1)
+				break
+			}
+		}
+	}
+	d.buf = append(d.buf, c)
+	if c.IsData() {
+		d.data++
+	}
+	d.cond.Signal()
+}
+
+func (d *chunkDeque) pop() (*stream.Chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.buf) == 0 && !d.closed {
+		d.cond.Wait()
+	}
+	if len(d.buf) == 0 {
+		return nil, false
+	}
+	c := d.buf[0]
+	d.buf = d.buf[1:]
+	if c.IsData() {
+		d.data--
+	}
+	return c, true
+}
+
+func (d *chunkDeque) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}

@@ -1,0 +1,304 @@
+package dsms
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"geostreams/internal/cascade"
+	"geostreams/internal/query"
+	"geostreams/internal/stream"
+)
+
+// Server is the DSMS of Fig. 3. Instrument band streams are attached with
+// AddSource; continuous queries register against them, are optimized, and
+// run until deregistered; results are delivered through per-query frame
+// queues (PNG for raster outputs, JSON for time-series outputs) served by
+// the HTTP layer in http.go.
+type Server struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	g      *stream.Group
+
+	mu      sync.Mutex
+	catalog map[string]stream.Info
+	hubs    map[string]*hub
+	queries map[cascade.QueryID]*Registered
+	nextID  cascade.QueryID
+	closed  bool
+
+	// start gates source consumption: hubs do not drain their instrument
+	// streams until Start is called, so initial queries can register
+	// before the first scan sector flows.
+	start     chan struct{}
+	startOnce sync.Once
+}
+
+// NewServer creates a DSMS whose lifetime is bounded by ctx. Attach
+// sources with AddSource, register initial queries, then call Start.
+func NewServer(ctx context.Context) *Server {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Server{
+		ctx:     ctx,
+		cancel:  cancel,
+		g:       stream.NewGroup(ctx),
+		catalog: make(map[string]stream.Info),
+		hubs:    make(map[string]*hub),
+		queries: make(map[cascade.QueryID]*Registered),
+		start:   make(chan struct{}),
+	}
+}
+
+// Start releases the hubs to consume their instrument streams.
+func (s *Server) Start() { s.startOnce.Do(func() { close(s.start) }) }
+
+// Group exposes the server's pipeline group so source generators can run
+// inside it.
+func (s *Server) Group() *stream.Group { return s.g }
+
+// AddSource attaches one band stream; the hub starts routing immediately.
+func (s *Server) AddSource(src *stream.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("dsms: server is shut down")
+	}
+	band := src.Info.Band
+	if _, dup := s.hubs[band]; dup {
+		return fmt.Errorf("dsms: band %q already attached", band)
+	}
+	if err := src.Info.Validate(); err != nil {
+		return err
+	}
+	h := newHub(src.Info)
+	s.hubs[band] = h
+	s.catalog[band] = src.Info
+	s.g.Go(func(ctx context.Context) error {
+		select {
+		case <-s.start:
+		case <-ctx.Done():
+			return nil
+		}
+		return h.run(ctx, src)
+	})
+	return nil
+}
+
+// Catalog returns a copy of the band metadata.
+func (s *Server) Catalog() map[string]stream.Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]stream.Info, len(s.catalog))
+	for k, v := range s.catalog {
+		out[k] = v
+	}
+	return out
+}
+
+// bandSet returns the parser's view of available bands.
+func (s *Server) bandSet() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]bool, len(s.catalog))
+	for k := range s.catalog {
+		out[k] = true
+	}
+	return out
+}
+
+// Explain parses and optimizes a query and renders its plan with cost
+// annotations, without registering it.
+func (s *Server) Explain(text string) (string, error) {
+	plan, err := query.Parse(text, s.bandSet())
+	if err != nil {
+		return "", err
+	}
+	catalog := s.Catalog()
+	if err := query.Validate(plan, catalog); err != nil {
+		return "", err
+	}
+	opt, err := query.Optimize(plan, catalog)
+	if err != nil {
+		return "", err
+	}
+	naive, err := query.Explain(plan, catalog)
+	if err != nil {
+		return "", err
+	}
+	optimized, err := query.Explain(opt, catalog)
+	if err != nil {
+		return "", err
+	}
+	return "-- parsed plan --\n" + naive + "-- optimized plan --\n" + optimized, nil
+}
+
+// Register parses, validates, optimizes, and launches a continuous query.
+func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error) {
+	plan, err := query.Parse(text, s.bandSet())
+	if err != nil {
+		return nil, err
+	}
+	catalog := s.Catalog()
+	if err := query.Validate(plan, catalog); err != nil {
+		return nil, err
+	}
+	opt, err := query.Optimize(plan, catalog)
+	if err != nil {
+		return nil, err
+	}
+	outInfo, err := query.InfoOf(opt, catalog)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dsms: server is shut down")
+	}
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	// Subscribe to every band the plan reads, registering each band
+	// interest in the hub's cascade tree.
+	interests := query.Interests(opt)
+	sources := make(map[string]*stream.Stream, len(interests))
+	subscribed := make([]string, 0, len(interests))
+	cleanup := func() {
+		for _, band := range subscribed {
+			s.hubs[band].unsubscribe(id)
+		}
+	}
+	s.mu.Lock()
+	for band, rect := range interests {
+		h, ok := s.hubs[band]
+		if !ok {
+			s.mu.Unlock()
+			cleanup()
+			return nil, fmt.Errorf("dsms: no source for band %q", band)
+		}
+		sources[band] = h.subscribe(id, rect)
+		subscribed = append(subscribed, band)
+	}
+	s.mu.Unlock()
+
+	qg := stream.NewGroup(s.ctx)
+	out, stats, err := query.Build(qg, opt, sources)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	r := &Registered{
+		ID:      id,
+		Text:    text,
+		Plan:    opt,
+		Info:    outInfo,
+		opts:    opts.withDefaults(outInfo),
+		stats:   stats,
+		group:   qg,
+		server:  s,
+		bands:   subscribed,
+		frames:  newFrameQueue(8),
+		series:  newSeriesBuffer(4096),
+		stopped: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.queries[id] = r
+	s.mu.Unlock()
+
+	// Delivery stage: assemble, encode, enqueue.
+	qg.Go(func(ctx context.Context) error { return r.deliver(ctx, out) })
+	go func() {
+		r.err = qg.Wait()
+		// The pipeline is gone (completed, failed, or cancelled): abort
+		// any still-attached hub subscriptions so their forwarders exit.
+		for _, band := range r.bands {
+			s.mu.Lock()
+			h := s.hubs[band]
+			s.mu.Unlock()
+			if h != nil {
+				h.unsubscribe(r.ID)
+			}
+		}
+		close(r.stopped)
+	}()
+	return r, nil
+}
+
+// Deregister stops a query and detaches it from the hubs.
+func (s *Server) Deregister(id cascade.QueryID) error {
+	s.mu.Lock()
+	r, ok := s.queries[id]
+	if ok {
+		delete(s.queries, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dsms: no query %d", id)
+	}
+	for _, band := range r.bands {
+		s.mu.Lock()
+		h := s.hubs[band]
+		s.mu.Unlock()
+		if h != nil {
+			h.unsubscribe(id)
+		}
+	}
+	<-r.stopped
+	return nil
+}
+
+// Query looks up a registered query.
+func (s *Server) Query(id cascade.QueryID) (*Registered, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.queries[id]
+	return r, ok
+}
+
+// Queries lists registered queries ordered by id.
+func (s *Server) Queries() []*Registered {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Registered, 0, len(s.queries))
+	for _, r := range s.queries {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HubStats reports routing telemetry per band.
+func (s *Server) HubStats() []HubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HubStats, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		out = append(out, h.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Band < out[j].Band })
+	return out
+}
+
+// Close shuts the server down: cancels sources, stops queries, waits.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ids := make([]cascade.QueryID, 0, len(s.queries))
+	for id := range s.queries {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.Deregister(id) //nolint:errcheck
+	}
+	s.cancel()
+	return s.g.Wait()
+}

@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lattice is a regularly spaced point lattice in R² — the restricted form
+// of point set the data model works with (§2: "we only consider point sets
+// X whose spatial domain is a regularly-spaced lattice in R², thus
+// providing a spatial resolution pertinent to X").
+//
+// The lattice places the point with grid index (col, row) at
+//
+//	x = X0 + col·DX,  y = Y0 + row·DY
+//
+// for 0 ≤ col < W, 0 ≤ row < H. (X0, Y0) is the coordinate of grid point
+// (0, 0). DY is typically negative for north-up imagery (row 0 is the
+// northernmost scan line). DX and DY are the spatial resolution.
+type Lattice struct {
+	X0, Y0 float64
+	DX, DY float64
+	W, H   int
+}
+
+// NewLattice validates and constructs a lattice.
+func NewLattice(x0, y0, dx, dy float64, w, h int) (Lattice, error) {
+	l := Lattice{X0: x0, Y0: y0, DX: dx, DY: dy, W: w, H: h}
+	if err := l.Validate(); err != nil {
+		return Lattice{}, err
+	}
+	return l, nil
+}
+
+// Validate checks the lattice invariants: positive dimensions and non-zero
+// finite spacing.
+func (l Lattice) Validate() error {
+	if l.W <= 0 || l.H <= 0 {
+		return fmt.Errorf("geom: lattice dimensions must be positive, got %dx%d", l.W, l.H)
+	}
+	if l.DX == 0 || l.DY == 0 {
+		return fmt.Errorf("geom: lattice spacing must be non-zero, got dx=%g dy=%g", l.DX, l.DY)
+	}
+	for _, v := range [...]float64{l.X0, l.Y0, l.DX, l.DY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("geom: lattice parameters must be finite")
+		}
+	}
+	return nil
+}
+
+// NumPoints returns W·H, the number of lattice points.
+func (l Lattice) NumPoints() int { return l.W * l.H }
+
+// Coord returns the spatial coordinate of grid index (col, row). Indices
+// outside [0,W)×[0,H) are extrapolated on the same grid.
+func (l Lattice) Coord(col, row int) Vec2 {
+	return Vec2{X: l.X0 + float64(col)*l.DX, Y: l.Y0 + float64(row)*l.DY}
+}
+
+// Index returns the grid index of the lattice point nearest to v, and
+// whether that index lies inside the lattice.
+func (l Lattice) Index(v Vec2) (col, row int, ok bool) {
+	fc := (v.X - l.X0) / l.DX
+	fr := (v.Y - l.Y0) / l.DY
+	col = int(math.Round(fc))
+	row = int(math.Round(fr))
+	ok = col >= 0 && col < l.W && row >= 0 && row < l.H
+	return col, row, ok
+}
+
+// FracIndex returns the real-valued grid position of v (used by bilinear
+// resampling); (0,0) is grid point (0,0), (W-1,H-1) the opposite corner.
+func (l Lattice) FracIndex(v Vec2) (fc, fr float64) {
+	return (v.X - l.X0) / l.DX, (v.Y - l.Y0) / l.DY
+}
+
+// Contains reports whether v coincides (to half-cell tolerance) with a
+// lattice point.
+func (l Lattice) Contains(v Vec2) bool {
+	_, _, ok := l.Index(v)
+	return ok
+}
+
+// Bounds returns the rectangle spanned by the lattice point coordinates
+// (grid point centers, not cell edges).
+func (l Lattice) Bounds() Rect {
+	a := l.Coord(0, 0)
+	b := l.Coord(l.W-1, l.H-1)
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// CellBounds returns Bounds expanded by half a cell on each side, i.e. the
+// footprint of the lattice when each point is the center of a DX×DY cell.
+func (l Lattice) CellBounds() Rect {
+	b := l.Bounds()
+	hx, hy := math.Abs(l.DX)/2, math.Abs(l.DY)/2
+	return Rect{MinX: b.MinX - hx, MinY: b.MinY - hy, MaxX: b.MaxX + hx, MaxY: b.MaxY + hy}
+}
+
+// Row returns the 1×W sub-lattice of row r — the frame unit of row-by-row
+// organized streams.
+func (l Lattice) Row(r int) Lattice {
+	out := l
+	out.Y0 = l.Y0 + float64(r)*l.DY
+	out.H = 1
+	return out
+}
+
+// Rows returns the sub-lattice covering rows [r0, r1).
+func (l Lattice) Rows(r0, r1 int) Lattice {
+	out := l
+	out.Y0 = l.Y0 + float64(r0)*l.DY
+	out.H = r1 - r0
+	return out
+}
+
+// SubGrid returns the sub-lattice with origin at grid index (c0, r0) and
+// dimensions w×h.
+func (l Lattice) SubGrid(c0, r0, w, h int) Lattice {
+	out := l
+	out.X0 = l.X0 + float64(c0)*l.DX
+	out.Y0 = l.Y0 + float64(r0)*l.DY
+	out.W, out.H = w, h
+	return out
+}
+
+// ClipRect returns the index ranges [c0,c1)×[r0,r1) of lattice points whose
+// coordinates fall inside rect, and whether that range is non-empty. The
+// spatial-restriction operator uses this to skip whole rows without testing
+// individual points.
+func (l Lattice) ClipRect(rect Rect) (c0, r0, c1, r1 int, ok bool) {
+	if rect.Empty() {
+		return 0, 0, 0, 0, false
+	}
+	clip := func(min, max, origin, step float64, n int) (int, int, bool) {
+		// Solve min <= origin + i*step <= max for integer i in [0, n).
+		lo := (min - origin) / step
+		hi := (max - origin) / step
+		if step < 0 {
+			lo, hi = hi, lo
+		}
+		// Infinite bounds (world regions) select everything on that side;
+		// converting ±Inf to int is undefined, so clamp first.
+		i0, i1 := 0, n
+		if !math.IsInf(lo, -1) {
+			i0 = int(math.Ceil(lo - 1e-9))
+		}
+		if !math.IsInf(hi, 1) {
+			i1 = int(math.Floor(hi+1e-9)) + 1
+		}
+		if i0 < 0 {
+			i0 = 0
+		}
+		if i1 > n {
+			i1 = n
+		}
+		return i0, i1, i0 < i1
+	}
+	var okc, okr bool
+	c0, c1, okc = clip(rect.MinX, rect.MaxX, l.X0, l.DX, l.W)
+	r0, r1, okr = clip(rect.MinY, rect.MaxY, l.Y0, l.DY, l.H)
+	if !okc || !okr {
+		return 0, 0, 0, 0, false
+	}
+	return c0, r0, c1, r1, true
+}
+
+// SameGeometry reports whether two lattices share spacing and alignment
+// (not necessarily extent): the precondition for point-wise composition
+// without resampling.
+func (l Lattice) SameGeometry(m Lattice) bool {
+	const eps = 1e-9
+	if math.Abs(l.DX-m.DX) > eps*math.Max(1, math.Abs(l.DX)) ||
+		math.Abs(l.DY-m.DY) > eps*math.Max(1, math.Abs(l.DY)) {
+		return false
+	}
+	// Origins must differ by an integer number of steps.
+	fx := (m.X0 - l.X0) / l.DX
+	fy := (m.Y0 - l.Y0) / l.DY
+	return math.Abs(fx-math.Round(fx)) < 1e-6 && math.Abs(fy-math.Round(fy)) < 1e-6
+}
+
+// Equal reports exact equality of all lattice parameters.
+func (l Lattice) Equal(m Lattice) bool { return l == m }
+
+func (l Lattice) String() string {
+	return fmt.Sprintf("lattice(%dx%d @ (%g,%g) step (%g,%g))", l.W, l.H, l.X0, l.Y0, l.DX, l.DY)
+}

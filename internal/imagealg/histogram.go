@@ -1,0 +1,163 @@
+// Package imagealg provides the pixel- and frame-level image functions the
+// GeoStreams value transforms apply (§3.2): point-wise maps, the
+// frame-buffered scaling transforms the paper names (linear contrast
+// stretch, histogram equalization, Gaussian stretch), and convolution
+// kernels for neighborhood operations.
+package imagealg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-range, fixed-bin-count histogram over scalar pixel
+// values. NaN values are ignored; out-of-range values clamp into the edge
+// bins, which matches the behaviour of typical remote-sensing stretch
+// pipelines.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	N        int64
+}
+
+// NewHistogram creates a histogram over [min, max] with the given number
+// of bins.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("imagealg: histogram needs positive bin count, got %d", bins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("imagealg: histogram range [%g, %g] invalid", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}, nil
+}
+
+// binOf maps a value to its bin index, clamping to the edges.
+func (h *Histogram) binOf(v float64) int {
+	f := (v - h.Min) / (h.Max - h.Min)
+	b := int(f * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Add records a value; NaN is ignored.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.Counts[h.binOf(v)]++
+	h.N++
+}
+
+// AddAll records every value of a slice.
+func (h *Histogram) AddAll(vals []float64) {
+	for _, v := range vals {
+		h.Add(v)
+	}
+}
+
+// CDF returns the empirical cumulative distribution evaluated at the upper
+// edge of each bin, as fractions in [0, 1]. An empty histogram returns all
+// zeros.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return out
+	}
+	var run int64
+	for i, c := range h.Counts {
+		run += c
+		out[i] = float64(run) / float64(h.N)
+	}
+	return out
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) using bin
+// midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return h.Min
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.N)))
+	if target < 1 {
+		target = 1
+	}
+	var run int64
+	for i, c := range h.Counts {
+		run += c
+		if run >= target {
+			w := (h.Max - h.Min) / float64(len(h.Counts))
+			return h.Min + (float64(i)+0.5)*w
+		}
+	}
+	return h.Max
+}
+
+// Moments returns the count, mean, and standard deviation of all values
+// recorded (exactly, via the running sums, not the binning).
+type Moments struct {
+	N        int64
+	Sum      float64
+	SumSq    float64
+	Min, Max float64
+}
+
+// NewMoments returns an empty accumulator.
+func NewMoments() *Moments {
+	return &Moments{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add records a value; NaN is ignored.
+func (m *Moments) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.N++
+	m.Sum += v
+	m.SumSq += v * v
+	if v < m.Min {
+		m.Min = v
+	}
+	if v > m.Max {
+		m.Max = v
+	}
+}
+
+// AddAll records every value of a slice.
+func (m *Moments) AddAll(vals []float64) {
+	for _, v := range vals {
+		m.Add(v)
+	}
+}
+
+// Mean returns the mean of recorded values (0 when empty).
+func (m *Moments) Mean() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}
+
+// Std returns the population standard deviation (0 when empty).
+func (m *Moments) Std() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	mean := m.Mean()
+	v := m.SumSq/float64(m.N) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

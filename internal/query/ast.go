@@ -1,0 +1,252 @@
+// Package query implements the GeoStreams query model as a small textual
+// language over the §3 algebra: a lexer/parser producing typed logical
+// plans, the §3.4 rewrite rules (restriction merging and push-down,
+// including inverse-CRS region mapping below re-projections), a planner
+// that wires plans into channel-connected operator pipelines, and EXPLAIN
+// rendering with the cost model's predictions.
+//
+// The surface syntax is functional, mirroring the algebra. The paper's
+// running example query
+//
+//	((f_val((G1 − G2) ÷ (G2 + G1))) ∘ f_UTM) |R
+//
+// is written
+//
+//	rselect(
+//	  reproject(
+//	    stretch((nir - vis) / (nir + vis), linear, 0, 255),
+//	    "utm:10"),
+//	  rect(550000, 4100000, 650000, 4300000))
+//
+// with the region interpreted in the stream's current CRS at that point in
+// the plan (UTM here, exactly as in the paper's discussion).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/core"
+	"geostreams/internal/geom"
+	"geostreams/internal/valueset"
+)
+
+// Node is a typed logical plan node. The algebra is closed, so every node
+// denotes a GeoStream.
+type Node interface {
+	// Children returns the input plans.
+	Children() []Node
+	// Label names the operator with its parameters for EXPLAIN output.
+	Label() string
+}
+
+// Source reads a named band stream from the registered source set.
+type Source struct {
+	Band string
+}
+
+func (s *Source) Children() []Node { return nil }
+func (s *Source) Label() string    { return s.Band }
+
+// RestrictS is the spatial restriction G|R. The region's coordinates are
+// interpreted in the CRS of the input stream at this plan position.
+type RestrictS struct {
+	In     Node
+	Region geom.Region
+}
+
+func (n *RestrictS) Children() []Node { return []Node{n.In} }
+func (n *RestrictS) Label() string    { return "rselect(" + n.Region.String() + ")" }
+
+// RestrictT is the temporal restriction G|T.
+type RestrictT struct {
+	In    Node
+	Times geom.TimeSet
+}
+
+func (n *RestrictT) Children() []Node { return []Node{n.In} }
+func (n *RestrictT) Label() string    { return "tselect(" + n.Times.String() + ")" }
+
+// RestrictV is the value restriction G|V.
+type RestrictV struct {
+	In  Node
+	Set valueset.Set
+}
+
+func (n *RestrictV) Children() []Node { return []Node{n.In} }
+func (n *RestrictV) Label() string    { return "vselect(" + n.Set.String() + ")" }
+
+// MapFn is a point-wise value transform f_val ∘ G.
+type MapFn struct {
+	In   Node
+	Op   core.ValueTransform
+	Desc string
+}
+
+func (n *MapFn) Children() []Node { return []Node{n.In} }
+func (n *MapFn) Label() string    { return "map(" + n.Desc + ")" }
+
+// StretchFn is the frame-buffered scaling transform.
+type StretchFn struct {
+	In       Node
+	Kind     core.StretchKind
+	Min, Max float64
+}
+
+func (n *StretchFn) Children() []Node { return []Node{n.In} }
+func (n *StretchFn) Label() string {
+	return fmt.Sprintf("stretch(%s, %g, %g)", n.Kind, n.Min, n.Max)
+}
+
+// Zoom changes the lattice resolution by an integer factor.
+type Zoom struct {
+	In  Node
+	K   int
+	Out bool // true: zoom out (decrease resolution)
+}
+
+func (n *Zoom) Children() []Node { return []Node{n.In} }
+func (n *Zoom) Label() string {
+	if n.Out {
+		return fmt.Sprintf("zoomout(%d)", n.K)
+	}
+	return fmt.Sprintf("zoomin(%d)", n.K)
+}
+
+// Reproject re-projects the stream into a new coordinate system.
+type Reproject struct {
+	In     Node
+	To     coord.CRS
+	Interp core.InterpKind
+}
+
+func (n *Reproject) Children() []Node { return []Node{n.In} }
+func (n *Reproject) Label() string {
+	return fmt.Sprintf("reproject(%s, %s)", n.To.Name(), n.Interp)
+}
+
+// Rotate applies an affine rotation about the sector center.
+type Rotate struct {
+	In      Node
+	Degrees float64
+}
+
+func (n *Rotate) Children() []Node { return []Node{n.In} }
+func (n *Rotate) Label() string    { return fmt.Sprintf("rotate(%g)", n.Degrees) }
+
+// Filter is a neighborhood operation (convolution or gradient) over the
+// lattice.
+type Filter struct {
+	In    Node
+	Kind  string // "box", "gauss", "gradient"
+	N     int
+	Sigma float64
+}
+
+func (n *Filter) Children() []Node { return []Node{n.In} }
+func (n *Filter) Label() string {
+	switch n.Kind {
+	case "box":
+		return fmt.Sprintf("boxfilter(%d)", n.N)
+	case "gauss":
+		return fmt.Sprintf("gaussfilter(%d, %g)", n.N, n.Sigma)
+	}
+	return "gradient()"
+}
+
+// ComposeOp is the binary composition G1 γ G2.
+type ComposeOp struct {
+	L, R  Node
+	Gamma valueset.Gamma
+}
+
+func (n *ComposeOp) Children() []Node { return []Node{n.L, n.R} }
+func (n *ComposeOp) Label() string    { return "compose(" + n.Gamma.String() + ")" }
+
+// AggT is the temporal sliding-window aggregate (the [27] extension).
+type AggT struct {
+	In     Node
+	Fn     core.AggFunc
+	Window int
+}
+
+func (n *AggT) Children() []Node { return []Node{n.In} }
+func (n *AggT) Label() string    { return fmt.Sprintf("agg_t(%s, %d)", n.Fn, n.Window) }
+
+// AggR is the regional (time-series) aggregate.
+type AggR struct {
+	In     Node
+	Fn     core.AggFunc
+	Region geom.Region
+}
+
+func (n *AggR) Children() []Node { return []Node{n.In} }
+func (n *AggR) Label() string    { return fmt.Sprintf("agg_r(%s, %s)", n.Fn, n.Region) }
+
+// Format renders a plan as an indented tree.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Interests computes, per source band, a conservative bounding rectangle
+// of the data the plan can ever use — the region the DSMS registers in its
+// shared cascade-tree restriction stage (§4). The rectangle is the
+// intersection of the spatial restrictions on the path from each source to
+// the root, reset to the whole plane whenever the path crosses a
+// coordinate-system change (the optimizer places mapped restrictions below
+// those, so the reset costs nothing on optimized plans).
+func Interests(n Node) map[string]geom.Rect {
+	out := map[string]geom.Rect{}
+	var walk func(n Node, cur geom.Rect)
+	walk = func(n Node, cur geom.Rect) {
+		switch t := n.(type) {
+		case *Source:
+			if prev, ok := out[t.Band]; ok {
+				out[t.Band] = prev.Union(cur)
+			} else {
+				out[t.Band] = cur
+			}
+		case *RestrictS:
+			walk(t.In, cur.Intersect(t.Region.Bounds()))
+		case *Reproject:
+			walk(t.In, geom.WorldRect())
+		case *Rotate:
+			walk(t.In, geom.WorldRect())
+		default:
+			for _, c := range n.Children() {
+				walk(c, cur)
+			}
+		}
+	}
+	walk(n, geom.WorldRect())
+	return out
+}
+
+// Bands returns the set of source bands a plan reads, with multiplicity.
+func Bands(n Node) map[string]int {
+	out := map[string]int{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Source); ok {
+			out[s.Band]++
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}

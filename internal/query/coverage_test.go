@@ -1,0 +1,204 @@
+package query
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+// runQueryOverWorkload parses, validates, optionally optimizes, builds,
+// and fully drains a query over a fresh synthetic workload.
+func runQueryOverWorkload(t *testing.T, q string, optimize bool, w, h, sectors int) []*stream.Chunk {
+	t.Helper()
+	g := stream.NewGroup(context.Background())
+	catalog, sources, _ := testCatalog(t, g, w, h, sectors)
+	plan := mustParse(t, q)
+	if err := Validate(plan, catalog); err != nil {
+		t.Fatalf("Validate(%q): %v", q, err)
+	}
+	if optimize {
+		var err error
+		if plan, err = Optimize(plan, catalog); err != nil {
+			t.Fatalf("Optimize(%q): %v", q, err)
+		}
+	}
+	used := Bands(plan)
+	for band, s := range sources {
+		if used[band] == 0 {
+			go stream.Drain(context.Background(), s) //nolint:errcheck
+		}
+	}
+	out, _, err := Build(g, plan, sources)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", q, err)
+	}
+	chunks, err := stream.Collect(context.Background(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return chunks
+}
+
+func countValid(chunks []*stream.Chunk) int {
+	n := 0
+	for _, c := range chunks {
+		c.ForEachPoint(func(_ geom.Point, v float64) {
+			if !math.IsNaN(v) {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+func TestRotateQueryEndToEnd(t *testing.T) {
+	chunks := runQueryOverWorkload(t, "rotate(vis, 90)", false, 21, 21, 1)
+	if countValid(chunks) < 100 {
+		t.Fatalf("rotate produced only %d valid points", countValid(chunks))
+	}
+}
+
+func TestAggTQueryEndToEnd(t *testing.T) {
+	chunks := runQueryOverWorkload(t, "agg_t(vis, max, 2)", true, 12, 10, 3)
+	// One aggregated frame per sector.
+	frames := 0
+	for _, c := range chunks {
+		if c.Kind == stream.KindGrid {
+			frames++
+		}
+	}
+	if frames != 3 {
+		t.Fatalf("agg_t frames = %d, want 3", frames)
+	}
+}
+
+func TestAggRQueryEndToEnd(t *testing.T) {
+	chunks := runQueryOverWorkload(t,
+		"agg_r(vis, count, rect(-121.5, 36.5, -120.5, 37.5))", true, 12, 10, 2)
+	if len(chunks) != 2 {
+		t.Fatalf("series length = %d, want 2", len(chunks))
+	}
+	for _, c := range chunks {
+		if c.Kind != stream.KindPoints || len(c.Points) != 1 {
+			t.Fatalf("series element = %+v", c)
+		}
+		if c.Points[0].V <= 0 {
+			t.Fatalf("count = %g", c.Points[0].V)
+		}
+	}
+}
+
+func TestVSelectSupInfQueriesEndToEnd(t *testing.T) {
+	for _, q := range []string{
+		"vselect(vis, below(2000))",
+		"sup(nir, vis)",
+		"inf(nir, vis)",
+		"threshold(vis, 500, 0, 1)",
+		"clamp(vis, 100, 900)",
+		"gammac(vis, 2.2, 0, 1023)",
+		"gaussfilter(vis, 5, 1.2)",
+		"gradient(vis)",
+		"zoomout(zoomin(vis, 2), 2)",
+		"stretch(vis, equalize, 0, 255)",
+		"stretch(vis, gaussian, 0, 255)",
+		"tselect(vis, since(0))",
+		"tselect(vis, alltime())",
+		"rselect(vis, disk(-121, 37, 0.5))",
+	} {
+		chunks := runQueryOverWorkload(t, q, true, 10, 8, 1)
+		if countValid(chunks) == 0 {
+			t.Fatalf("query %q produced no data", q)
+		}
+	}
+}
+
+func TestInterests(t *testing.T) {
+	// Restrictions narrow interests; re-projection resets to the world;
+	// multiple sources union.
+	plan := mustParse(t, "rselect(nir, rect(0, 0, 10, 10)) + rselect(nir, rect(20, 20, 30, 30))")
+	in := Interests(plan)
+	if len(in) != 1 {
+		t.Fatalf("interests = %v", in)
+	}
+	b := in["nir"]
+	if !b.Contains(geom.V2(5, 5)) || !b.Contains(geom.V2(25, 25)) {
+		t.Fatalf("union interest = %v", b)
+	}
+
+	plan = mustParse(t, `rselect(reproject(nir, "utm:10"), rect(500000, 4000000, 600000, 4100000))`)
+	in = Interests(plan)
+	if in["nir"] != geom.WorldRect() {
+		t.Fatalf("reproject must reset interest, got %v", in["nir"])
+	}
+
+	// After optimization the interest narrows again (mapped restriction
+	// below the reprojection).
+	catalog := map[string]stream.Info{"nir": {Band: "nir", CRS: mustLatLon(), VMax: 1023}}
+	opt, err := Optimize(plan, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in = Interests(opt)
+	if in["nir"] == geom.WorldRect() {
+		t.Fatal("optimized interest must be narrowed by the mapped restriction")
+	}
+	if in["nir"].MinX < -180 || in["nir"].MaxX > 180 {
+		t.Fatalf("optimized interest not in source coordinates: %v", in["nir"])
+	}
+}
+
+func TestInterestsThroughCompose(t *testing.T) {
+	plan := mustParse(t, "rselect(nir - vis, rect(1, 1, 2, 2))")
+	in := Interests(plan)
+	want := geom.R(1, 1, 2, 2)
+	if in["nir"] != want || in["vis"] != want {
+		t.Fatalf("interests = %v", in)
+	}
+}
+
+func TestSyntaxErrorRendering(t *testing.T) {
+	_, err := Parse("rselect(nir,, rect(0,0,1,1))", testBands)
+	if err == nil {
+		t.Fatal("double comma must fail")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Error() == "" || se.Pos <= 0 {
+		t.Fatalf("unhelpful syntax error: %+v", se)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for k := tokEOF; k <= tokSlash; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty token kind string for %d", int(k))
+		}
+	}
+}
+
+func TestFormatRendersTree(t *testing.T) {
+	plan := mustParse(t, "rselect(scale(nir - vis, 1, 0), rect(0,0,1,1))")
+	f := Format(plan)
+	for _, want := range []string{"rselect", "map(scale", "compose(-)", "nir", "vis"} {
+		if !containsStr(f, want) {
+			t.Fatalf("Format missing %q:\n%s", want, f)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

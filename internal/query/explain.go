@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"geostreams/internal/core"
+	"geostreams/internal/stream"
+)
+
+// InfoOf statically derives the output stream metadata of a plan over a
+// catalog — the planning-time half of every operator's OutInfo, without
+// building channels. It doubles as semantic validation: any operator
+// precondition violation (mixed coordinate systems in a composition,
+// progressive transform without metadata, ...) surfaces here before
+// execution.
+func InfoOf(n Node, catalog map[string]stream.Info) (stream.Info, error) {
+	switch t := n.(type) {
+	case *Source:
+		in, ok := catalog[t.Band]
+		if !ok {
+			return stream.Info{}, fmt.Errorf("query: unknown band %q", t.Band)
+		}
+		return in, nil
+	case *RestrictS:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.SpatialRestrict{Region: t.Region}.OutInfo(in)
+	case *RestrictT:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.TemporalRestrict{Times: t.Times}.OutInfo(in)
+	case *RestrictV:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.ValueRestrict{Values: t.Set}.OutInfo(in)
+	case *MapFn:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return t.Op.OutInfo(in)
+	case *StretchFn:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}.OutInfo(in)
+	case *Zoom:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		if t.Out {
+			return core.ZoomOut{K: t.K}.OutInfo(in)
+		}
+		return core.ZoomIn{K: t.K}.OutInfo(in)
+	case *Reproject:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		op := core.NewReproject(in.CRS, t.To, t.Interp, in.HasSectorMeta)
+		return op.OutInfo(in)
+	case *Rotate:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		if !in.HasSectorMeta {
+			return stream.Info{}, fmt.Errorf("query: rotate needs sector metadata")
+		}
+		center := in.SectorGeom.Bounds().Center()
+		aff, err := core.NewAffineTransform(core.Rotation(t.Degrees*degToRad, center), in.CRS, t.Interp(), true)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return aff.OutInfo(in)
+	case *Filter:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		op, err := filterOp(t)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return op.OutInfo(in)
+	case *ComposeOp:
+		l, err := InfoOf(t.L, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		r, err := InfoOf(t.R, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.Compose{Gamma: t.Gamma}.OutInfo(l, r)
+	case *AggT:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return (&core.TemporalAggregate{Fn: t.Fn, Window: t.Window}).OutInfo(in)
+	case *AggR:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return core.RegionalAggregate{Fn: t.Fn, Region: t.Region}.OutInfo(in)
+	}
+	return stream.Info{}, fmt.Errorf("query: cannot derive info for %T", n)
+}
+
+// Validate type-checks a plan against a catalog without executing it.
+func Validate(n Node, catalog map[string]stream.Info) error {
+	_, err := InfoOf(n, catalog)
+	return err
+}
+
+// Explain renders the plan tree with per-operator cost predictions from
+// the §3 cost model: the operator, its output stream type, its space
+// complexity class, and the predicted peak buffer.
+func Explain(n Node, catalog map[string]stream.Info) (string, error) {
+	var b strings.Builder
+	var walk func(n Node, depth int) error
+	walk = func(n Node, depth int) error {
+		info, err := InfoOf(n, catalog)
+		if err != nil {
+			return err
+		}
+		est := estimateFor(n, catalog)
+		fmt.Fprintf(&b, "%s%-40s %s", strings.Repeat("  ", depth), n.Label(), info)
+		if est != nil {
+			fmt.Fprintf(&b, "  space=%s", est.Class)
+			if est.BufferPoints > 0 {
+				fmt.Fprintf(&b, " (~%d pts)", est.BufferPoints)
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// estimateFor maps a plan node to the cost model's prediction over its
+// input stream.
+func estimateFor(n Node, catalog map[string]stream.Info) *core.Estimate {
+	kids := n.Children()
+	if len(kids) == 0 {
+		return nil
+	}
+	in, err := InfoOf(kids[0], catalog)
+	if err != nil {
+		return nil
+	}
+	var op any
+	switch t := n.(type) {
+	case *RestrictS:
+		op = core.SpatialRestrict{Region: t.Region}
+	case *RestrictT:
+		op = core.TemporalRestrict{Times: t.Times}
+	case *RestrictV:
+		op = core.ValueRestrict{Values: t.Set}
+	case *MapFn:
+		op = t.Op
+	case *StretchFn:
+		op = core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}
+	case *Zoom:
+		if t.Out {
+			op = core.ZoomOut{K: t.K}
+		} else {
+			op = core.ZoomIn{K: t.K}
+		}
+	case *Reproject:
+		op = core.NewReproject(in.CRS, t.To, t.Interp, in.HasSectorMeta)
+	case *Rotate:
+		op = &core.Resample{Progressive: in.HasSectorMeta}
+	case *Filter:
+		fo, err := filterOp(t)
+		if err != nil {
+			return nil
+		}
+		op = fo
+	case *ComposeOp:
+		op = core.Compose{Gamma: t.Gamma}
+	case *AggT:
+		op = &core.TemporalAggregate{Fn: t.Fn, Window: t.Window}
+	case *AggR:
+		op = core.RegionalAggregate{Fn: t.Fn, Region: t.Region}
+	default:
+		return nil
+	}
+	est := core.EstimateCost(op, in)
+	return &est
+}

@@ -1,0 +1,836 @@
+package query
+
+import (
+	"fmt"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/core"
+	"geostreams/internal/geom"
+	"geostreams/internal/imagealg"
+	"geostreams/internal/valueset"
+)
+
+// Parse compiles a query string into a logical plan. `bands` is the set of
+// source band names the catalog offers; bare identifiers resolve against
+// it.
+func Parse(src string, bands map[string]bool) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, bands: bands}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	n, err := v.asNode(p.prev().pos)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// argVal is the union of argument kinds a function call can receive.
+type argVal struct {
+	node   Node
+	num    *float64
+	ident  string // enum keyword (linear, mean, nearest, ...)
+	str    string // string literal (CRS names)
+	isStr  bool
+	region geom.Region
+	times  geom.TimeSet
+	vset   valueset.Set
+}
+
+func (v argVal) kind() string {
+	switch {
+	case v.node != nil:
+		return "stream"
+	case v.num != nil:
+		return "number"
+	case v.region != nil:
+		return "region"
+	case v.times != nil:
+		return "timeset"
+	case v.vset != nil:
+		return "valueset"
+	case v.isStr:
+		return "string"
+	case v.ident != "":
+		return "keyword"
+	}
+	return "nothing"
+}
+
+func (v argVal) asNode(pos int) (Node, error) {
+	if v.node == nil {
+		return nil, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a stream expression, got %s", v.kind())}
+	}
+	return v.node, nil
+}
+
+func (v argVal) asNum(pos int) (float64, error) {
+	if v.num == nil {
+		return 0, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a number, got %s", v.kind())}
+	}
+	return *v.num, nil
+}
+
+func (v argVal) asRegion(pos int) (geom.Region, error) {
+	if v.region == nil {
+		return nil, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a region, got %s", v.kind())}
+	}
+	return v.region, nil
+}
+
+func (v argVal) asTimes(pos int) (geom.TimeSet, error) {
+	if v.times == nil {
+		return nil, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a time set, got %s", v.kind())}
+	}
+	return v.times, nil
+}
+
+func (v argVal) asVSet(pos int) (valueset.Set, error) {
+	if v.vset == nil {
+		return nil, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a value set, got %s", v.kind())}
+	}
+	return v.vset, nil
+}
+
+func (v argVal) asKeyword(pos int) (string, error) {
+	if v.ident == "" {
+		return "", &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a keyword, got %s", v.kind())}
+	}
+	return v.ident, nil
+}
+
+func (v argVal) asString(pos int) (string, error) {
+	if v.isStr {
+		return v.str, nil
+	}
+	if v.ident != "" { // allow bare idents where strings are expected (latlon)
+		return v.ident, nil
+	}
+	return "", &SyntaxError{Pos: pos, Msg: fmt.Sprintf("expected a string, got %s", v.kind())}
+}
+
+type parser struct {
+	toks  []token
+	i     int
+	bands map[string]bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) prev() token { return p.toks[max(0, p.i-1)] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokenKind) error {
+	if p.cur().kind != k {
+		return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf("expected %v, got %v", k, p.cur().kind)}
+	}
+	p.i++
+	return nil
+}
+
+// parseExpr handles + and - (loosest binding).
+func (p *parser) parseExpr() (argVal, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return argVal{}, err
+	}
+	for {
+		var g valueset.Gamma
+		switch p.cur().kind {
+		case tokPlus:
+			g = valueset.Add
+		case tokMinus:
+			g = valueset.Sub
+		default:
+			return v, nil
+		}
+		opTok := p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return argVal{}, err
+		}
+		v, err = composeVals(v, r, g, opTok.pos)
+		if err != nil {
+			return argVal{}, err
+		}
+	}
+}
+
+// parseTerm handles * and /.
+func (p *parser) parseTerm() (argVal, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return argVal{}, err
+	}
+	for {
+		var g valueset.Gamma
+		switch p.cur().kind {
+		case tokStar:
+			g = valueset.Mul
+		case tokSlash:
+			g = valueset.Div
+		default:
+			return v, nil
+		}
+		opTok := p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return argVal{}, err
+		}
+		v, err = composeVals(v, r, g, opTok.pos)
+		if err != nil {
+			return argVal{}, err
+		}
+	}
+}
+
+// composeVals combines two argVals under an arithmetic operator: stream op
+// stream is a composition; number op number folds.
+func composeVals(l, r argVal, g valueset.Gamma, pos int) (argVal, error) {
+	if l.node != nil && r.node != nil {
+		return argVal{node: &ComposeOp{L: l.node, R: r.node, Gamma: g}}, nil
+	}
+	if l.num != nil && r.num != nil {
+		v := g.Apply(*l.num, *r.num)
+		return argVal{num: &v}, nil
+	}
+	return argVal{}, &SyntaxError{Pos: pos,
+		Msg: fmt.Sprintf("operator %s needs two streams or two numbers, got %s and %s",
+			g, l.kind(), r.kind())}
+}
+
+// parseFactor handles literals, identifiers, calls, parens, and unary minus.
+func (p *parser) parseFactor() (argVal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		v := t.num
+		return argVal{num: &v}, nil
+	case tokMinus:
+		p.i++
+		inner, err := p.parseFactor()
+		if err != nil {
+			return argVal{}, err
+		}
+		n, err := inner.asNum(t.pos)
+		if err != nil {
+			return argVal{}, &SyntaxError{Pos: t.pos, Msg: "unary minus applies to numbers only"}
+		}
+		neg := -n
+		return argVal{num: &neg}, nil
+	case tokString:
+		p.i++
+		return argVal{str: t.text, isStr: true}, nil
+	case tokLParen:
+		p.i++
+		v, err := p.parseExpr()
+		if err != nil {
+			return argVal{}, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return argVal{}, err
+		}
+		return v, nil
+	case tokIdent:
+		p.i++
+		if p.cur().kind == tokLParen {
+			return p.parseCall(t)
+		}
+		if p.bands[t.text] {
+			return argVal{node: &Source{Band: t.text}}, nil
+		}
+		return argVal{ident: t.text}, nil
+	}
+	return argVal{}, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("unexpected %v", t.kind)}
+}
+
+// parseCall parses name '(' args ')' and dispatches to the builtin table.
+func (p *parser) parseCall(name token) (argVal, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return argVal{}, err
+	}
+	var args []argVal
+	if p.cur().kind != tokRParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return argVal{}, err
+			}
+			args = append(args, a)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.i++
+		}
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return argVal{}, err
+	}
+	fn, ok := builtins[name.text]
+	if !ok {
+		return argVal{}, &SyntaxError{Pos: name.pos, Msg: fmt.Sprintf("unknown function %q", name.text)}
+	}
+	return fn(name.pos, args)
+}
+
+// builtin implements one query-language function.
+type builtin func(pos int, args []argVal) (argVal, error)
+
+func arity(pos int, args []argVal, want int, name string) error {
+	if len(args) != want {
+		return &SyntaxError{Pos: pos, Msg: fmt.Sprintf("%s takes %d argument(s), got %d", name, want, len(args))}
+	}
+	return nil
+}
+
+var builtins map[string]builtin
+
+func init() {
+	builtins = map[string]builtin{
+		// --- region constructors (§3.1 specification styles) ----------
+		"rect": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 4, "rect"); err != nil {
+				return argVal{}, err
+			}
+			var v [4]float64
+			for i := range v {
+				n, err := args[i].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				v[i] = n
+			}
+			return argVal{region: geom.NewRectRegion(geom.R(v[0], v[1], v[2], v[3]))}, nil
+		},
+		"disk": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "disk"); err != nil {
+				return argVal{}, err
+			}
+			cx, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			cy, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			r, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{region: geom.Disk(cx, cy, r)}, nil
+		},
+		"polygon": func(pos int, args []argVal) (argVal, error) {
+			if len(args) < 6 || len(args)%2 != 0 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "polygon takes >= 3 x,y pairs"}
+			}
+			verts := make([]geom.Vec2, len(args)/2)
+			for i := range verts {
+				x, err := args[2*i].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				y, err := args[2*i+1].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				verts[i] = geom.V2(x, y)
+			}
+			poly, err := geom.NewPolygonRegion(verts)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			return argVal{region: poly}, nil
+		},
+		"world": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 0, "world"); err != nil {
+				return argVal{}, err
+			}
+			return argVal{region: geom.WorldRegion{}}, nil
+		},
+
+		// --- time set constructors -------------------------------------
+		"interval": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "interval"); err != nil {
+				return argVal{}, err
+			}
+			a, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			b, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{times: geom.NewInterval(geom.Timestamp(a), geom.Timestamp(b))}, nil
+		},
+		"since": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 1, "since"); err != nil {
+				return argVal{}, err
+			}
+			a, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{times: geom.Since(geom.Timestamp(a))}, nil
+		},
+		"instants": func(pos int, args []argVal) (argVal, error) {
+			if len(args) == 0 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "instants needs at least one timestamp"}
+			}
+			ts := make([]geom.Timestamp, len(args))
+			for i := range args {
+				n, err := args[i].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				ts[i] = geom.Timestamp(n)
+			}
+			return argVal{times: geom.NewInstants(ts...)}, nil
+		},
+		"recurring": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "recurring"); err != nil {
+				return argVal{}, err
+			}
+			var v [3]float64
+			for i := range v {
+				n, err := args[i].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				v[i] = n
+			}
+			r, err := geom.NewRecurring(geom.Timestamp(v[0]), geom.Timestamp(v[1]), geom.Timestamp(v[2]))
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			return argVal{times: r}, nil
+		},
+		"alltime": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 0, "alltime"); err != nil {
+				return argVal{}, err
+			}
+			return argVal{times: geom.AllTime{}}, nil
+		},
+
+		// --- value set constructors -------------------------------------
+		"range": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "range"); err != nil {
+				return argVal{}, err
+			}
+			a, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			b, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			r, err := valueset.NewRange(a, b)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			return argVal{vset: r}, nil
+		},
+		"above": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 1, "above"); err != nil {
+				return argVal{}, err
+			}
+			a, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{vset: valueset.Above{Threshold: a}}, nil
+		},
+		"below": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 1, "below"); err != nil {
+				return argVal{}, err
+			}
+			a, err := args[0].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{vset: valueset.Below{Threshold: a}}, nil
+		},
+		"finite": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 0, "finite"); err != nil {
+				return argVal{}, err
+			}
+			return argVal{vset: valueset.Finite{}}, nil
+		},
+
+		// --- restrictions (§3.1) ----------------------------------------
+		"rselect": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "rselect"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			r, err := args[1].asRegion(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &RestrictS{In: in, Region: r}}, nil
+		},
+		"tselect": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "tselect"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			ts, err := args[1].asTimes(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &RestrictT{In: in, Times: ts}}, nil
+		},
+		"vselect": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "vselect"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			vs, err := args[1].asVSet(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &RestrictV{In: in, Set: vs}}, nil
+		},
+
+		// --- value transforms (§3.2) -------------------------------------
+		"scale": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "scale"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			a, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			b, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			desc := fmt.Sprintf("scale(%g, %g)", a, b)
+			return argVal{node: &MapFn{In: in, Desc: desc,
+				Op: core.ValueTransform{Fn: imagealg.Scale(a, b), Label: desc}}}, nil
+		},
+		"clamp": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "clamp"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			lo, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			hi, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			desc := fmt.Sprintf("clamp(%g, %g)", lo, hi)
+			return argVal{node: &MapFn{In: in, Desc: desc,
+				Op: core.ValueTransform{Fn: imagealg.Clamp(lo, hi), Label: desc,
+					Rerange: true, OutMin: lo, OutMax: hi}}}, nil
+		},
+		"threshold": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 4, "threshold"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			var v [3]float64
+			for i := 0; i < 3; i++ {
+				n, err := args[i+1].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				v[i] = n
+			}
+			desc := fmt.Sprintf("threshold(%g, %g, %g)", v[0], v[1], v[2])
+			return argVal{node: &MapFn{In: in, Desc: desc,
+				Op: core.ValueTransform{Fn: imagealg.Threshold(v[0], v[1], v[2]), Label: desc,
+					Rerange: true, OutMin: v[1], OutMax: v[2]}}}, nil
+		},
+		"stretch": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 4, "stretch"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			kw, err := args[1].asKeyword(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			kind, err := core.ParseStretchKind(kw)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			lo, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			hi, err := args[3].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &StretchFn{In: in, Kind: kind, Min: lo, Max: hi}}, nil
+		},
+
+		// --- spatial transforms (§3.2) -----------------------------------
+		"zoomin": func(pos int, args []argVal) (argVal, error) {
+			return parseZoom(pos, args, false)
+		},
+		"zoomout": func(pos int, args []argVal) (argVal, error) {
+			return parseZoom(pos, args, true)
+		},
+		"reproject": func(pos int, args []argVal) (argVal, error) {
+			if len(args) != 2 && len(args) != 3 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "reproject takes (stream, crs [, interp])"}
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			crsName, err := args[1].asString(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			crs, err := coord.Parse(crsName)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			interp := core.Bilinear
+			if len(args) == 3 {
+				kw, err := args[2].asKeyword(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				if interp, err = core.ParseInterp(kw); err != nil {
+					return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+				}
+			}
+			return argVal{node: &Reproject{In: in, To: crs, Interp: interp}}, nil
+		},
+		"boxfilter": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "boxfilter"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			n, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			if n != float64(int(n)) || int(n) < 3 || int(n)%2 == 0 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "boxfilter size must be an odd integer >= 3"}
+			}
+			return argVal{node: &Filter{In: in, Kind: "box", N: int(n)}}, nil
+		},
+		"gaussfilter": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "gaussfilter"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			n, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			sigma, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			if n != float64(int(n)) || int(n) < 3 || int(n)%2 == 0 || sigma <= 0 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "gaussfilter needs odd size >= 3 and sigma > 0"}
+			}
+			return argVal{node: &Filter{In: in, Kind: "gauss", N: int(n), Sigma: sigma}}, nil
+		},
+		"gradient": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 1, "gradient"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &Filter{In: in, Kind: "gradient"}}, nil
+		},
+		"gammac": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 4, "gammac"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			var v [3]float64
+			for i := 0; i < 3; i++ {
+				n, err := args[i+1].asNum(pos)
+				if err != nil {
+					return argVal{}, err
+				}
+				v[i] = n
+			}
+			if v[0] <= 0 {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: "gamma must be positive"}
+			}
+			desc := fmt.Sprintf("gammac(%g, %g, %g)", v[0], v[1], v[2])
+			return argVal{node: &MapFn{In: in, Desc: desc,
+				Op: core.ValueTransform{Fn: imagealg.Gamma(v[0], v[1], v[2]), Label: desc}}}, nil
+		},
+		"rotate": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "rotate"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			deg, err := args[1].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &Rotate{In: in, Degrees: deg}}, nil
+		},
+
+		// --- compositions (§3.3) ------------------------------------------
+		"sup": func(pos int, args []argVal) (argVal, error) {
+			return parseBinGamma(pos, args, valueset.Sup, "sup")
+		},
+		"inf": func(pos int, args []argVal) (argVal, error) {
+			return parseBinGamma(pos, args, valueset.Inf, "inf")
+		},
+		"ndvi": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 2, "ndvi"); err != nil {
+				return argVal{}, err
+			}
+			nir, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			vis, err := args[1].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			// (nir - vis) / (nir + vis); the shared node pointers let the
+			// planner tee each input once.
+			return argVal{node: &ComposeOp{
+				Gamma: valueset.Div,
+				L:     &ComposeOp{Gamma: valueset.Sub, L: nir, R: vis},
+				R:     &ComposeOp{Gamma: valueset.Add, L: nir, R: vis},
+			}}, nil
+		},
+
+		// --- aggregates (§6 / ref [27]) -----------------------------------
+		"agg_t": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "agg_t"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			kw, err := args[1].asKeyword(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			fn, err := core.ParseAggFunc(kw)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			w, err := args[2].asNum(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &AggT{In: in, Fn: fn, Window: int(w)}}, nil
+		},
+		"agg_r": func(pos int, args []argVal) (argVal, error) {
+			if err := arity(pos, args, 3, "agg_r"); err != nil {
+				return argVal{}, err
+			}
+			in, err := args[0].asNode(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			kw, err := args[1].asKeyword(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			fn, err := core.ParseAggFunc(kw)
+			if err != nil {
+				return argVal{}, &SyntaxError{Pos: pos, Msg: err.Error()}
+			}
+			r, err := args[2].asRegion(pos)
+			if err != nil {
+				return argVal{}, err
+			}
+			return argVal{node: &AggR{In: in, Fn: fn, Region: r}}, nil
+		},
+	}
+}
+
+func parseZoom(pos int, args []argVal, out bool) (argVal, error) {
+	name := "zoomin"
+	if out {
+		name = "zoomout"
+	}
+	if err := arity(pos, args, 2, name); err != nil {
+		return argVal{}, err
+	}
+	in, err := args[0].asNode(pos)
+	if err != nil {
+		return argVal{}, err
+	}
+	k, err := args[1].asNum(pos)
+	if err != nil {
+		return argVal{}, err
+	}
+	if k != float64(int(k)) || int(k) < 2 {
+		return argVal{}, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("%s factor must be an integer >= 2", name)}
+	}
+	return argVal{node: &Zoom{In: in, K: int(k), Out: out}}, nil
+}
+
+func parseBinGamma(pos int, args []argVal, g valueset.Gamma, name string) (argVal, error) {
+	if err := arity(pos, args, 2, name); err != nil {
+		return argVal{}, err
+	}
+	l, err := args[0].asNode(pos)
+	if err != nil {
+		return argVal{}, err
+	}
+	r, err := args[1].asNode(pos)
+	if err != nil {
+		return argVal{}, err
+	}
+	return argVal{node: &ComposeOp{L: l, R: r, Gamma: g}}, nil
+}

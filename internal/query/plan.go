@@ -1,0 +1,249 @@
+package query
+
+import (
+	"fmt"
+
+	"geostreams/internal/core"
+	"geostreams/internal/stream"
+)
+
+// Build wires a logical plan into a running operator pipeline inside the
+// group. `sources` supplies one physical stream per band. Subtrees shared
+// between plan branches (same Node pointer — the ndvi macro, merged common
+// subexpressions) are built once and teed; bands consumed more than once
+// are teed likewise.
+//
+// It returns the output stream and the Stats instance of every operator in
+// the pipeline, for the experiment harness and the DSMS status endpoint.
+func Build(g *stream.Group, plan Node, sources map[string]*stream.Stream) (*stream.Stream, []*stream.Stats, error) {
+	p := &planner{
+		g:     g,
+		refs:  map[Node]int{},
+		built: map[Node]*outlet{},
+	}
+	p.countRefs(plan, map[Node]bool{})
+	p.refs[plan]++
+
+	// Tee every band by the number of distinct Source nodes that read it:
+	// a *shared* Source node is constructed once and teed at node level,
+	// so it consumes only one copy regardless of its refcount.
+	p.sources = map[string]*outlet{}
+	needs := map[string]int{}
+	for n := range p.refs {
+		if s, ok := n.(*Source); ok {
+			needs[s.Band]++
+		}
+	}
+	for band, need := range needs {
+		src, ok := sources[band]
+		if !ok {
+			return nil, nil, fmt.Errorf("query: no source stream for band %q", band)
+		}
+		if need == 1 {
+			p.sources[band] = &outlet{streams: []*stream.Stream{src}}
+		} else {
+			p.sources[band] = &outlet{streams: stream.Tee(g, src, need)}
+		}
+	}
+
+	out, err := p.take(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, p.stats, nil
+}
+
+// outlet hands out the teed copies of one built node.
+type outlet struct {
+	streams []*stream.Stream
+	next    int
+}
+
+func (o *outlet) take() (*stream.Stream, error) {
+	if o.next >= len(o.streams) {
+		return nil, fmt.Errorf("query: internal: outlet over-consumed")
+	}
+	s := o.streams[o.next]
+	o.next++
+	return s, nil
+}
+
+type planner struct {
+	g       *stream.Group
+	refs    map[Node]int
+	built   map[Node]*outlet
+	sources map[string]*outlet
+	stats   []*stream.Stats
+}
+
+// countRefs counts how many parents each unique node has.
+func (p *planner) countRefs(n Node, seen map[Node]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	for _, c := range n.Children() {
+		p.refs[c]++
+		p.countRefs(c, seen)
+	}
+}
+
+// take returns one consumable copy of the node's physical stream,
+// constructing the operator on first demand.
+func (p *planner) take(n Node) (*stream.Stream, error) {
+	if o, ok := p.built[n]; ok {
+		return o.take()
+	}
+	out, err := p.construct(n)
+	if err != nil {
+		return nil, err
+	}
+	o := &outlet{streams: []*stream.Stream{out}}
+	if c := p.refs[n]; c > 1 {
+		o = &outlet{streams: stream.Tee(p.g, out, c)}
+	}
+	p.built[n] = o
+	return o.take()
+}
+
+// apply wires a unary operator and records its stats.
+func (p *planner) apply(op stream.Operator, in *stream.Stream) (*stream.Stream, error) {
+	out, st, err := stream.Apply(p.g, op, in)
+	if err != nil {
+		return nil, err
+	}
+	p.stats = append(p.stats, st)
+	return out, nil
+}
+
+// construct builds the physical operator for one plan node.
+func (p *planner) construct(n Node) (*stream.Stream, error) {
+	switch t := n.(type) {
+	case *Source:
+		o, ok := p.sources[t.Band]
+		if !ok {
+			return nil, fmt.Errorf("query: no source stream for band %q", t.Band)
+		}
+		return o.take()
+	case *RestrictS:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(core.SpatialRestrict{Region: t.Region}, in)
+	case *RestrictT:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(core.TemporalRestrict{Times: t.Times}, in)
+	case *RestrictV:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(core.ValueRestrict{Values: t.Set}, in)
+	case *MapFn:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(t.Op, in)
+	case *StretchFn:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}, in)
+	case *Zoom:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if t.Out {
+			return p.apply(core.ZoomOut{K: t.K}, in)
+		}
+		return p.apply(core.ZoomIn{K: t.K}, in)
+	case *Reproject:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		// Progressive emission whenever the stream carries the §3.2
+		// sector metadata; otherwise the operator must block per sector.
+		op := core.NewReproject(in.Info.CRS, t.To, t.Interp, in.Info.HasSectorMeta)
+		return p.apply(op, in)
+	case *Rotate:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		if !in.Info.HasSectorMeta {
+			return nil, fmt.Errorf("query: rotate needs sector metadata to locate the sector center")
+		}
+		center := in.Info.SectorGeom.Bounds().Center()
+		aff, err := core.NewAffineTransform(
+			core.Rotation(t.Degrees*degToRad, center), in.Info.CRS, t.Interp(), true)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(aff, in)
+	case *Filter:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		op, err := filterOp(t)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(op, in)
+	case *ComposeOp:
+		l, err := p.take(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.take(t.R)
+		if err != nil {
+			return nil, err
+		}
+		out, st, err := stream.Apply2(p.g, core.Compose{Gamma: t.Gamma}, l, r)
+		if err != nil {
+			return nil, err
+		}
+		p.stats = append(p.stats, st)
+		return out, nil
+	case *AggT:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(&core.TemporalAggregate{Fn: t.Fn, Window: t.Window}, in)
+	case *AggR:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.apply(core.RegionalAggregate{Fn: t.Fn, Region: t.Region}, in)
+	}
+	return nil, fmt.Errorf("query: cannot build plan node %T", n)
+}
+
+// filterOp instantiates the physical operator of a Filter node.
+func filterOp(t *Filter) (stream.Operator, error) {
+	switch t.Kind {
+	case "box":
+		return core.NewBoxFilter(t.N)
+	case "gauss":
+		return core.NewGaussianFilter(t.N, t.Sigma)
+	case "gradient":
+		return core.Gradient{}, nil
+	}
+	return nil, fmt.Errorf("query: unknown filter kind %q", t.Kind)
+}
+
+const degToRad = 3.14159265358979323846 / 180
+
+// Interp picks the resampling for rotations (always bilinear; rotations
+// have no parser-level interp parameter).
+func (n *Rotate) Interp() core.InterpKind { return core.Bilinear }

@@ -1,0 +1,199 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+// randPlanQuery generates a random query string over the test bands: a
+// pipeline of 1-4 random unary operators over a random leaf (band or
+// binary composition), optionally wrapped in restrictions — exercising
+// the optimizer across operator interleavings it was not hand-tested on.
+func randPlanQuery(rng *rand.Rand) string {
+	leaf := func() string {
+		switch rng.Intn(4) {
+		case 0:
+			return "nir"
+		case 1:
+			return "vis"
+		case 2:
+			return "(nir - vis)"
+		default:
+			return "ndvi(nir, vis)"
+		}
+	}
+	q := leaf()
+	depth := 1 + rng.Intn(3)
+	for i := 0; i < depth; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			q = fmt.Sprintf("rselect(%s, rect(%g, %g, %g, %g))", q,
+				-122+rng.Float64(), 36+rng.Float64(),
+				-121+rng.Float64(), 37+rng.Float64())
+		case 1:
+			q = fmt.Sprintf("tselect(%s, interval(0, %d))", q, 1+rng.Intn(3))
+		case 2:
+			q = fmt.Sprintf("vselect(%s, range(%d, %d))", q, -2000, 2000)
+		case 3:
+			q = fmt.Sprintf("scale(%s, %g, %g)", q, 0.5+rng.Float64(), rng.Float64()*10)
+		case 4:
+			q = fmt.Sprintf("clamp(%s, -1000, 1000)", q)
+		case 5:
+			q = fmt.Sprintf("zoomin(%s, 2)", q)
+		case 6:
+			q = fmt.Sprintf("zoomout(%s, 2)", q)
+		case 7:
+			q = fmt.Sprintf("boxfilter(%s, 3)", q)
+		}
+	}
+	// Half the time, put a final spatial restriction on top — the case
+	// the §3.4 rewrites target.
+	if rng.Intn(2) == 0 {
+		q = fmt.Sprintf("rselect(%s, rect(-121.8, 36.2, -120.2, 37.8))", q)
+	}
+	return q
+}
+
+// runPlanOnWorkload executes a plan over a fresh deterministic workload
+// and returns its data points keyed by rounded location.
+func runPlanOnWorkload(t *testing.T, plan Node, optimize bool) (map[[3]int64]float64, error) {
+	t.Helper()
+	g := stream.NewGroup(context.Background())
+	scene := sat.DefaultScene(99)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 20, 14, scene,
+		[]string{"nir", "vis"}, stream.RowByRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources, err := im.Streams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]stream.Info{
+		"nir": im.Info(im.Bands[0]),
+		"vis": im.Info(im.Bands[1]),
+	}
+	if optimize {
+		if plan, err = Optimize(plan, catalog); err != nil {
+			return nil, err
+		}
+	}
+	if err := Validate(plan, catalog); err != nil {
+		return nil, err
+	}
+	// Drain the bands the plan does not read, or their generators block.
+	used := Bands(plan)
+	for band, s := range sources {
+		if used[band] == 0 {
+			go stream.Drain(context.Background(), s) //nolint:errcheck
+		}
+	}
+	out, _, err := Build(g, plan, sources)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := stream.Collect(context.Background(), out)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	pts := map[[3]int64]float64{}
+	for _, c := range chunks {
+		c.ForEachPoint(func(p geom.Point, v float64) {
+			if math.IsNaN(v) {
+				return
+			}
+			// Quantize locations: different plan shapes produce last-ulp
+			// coordinate differences (sub-lattice origins).
+			key := [3]int64{
+				int64(math.Round(p.S.X * 1e6)),
+				int64(math.Round(p.S.Y * 1e6)),
+				int64(p.T),
+			}
+			pts[key] = v
+		})
+	}
+	return pts, nil
+}
+
+// TestOptimizerEquivalenceRandomPlans is the central optimizer property:
+// for random plans, the optimized plan produces exactly the same data
+// points as the naive plan.
+func TestOptimizerEquivalenceRandomPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized equivalence sweep")
+	}
+	rng := rand.New(rand.NewSource(20060328))
+	trials := 25
+	for i := 0; i < trials; i++ {
+		q := randPlanQuery(rng)
+		plan, err := Parse(q, testBands)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", i, q, err)
+		}
+		naive, err := runPlanOnWorkload(t, plan, false)
+		if err != nil {
+			t.Fatalf("trial %d: naive run of %q: %v", i, q, err)
+		}
+		// Re-parse so the optimized run gets independent node pointers.
+		plan2, err := Parse(q, testBands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := runPlanOnWorkload(t, plan2, true)
+		if err != nil {
+			t.Fatalf("trial %d: optimized run of %q: %v", i, q, err)
+		}
+		if len(naive) != len(opt) {
+			t.Fatalf("trial %d: %q\nnaive %d points, optimized %d points",
+				i, q, len(naive), len(opt))
+		}
+		for k, v := range naive {
+			ov, ok := opt[k]
+			if !ok {
+				t.Fatalf("trial %d: %q\noptimized plan missing point %v", i, q, k)
+			}
+			if math.Abs(ov-v) > 1e-6*(1+math.Abs(v)) {
+				t.Fatalf("trial %d: %q\nvalue mismatch at %v: %g vs %g", i, q, k, v, ov)
+			}
+		}
+	}
+}
+
+// TestOptimizerIdempotent: optimizing an already-optimized plan changes
+// nothing structurally.
+func TestOptimizerIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	catalog := map[string]stream.Info{
+		"nir": {Band: "nir", CRS: mustLatLon(), VMax: 1023},
+		"vis": {Band: "vis", CRS: mustLatLon(), VMax: 1023},
+	}
+	for i := 0; i < 40; i++ {
+		q := randPlanQuery(rng)
+		plan, err := Parse(q, testBands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once, err := Optimize(plan, catalog)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		twice, err := Optimize(once, catalog)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if Format(once) != Format(twice) {
+			t.Fatalf("optimizer not idempotent for %q:\nonce:\n%stwice:\n%s",
+				q, Format(once), Format(twice))
+		}
+	}
+}

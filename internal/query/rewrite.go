@@ -1,0 +1,445 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// Optimize applies the §3.4 rewrite rules to a logical plan:
+//
+//  1. Adjacent restrictions of the same kind merge into one
+//     (G|R1|R2 ⇒ G|(R1 ∩ R2); likewise temporal and value).
+//  2. Spatial restrictions push inward — through value transforms and
+//     stretches, into both inputs of compositions, through zooms (with a
+//     conservatively widened region and the exact restriction kept on
+//     top), and through re-projections by mapping the region into the
+//     source coordinate system ("because in the query R is based on the
+//     UTM coordinate system, R needs to be mapped to the coordinate
+//     system C"). The paper: the optimizer targets "in particular spatial
+//     selections, as these result in the most significant space and time
+//     gains".
+//  3. Temporal restrictions push all the way to the sources (timestamps
+//     are preserved by every unary operator and must match across
+//     composition inputs).
+//
+// The catalog maps band names to their stream metadata; the rewriter needs
+// it to know the coordinate system and resolution below each plan node.
+// Rewrites are memoized by (node pointer, parameter), so subtrees shared
+// between plan branches (the ndvi macro, common subexpressions) stay
+// shared and the planner still tees them once.
+func Optimize(n Node, catalog map[string]stream.Info) (Node, error) {
+	rw := &rewriter{
+		catalog:  catalog,
+		merged:   map[Node]Node{},
+		pushed:   map[Node]Node{},
+		spatial:  map[paramKey]Node{},
+		temporal: map[paramKey]Node{},
+	}
+	n = rw.merge(n)
+	n, err := rw.push(n)
+	if err != nil {
+		return nil, err
+	}
+	// A second merge collapses restrictions the push phase stacked.
+	rw.merged = map[Node]Node{}
+	return rw.merge(n), nil
+}
+
+// paramKey keys memoization by input node identity plus the textual form
+// of the pushed parameter (regions and time sets are not comparable as
+// interface values — some contain funcs — but their String forms are
+// canonical).
+type paramKey struct {
+	n     Node
+	param string
+}
+
+type rewriter struct {
+	catalog  map[string]stream.Info
+	merged   map[Node]Node
+	pushed   map[Node]Node
+	spatial  map[paramKey]Node
+	temporal map[paramKey]Node
+}
+
+// merge collapses stacked restrictions bottom-up.
+func (rw *rewriter) merge(n Node) Node {
+	if out, ok := rw.merged[n]; ok {
+		return out
+	}
+	var out Node
+	switch t := n.(type) {
+	case *Source:
+		out = t
+	case *RestrictS, *RestrictT, *RestrictV:
+		out = rw.mergeRestrictChain(n)
+	case *MapFn:
+		out = &MapFn{In: rw.merge(t.In), Op: t.Op, Desc: t.Desc}
+	case *StretchFn:
+		out = &StretchFn{In: rw.merge(t.In), Kind: t.Kind, Min: t.Min, Max: t.Max}
+	case *Zoom:
+		out = &Zoom{In: rw.merge(t.In), K: t.K, Out: t.Out}
+	case *Reproject:
+		out = &Reproject{In: rw.merge(t.In), To: t.To, Interp: t.Interp}
+	case *Rotate:
+		out = &Rotate{In: rw.merge(t.In), Degrees: t.Degrees}
+	case *Filter:
+		out = &Filter{In: rw.merge(t.In), Kind: t.Kind, N: t.N, Sigma: t.Sigma}
+	case *ComposeOp:
+		out = &ComposeOp{L: rw.merge(t.L), R: rw.merge(t.R), Gamma: t.Gamma}
+	case *AggT:
+		out = &AggT{In: rw.merge(t.In), Fn: t.Fn, Window: t.Window}
+	case *AggR:
+		out = &AggR{In: rw.merge(t.In), Fn: t.Fn, Region: t.Region}
+	default:
+		out = n
+	}
+	rw.merged[n] = out
+	return out
+}
+
+// mergeRestrictChain collapses a maximal stack of restrictions into at
+// most one restriction per kind, in the canonical order
+// value ⊃ spatial ⊃ temporal (temporal innermost: it is the cheapest test
+// and executes first in stream order). The canonical order is what makes
+// Optimize idempotent — the spatial and temporal push rules each descend
+// through the other kind, so without normalization repeated optimization
+// would flip their relative order forever.
+func (rw *rewriter) mergeRestrictChain(n Node) Node {
+	var regions []geom.Region
+	var times []geom.TimeSet
+	var sets []valueset.Set
+	cur := n
+loop:
+	for {
+		switch t := cur.(type) {
+		case *RestrictS:
+			regions = append(regions, t.Region)
+			cur = t.In
+		case *RestrictT:
+			times = append(times, t.Times)
+			cur = t.In
+		case *RestrictV:
+			sets = append(sets, t.Set)
+			cur = t.In
+		default:
+			break loop
+		}
+	}
+	out := rw.merge(cur)
+	if len(times) > 0 {
+		out = &RestrictT{In: out, Times: geom.IntersectTime(times...)}
+	}
+	if len(regions) > 0 {
+		out = &RestrictS{In: out, Region: geom.Intersect(regions...)}
+	}
+	if len(sets) > 0 {
+		out = &RestrictV{In: out, Set: valueset.IntersectSets(sets...)}
+	}
+	return out
+}
+
+// crsOf computes the coordinate system a plan node's output lives in.
+func crsOf(n Node, catalog map[string]stream.Info) (coord.CRS, error) {
+	switch t := n.(type) {
+	case *Source:
+		in, ok := catalog[t.Band]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown band %q", t.Band)
+		}
+		return in.CRS, nil
+	case *Reproject:
+		return t.To, nil
+	}
+	kids := n.Children()
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("query: cannot determine CRS of %s", n.Label())
+	}
+	return crsOf(kids[0], catalog)
+}
+
+// resOf computes the output cell size of a node (the larger of |DX|, |DY|)
+// or 0 when unknown (no sector metadata or a re-projection below).
+func resOf(n Node, catalog map[string]stream.Info) float64 {
+	switch t := n.(type) {
+	case *Source:
+		in, ok := catalog[t.Band]
+		if !ok || !in.HasSectorMeta {
+			return 0
+		}
+		return math.Max(math.Abs(in.SectorGeom.DX), math.Abs(in.SectorGeom.DY))
+	case *Reproject, *Rotate:
+		return 0 // resolution re-derived per sector; treat as unknown
+	case *Zoom:
+		r := resOf(t.In, catalog)
+		if r == 0 {
+			return 0
+		}
+		if t.Out {
+			return r * float64(t.K)
+		}
+		return r / float64(t.K)
+	}
+	kids := n.Children()
+	if len(kids) == 0 {
+		return 0
+	}
+	return resOf(kids[0], catalog)
+}
+
+// push walks the plan once, pushing each restriction it finds as deep as
+// the rules allow.
+func (rw *rewriter) push(n Node) (Node, error) {
+	if out, ok := rw.pushed[n]; ok {
+		return out, nil
+	}
+	var out Node
+	var err error
+	switch t := n.(type) {
+	case *Source:
+		out = t
+	case *RestrictS:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out, err = rw.pushSpatial(t.Region, in)
+		}
+	case *RestrictT:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = rw.pushTemporal(t.Times, in)
+		}
+	case *RestrictV:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &RestrictV{In: in, Set: t.Set}
+		}
+	case *MapFn:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &MapFn{In: in, Op: t.Op, Desc: t.Desc}
+		}
+	case *StretchFn:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &StretchFn{In: in, Kind: t.Kind, Min: t.Min, Max: t.Max}
+		}
+	case *Zoom:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &Zoom{In: in, K: t.K, Out: t.Out}
+		}
+	case *Reproject:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &Reproject{In: in, To: t.To, Interp: t.Interp}
+		}
+	case *Rotate:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &Rotate{In: in, Degrees: t.Degrees}
+		}
+	case *Filter:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &Filter{In: in, Kind: t.Kind, N: t.N, Sigma: t.Sigma}
+		}
+	case *ComposeOp:
+		var l, r Node
+		if l, err = rw.push(t.L); err == nil {
+			if r, err = rw.push(t.R); err == nil {
+				out = &ComposeOp{L: l, R: r, Gamma: t.Gamma}
+			}
+		}
+	case *AggT:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &AggT{In: in, Fn: t.Fn, Window: t.Window}
+		}
+	case *AggR:
+		var in Node
+		if in, err = rw.push(t.In); err == nil {
+			out = &AggR{In: in, Fn: t.Fn, Region: t.Region}
+		}
+	default:
+		out = n
+	}
+	if err != nil {
+		return nil, err
+	}
+	rw.pushed[n] = out
+	return out, nil
+}
+
+// pushSpatial places the spatial restriction G|R as deep into the plan as
+// semantics allow. Where pushing is conservative (zooms, re-projections),
+// the exact restriction stays on top and a widened/mapped restriction goes
+// below; where it is exact (value transforms, compositions, restrictions)
+// the restriction simply descends.
+func (rw *rewriter) pushSpatial(r geom.Region, n Node) (Node, error) {
+	key := paramKey{n: n, param: r.String()}
+	if out, ok := rw.spatial[key]; ok {
+		return out, nil
+	}
+	out, err := rw.pushSpatialUncached(r, n)
+	if err != nil {
+		return nil, err
+	}
+	rw.spatial[key] = out
+	return out, nil
+}
+
+func (rw *rewriter) pushSpatialUncached(r geom.Region, n Node) (Node, error) {
+	switch t := n.(type) {
+	case *MapFn:
+		in, err := rw.pushSpatial(r, t.In)
+		if err != nil {
+			return nil, err
+		}
+		return &MapFn{In: in, Op: t.Op, Desc: t.Desc}, nil
+	case *StretchFn:
+		// Product semantics: the stretch fits over the restricted region
+		// (the paper's §3.4 example pushes R below f_val).
+		in, err := rw.pushSpatial(r, t.In)
+		if err != nil {
+			return nil, err
+		}
+		return &StretchFn{In: in, Kind: t.Kind, Min: t.Min, Max: t.Max}, nil
+	case *ComposeOp:
+		l, err := rw.pushSpatial(r, t.L)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := rw.pushSpatial(r, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ComposeOp{L: l, R: rr, Gamma: t.Gamma}, nil
+	case *RestrictS:
+		return rw.pushSpatial(geom.Intersect(r, t.Region), t.In)
+	case *RestrictT:
+		in, err := rw.pushSpatial(r, t.In)
+		if err != nil {
+			return nil, err
+		}
+		return &RestrictT{In: in, Times: t.Times}, nil
+	case *RestrictV:
+		in, err := rw.pushSpatial(r, t.In)
+		if err != nil {
+			return nil, err
+		}
+		return &RestrictV{In: in, Set: t.Set}, nil
+	case *Zoom:
+		res := resOf(t.In, rw.catalog)
+		if res == 0 {
+			// Unknown source resolution: cannot widen safely, stop here.
+			return &RestrictS{In: n, Region: r}, nil
+		}
+		margin := float64(t.K+1) * res
+		box := r.Bounds().Expand(margin)
+		widened := geom.FuncRegion{
+			Fn:  box.Contains,
+			Box: box,
+			Tag: fmt.Sprintf("widen(%s, %g)", r, margin),
+		}
+		in, err := rw.pushSpatial(widened, t.In)
+		if err != nil {
+			return nil, err
+		}
+		// Exact restriction stays on top of the zoom.
+		return &RestrictS{In: &Zoom{In: in, K: t.K, Out: t.Out}, Region: r}, nil
+	case *Filter:
+		// A neighborhood operator reads a kernel radius around every
+		// output point: widen the region accordingly, keep the exact
+		// restriction on top.
+		res := resOf(t.In, rw.catalog)
+		if res == 0 {
+			return &RestrictS{In: n, Region: r}, nil
+		}
+		radius := 1
+		if t.Kind != "gradient" {
+			radius = t.N / 2
+		}
+		margin := float64(radius+1) * res
+		box := r.Bounds().Expand(margin)
+		widened := geom.FuncRegion{
+			Fn:  box.Contains,
+			Box: box,
+			Tag: fmt.Sprintf("widen(%s, %g)", r, margin),
+		}
+		in, err := rw.pushSpatial(widened, t.In)
+		if err != nil {
+			return nil, err
+		}
+		return &RestrictS{In: &Filter{In: in, Kind: t.Kind, N: t.N, Sigma: t.Sigma}, Region: r}, nil
+	case *Reproject:
+		srcCRS, err := crsOf(t.In, rw.catalog)
+		if err != nil {
+			return nil, err
+		}
+		mapped, err := coord.MapRegion(srcCRS, t.To, r)
+		if err != nil {
+			// The region does not map into the source system (out of
+			// domain); fall back to filtering above the transform.
+			return &RestrictS{In: n, Region: r}, nil //nolint:nilerr
+		}
+		in, err := rw.pushSpatial(mapped, t.In)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the exact restriction above: the re-projected lattice is
+		// cropped precisely in target coordinates.
+		return &RestrictS{In: &Reproject{In: in, To: t.To, Interp: t.Interp}, Region: r}, nil
+	default:
+		// Sources, rotations (center unknown at plan time), aggregates,
+		// anything unknown: the restriction lands here.
+		return &RestrictS{In: n, Region: r}, nil
+	}
+}
+
+// pushTemporal pushes a temporal restriction toward the sources; every
+// operator preserves timestamps, so this is always exact.
+func (rw *rewriter) pushTemporal(ts geom.TimeSet, n Node) Node {
+	key := paramKey{n: n, param: ts.String()}
+	if out, ok := rw.temporal[key]; ok {
+		return out
+	}
+	var out Node
+	switch t := n.(type) {
+	case *Source:
+		out = &RestrictT{In: t, Times: ts}
+	case *RestrictS:
+		out = &RestrictS{In: rw.pushTemporal(ts, t.In), Region: t.Region}
+	case *RestrictT:
+		out = rw.pushTemporal(geom.IntersectTime(ts, t.Times), t.In)
+	case *RestrictV:
+		out = &RestrictV{In: rw.pushTemporal(ts, t.In), Set: t.Set}
+	case *MapFn:
+		out = &MapFn{In: rw.pushTemporal(ts, t.In), Op: t.Op, Desc: t.Desc}
+	case *StretchFn:
+		out = &StretchFn{In: rw.pushTemporal(ts, t.In), Kind: t.Kind, Min: t.Min, Max: t.Max}
+	case *Zoom:
+		out = &Zoom{In: rw.pushTemporal(ts, t.In), K: t.K, Out: t.Out}
+	case *Reproject:
+		out = &Reproject{In: rw.pushTemporal(ts, t.In), To: t.To, Interp: t.Interp}
+	case *Rotate:
+		out = &Rotate{In: rw.pushTemporal(ts, t.In), Degrees: t.Degrees}
+	case *Filter:
+		out = &Filter{In: rw.pushTemporal(ts, t.In), Kind: t.Kind, N: t.N, Sigma: t.Sigma}
+	case *ComposeOp:
+		out = &ComposeOp{L: rw.pushTemporal(ts, t.L), R: rw.pushTemporal(ts, t.R), Gamma: t.Gamma}
+	case *AggT:
+		// Windows straddle the restriction boundary; keep it above.
+		out = &RestrictT{In: t, Times: ts}
+	case *AggR:
+		out = &AggR{In: rw.pushTemporal(ts, t.In), Fn: t.Fn, Region: t.Region}
+	default:
+		out = &RestrictT{In: n, Times: ts}
+	}
+	rw.temporal[key] = out
+	return out
+}

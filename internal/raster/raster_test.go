@@ -1,0 +1,270 @@
+package raster
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+func lat4x3(t *testing.T) geom.Lattice {
+	t.Helper()
+	l, err := geom.NewLattice(0, 2, 1, -1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAssemblerRowsToFrame(t *testing.T) {
+	lat := lat4x3(t)
+	a := NewAssembler()
+	for r := 0; r < 3; r++ {
+		vals := make([]float64, 4)
+		for c := range vals {
+			vals[c] = float64(r*4 + c)
+		}
+		ch, err := stream.NewGridChunk(7, lat.Row(r), vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := a.Add(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != nil {
+			t.Fatal("frame completed before punctuation")
+		}
+	}
+	done, err := a.Add(stream.NewEndOfSector(7, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("completed %d frames", len(done))
+	}
+	img := done[0]
+	if img.T != 7 || img.Lat != lat {
+		t.Fatalf("frame meta = %+v", img)
+	}
+	for i, v := range img.Vals {
+		if v != float64(i) {
+			t.Fatalf("vals[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestAssemblerRowsOutOfOrder(t *testing.T) {
+	lat := lat4x3(t)
+	a := NewAssembler()
+	for _, r := range []int{2, 0, 1} {
+		vals := []float64{float64(r), float64(r), float64(r), float64(r)}
+		ch, err := stream.NewGridChunk(1, lat.Row(r), vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Add(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := a.Add(stream.NewEndOfSector(1, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := done[0]
+	for r := 0; r < 3; r++ {
+		if img.At(0, r) != float64(r) {
+			t.Fatalf("row %d misplaced: %g", r, img.At(0, r))
+		}
+	}
+}
+
+func TestAssemblerPartialFrameHasNaN(t *testing.T) {
+	lat := lat4x3(t)
+	a := NewAssembler()
+	ch, err := stream.NewGridChunk(1, lat.Row(1), []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Add(ch); err != nil {
+		t.Fatal(err)
+	}
+	done, err := a.Add(stream.NewEndOfSector(1, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := done[0]
+	if !math.IsNaN(img.At(0, 0)) || img.At(0, 1) != 5 || !math.IsNaN(img.At(0, 2)) {
+		t.Fatal("missing rows must be NaN")
+	}
+}
+
+func TestAssemblerFlushWithoutEOS(t *testing.T) {
+	lat := lat4x3(t)
+	a := NewAssembler()
+	for r := 0; r < 3; r++ {
+		ch, err := stream.NewGridChunk(3, lat.Row(r), []float64{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Add(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := a.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0].Lat.H != 3 || done[0].Lat.W != 4 {
+		t.Fatalf("flush = %+v", done)
+	}
+}
+
+func TestAssemblerPointChunks(t *testing.T) {
+	lat := lat4x3(t)
+	a, err := NewAssemblerWithExtent(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []stream.PointValue{
+		{P: geom.Point{S: lat.Coord(2, 1), T: 4}, V: 9},
+		{P: geom.Point{S: geom.V2(100, 100), T: 4}, V: 1}, // off-lattice, dropped
+	}
+	ch, err := stream.NewPointsChunk(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Add(ch); err != nil {
+		t.Fatal(err)
+	}
+	done, err := a.Add(stream.NewEndOfSector(4, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done[0].At(2, 1) != 9 {
+		t.Fatal("point not rasterized")
+	}
+	if !math.IsNaN(done[0].At(0, 0)) {
+		t.Fatal("untouched cells must be NaN")
+	}
+}
+
+func TestAssemblerMultipleSectorsInterleaved(t *testing.T) {
+	lat := lat4x3(t)
+	a := NewAssembler()
+	add := func(ts geom.Timestamp, r int) {
+		ch, err := stream.NewGridChunk(ts, lat.Row(r), []float64{float64(ts), 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Add(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 0)
+	add(2, 0) // next sector begins while 1 is pending
+	add(1, 1)
+	done, err := a.Add(stream.NewEndOfSector(1, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0].T != 1 {
+		t.Fatalf("sector 1 not completed: %+v", done)
+	}
+	done, err = a.Add(stream.NewEndOfSector(2, lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0].T != 2 || done[0].At(0, 0) != 2 {
+		t.Fatalf("sector 2 wrong: %+v", done)
+	}
+}
+
+func TestColormaps(t *testing.T) {
+	for _, name := range []string{"gray", "ndvi", "thermal", ""} {
+		cm, err := ColormapByName(name)
+		if err != nil {
+			t.Fatalf("ColormapByName(%q): %v", name, err)
+		}
+		for _, v := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			c := cm(v)
+			if c.A != 255 {
+				t.Fatalf("%s(%g) not opaque", name, v)
+			}
+		}
+	}
+	if _, err := ColormapByName("plasma"); err == nil {
+		t.Fatal("unknown colormap must fail")
+	}
+	// Grayscale endpoints.
+	if GrayMap(0).R != 0 || GrayMap(1).R != 255 {
+		t.Fatal("gray endpoints wrong")
+	}
+	// NDVI map: green channel increases from barren to vegetated... the
+	// red channel must drop sharply at the green end.
+	if NDVIMap(1).R >= NDVIMap(0).R {
+		t.Fatal("ndvi map red channel must fall toward vegetation")
+	}
+}
+
+func TestRenderAndPNGRoundTrip(t *testing.T) {
+	lat := lat4x3(t)
+	img, err := NewImage(1, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := range img.Vals {
+		img.Vals[i] = rng.Float64() * 100
+	}
+	img.Vals[5] = math.NaN()
+
+	var buf bytes.Buffer
+	if err := img.EncodePNG(&buf, GrayMap, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := decoded.Bounds()
+	if b.Dx() != 4 || b.Dy() != 3 {
+		t.Fatalf("decoded size = %v", b)
+	}
+	// NaN cell is transparent.
+	_, _, _, alpha := decoded.At(1, 1).RGBA()
+	if alpha != 0 {
+		t.Fatal("NaN cell must be transparent")
+	}
+	// A valid cell is opaque.
+	_, _, _, alpha = decoded.At(0, 0).RGBA()
+	if alpha == 0 {
+		t.Fatal("valid cell must be opaque")
+	}
+}
+
+func TestRenderClampsRange(t *testing.T) {
+	lat := lat4x3(t)
+	img, err := NewImage(1, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Vals {
+		img.Vals[i] = 1e9 // far above vmax
+	}
+	out := img.Render(GrayMap, 0, 100)
+	r, _, _, _ := out.At(0, 0).RGBA()
+	if r != 0xffff {
+		t.Fatal("over-range values must clamp to white")
+	}
+	// Degenerate range renders mid-gray, not panics.
+	out = img.Render(GrayMap, 5, 5)
+	r, _, _, _ = out.At(0, 0).RGBA()
+	if r == 0 || r == 0xffff {
+		t.Fatal("degenerate range must render midpoint")
+	}
+}

@@ -1,0 +1,282 @@
+package sat
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+// Band pairs a spectral channel name with its radiance field.
+type Band struct {
+	Name  string
+	Field Field
+}
+
+// Imager simulates a frame- or line-scanning instrument: a GOES-class
+// satellite imager (row-by-row, Fig. 1b) or an airborne camera
+// (image-by-image, Fig. 1a). Each spectral band becomes its own GeoStream,
+// exactly as in §3.3 ("a satellite scans a spatial region for different
+// spectral bands, each band resulting in a single GeoStream").
+//
+// The instrument scans the same sector once per band, bands in order — so
+// with measurement-time stamping the bands' timestamps never coincide,
+// reproducing the §3.3 pitfall, while with sector-id stamping they match.
+type Imager struct {
+	// Name identifies the instrument in stream metadata.
+	Name string
+	// CRS is the coordinate system of the scan lattice (GEOS for a real
+	// GOES geometry; LatLon for cheaper workloads).
+	CRS coord.CRS
+	// Sector is the scan lattice of one sector.
+	Sector geom.Lattice
+	// Org is RowByRow or ImageByImage.
+	Org stream.Organization
+	// Bands are the spectral channels to scan.
+	Bands []Band
+	// Stamp selects sector-id or measurement-time stamping.
+	Stamp stream.StampPolicy
+	// RowsPerChunk batches scan lines per chunk in RowByRow mode
+	// (default 1).
+	RowsPerChunk int
+	// NumSectors is how many sectors to emit before closing the streams.
+	NumSectors int
+	// StartSector is the first sector id.
+	StartSector geom.Timestamp
+	// EmitSectorMeta controls end-of-sector punctuation and Info metadata;
+	// disabling it reproduces the §3.2 "no auxiliary information" case.
+	EmitSectorMeta bool
+	// Interval, when positive, paces the instrument: each band waits this
+	// long between sectors (a live GOES imager produces a sector every
+	// few minutes; servers and examples use a few milliseconds).
+	Interval time.Duration
+
+	// geoCache holds the geographic coordinates of every lattice cell
+	// (the scan geometry is fixed across sectors, so inverse projection
+	// happens once).
+	geoCache []geoCell
+}
+
+type geoCell struct {
+	lon, lat float64
+	onEarth  bool
+}
+
+// Validate checks the imager configuration.
+func (im *Imager) Validate() error {
+	if im.CRS == nil {
+		return fmt.Errorf("sat: imager %q has no CRS", im.Name)
+	}
+	if err := im.Sector.Validate(); err != nil {
+		return fmt.Errorf("sat: imager %q sector: %w", im.Name, err)
+	}
+	if len(im.Bands) == 0 {
+		return fmt.Errorf("sat: imager %q has no bands", im.Name)
+	}
+	if im.Org != stream.RowByRow && im.Org != stream.ImageByImage {
+		return fmt.Errorf("sat: imager organization must be row-by-row or image-by-image")
+	}
+	if im.NumSectors < 1 {
+		return fmt.Errorf("sat: imager must emit at least one sector")
+	}
+	return nil
+}
+
+// prepare computes the geographic coordinate cache.
+func (im *Imager) prepare() {
+	if im.geoCache != nil {
+		return
+	}
+	n := im.Sector.NumPoints()
+	im.geoCache = make([]geoCell, n)
+	i := 0
+	for r := 0; r < im.Sector.H; r++ {
+		for c := 0; c < im.Sector.W; c++ {
+			p := im.Sector.Coord(c, r)
+			ll, err := im.CRS.Inverse(p)
+			if err != nil {
+				im.geoCache[i] = geoCell{onEarth: false}
+			} else {
+				im.geoCache[i] = geoCell{lon: ll.X, lat: ll.Y, onEarth: true}
+			}
+			i++
+		}
+	}
+}
+
+// Info returns the stream metadata for one band.
+func (im *Imager) Info(band Band) stream.Info {
+	return stream.Info{
+		Band:          band.Name,
+		CRS:           im.CRS,
+		Org:           im.Org,
+		Stamp:         im.Stamp,
+		SectorGeom:    im.Sector,
+		HasSectorMeta: im.EmitSectorMeta,
+		VMin:          0,
+		VMax:          1023,
+	}
+}
+
+// Streams launches one producer goroutine per band inside the group and
+// returns the band streams keyed by name.
+func (im *Imager) Streams(g *stream.Group) (map[string]*stream.Stream, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	im.prepare()
+	out := make(map[string]*stream.Stream, len(im.Bands))
+	for bi, band := range im.Bands {
+		bi, band := bi, band
+		out[band.Name] = stream.Generate(g, im.Info(band),
+			func(ctx context.Context, emit func(*stream.Chunk) bool) error {
+				return im.produceBand(ctx, bi, band, emit)
+			})
+	}
+	return out, nil
+}
+
+// stampFor computes the chunk timestamp per the stamping policy. With
+// measurement-time stamping, each band of each sector gets a distinct
+// simulated acquisition time: the instrument scans band after band, so
+// band b of sector s is acquired at s*len(bands)+b time units.
+func (im *Imager) stampFor(sector geom.Timestamp, bandIdx int) geom.Timestamp {
+	if im.Stamp == stream.StampMeasurementTime {
+		return sector*geom.Timestamp(len(im.Bands)*1000) + geom.Timestamp(bandIdx*1000)
+	}
+	return sector
+}
+
+// renderRows renders rows [r0, r1) of a sector for a band.
+func (im *Imager) renderRows(band Band, sector geom.Timestamp, r0, r1 int) []float64 {
+	w := im.Sector.W
+	vals := make([]float64, (r1-r0)*w)
+	for r := r0; r < r1; r++ {
+		for c := 0; c < w; c++ {
+			cell := im.geoCache[r*w+c]
+			if !cell.onEarth {
+				vals[(r-r0)*w+c] = math.NaN()
+				continue
+			}
+			vals[(r-r0)*w+c] = band.Field.Sample(cell.lon, cell.lat, int64(sector))
+		}
+	}
+	return vals
+}
+
+func (im *Imager) produceBand(ctx context.Context, bandIdx int, band Band, emit func(*stream.Chunk) bool) error {
+	rowsPer := im.RowsPerChunk
+	if rowsPer < 1 {
+		rowsPer = 1
+	}
+	var tick *time.Ticker
+	if im.Interval > 0 {
+		tick = time.NewTicker(im.Interval)
+		defer tick.Stop()
+	}
+	for s := 0; s < im.NumSectors; s++ {
+		if tick != nil && s > 0 {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		sector := im.StartSector + geom.Timestamp(s)
+		t := im.stampFor(sector, bandIdx)
+		switch im.Org {
+		case stream.ImageByImage:
+			vals := im.renderRows(band, sector, 0, im.Sector.H)
+			c, err := stream.NewGridChunk(t, im.Sector, vals)
+			if err != nil {
+				return err
+			}
+			if !emit(c) {
+				return nil
+			}
+		case stream.RowByRow:
+			for r0 := 0; r0 < im.Sector.H; r0 += rowsPer {
+				r1 := r0 + rowsPer
+				if r1 > im.Sector.H {
+					r1 = im.Sector.H
+				}
+				c, err := stream.NewGridChunk(t, im.Sector.Rows(r0, r1), im.renderRows(band, sector, r0, r1))
+				if err != nil {
+					return err
+				}
+				if !emit(c) {
+					return nil
+				}
+			}
+		}
+		if im.EmitSectorMeta {
+			if !emit(stream.NewEndOfSector(t, im.Sector)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// NewGOESImager builds a GOES-class imager: a GEOS scan-angle sector over
+// a geographic region viewed from subLon, scanned row-by-row. The sector
+// lattice is the scan-angle bounding box of the region at the requested
+// grid size — the shape of a real GOES "scan sector" (§3.3).
+func NewGOESImager(subLon float64, region geom.Rect, w, h int, scene *Scene, bands []string, sectors int) (*Imager, error) {
+	g := coord.NewGEOS(subLon)
+	box, err := coord.MapRect(coord.LatLon{}, g, region, 16)
+	if err != nil {
+		return nil, fmt.Errorf("sat: region not visible from geos:%g: %w", subLon, err)
+	}
+	// A GOES imager sweeps the sector north to south. Northern latitudes
+	// have the most negative GEOS scan angle y, so row 0 sits at box.MinY
+	// and y increases down the sector.
+	lat, err := geom.NewLattice(box.MinX, box.MinY,
+		box.Width()/float64(w-1), box.Height()/float64(h-1), w, h)
+	if err != nil {
+		return nil, err
+	}
+	bs := make([]Band, len(bands))
+	for i, name := range bands {
+		bs[i] = Band{Name: name, Field: scene.BandField(name)}
+	}
+	return &Imager{
+		Name:           fmt.Sprintf("goes@%g", subLon),
+		CRS:            g,
+		Sector:         lat,
+		Org:            stream.RowByRow,
+		Bands:          bs,
+		Stamp:          stream.StampSectorID,
+		NumSectors:     sectors,
+		EmitSectorMeta: true,
+	}, nil
+}
+
+// NewLatLonImager builds a cheap instrument scanning directly in
+// geographic coordinates — the standard workload generator for benchmarks
+// that do not exercise projection math.
+func NewLatLonImager(region geom.Rect, w, h int, scene *Scene, bands []string, org stream.Organization, sectors int) (*Imager, error) {
+	lat, err := geom.NewLattice(region.MinX, region.MaxY,
+		region.Width()/float64(w-1), -region.Height()/float64(h-1), w, h)
+	if err != nil {
+		return nil, err
+	}
+	bs := make([]Band, len(bands))
+	for i, name := range bands {
+		bs[i] = Band{Name: name, Field: scene.BandField(name)}
+	}
+	return &Imager{
+		Name:           "latlon-imager",
+		CRS:            coord.LatLon{},
+		Sector:         lat,
+		Org:            org,
+		Bands:          bs,
+		Stamp:          stream.StampSectorID,
+		NumSectors:     sectors,
+		EmitSectorMeta: true,
+	}, nil
+}

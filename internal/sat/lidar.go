@@ -1,0 +1,107 @@
+package sat
+
+import (
+	"context"
+	"fmt"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+// LIDARScanner simulates the point-by-point organization of Fig. 1c:
+// "some instruments, such as LIDAR, have non-uniform point lattice
+// structures, and points are only ordered by time." It emits point-list
+// chunks whose sample locations wander pseudo-randomly (deterministically
+// from Seed) over a region, each point with its own strictly increasing
+// timestamp.
+//
+// Every band stream visits exactly the same point sequence — the device
+// measures multiple returns per shot — so stream composition across bands
+// can pair points by identical spatio-temporal location.
+type LIDARScanner struct {
+	Name   string
+	Region geom.Rect
+	Bands  []Band
+	// PointsPerChunk is the shot batch size (default 64).
+	PointsPerChunk int
+	// NumChunks per band stream.
+	NumChunks int
+	Seed      int64
+	StartTime geom.Timestamp
+}
+
+// Validate checks the scanner configuration.
+func (l *LIDARScanner) Validate() error {
+	if l.Region.Empty() {
+		return fmt.Errorf("sat: lidar region is empty")
+	}
+	if len(l.Bands) == 0 {
+		return fmt.Errorf("sat: lidar has no bands")
+	}
+	if l.NumChunks < 1 {
+		return fmt.Errorf("sat: lidar must emit at least one chunk")
+	}
+	return nil
+}
+
+// Info returns the stream metadata for one band.
+func (l *LIDARScanner) Info(band Band) stream.Info {
+	return stream.Info{
+		Band:  band.Name,
+		CRS:   coord.LatLon{},
+		Org:   stream.PointByPoint,
+		Stamp: stream.StampMeasurementTime,
+		VMin:  0, VMax: 1023,
+	}
+}
+
+// shot returns the deterministic location of the i-th laser shot.
+func (l *LIDARScanner) shot(i int64) geom.Vec2 {
+	u := latticeNoise(l.Seed, i, 1, 0)
+	v := latticeNoise(l.Seed, i, 2, 0)
+	return geom.Vec2{
+		X: l.Region.MinX + u*l.Region.Width(),
+		Y: l.Region.MinY + v*l.Region.Height(),
+	}
+}
+
+// Streams launches one producer per band.
+func (l *LIDARScanner) Streams(g *stream.Group) (map[string]*stream.Stream, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	per := l.PointsPerChunk
+	if per < 1 {
+		per = 64
+	}
+	out := make(map[string]*stream.Stream, len(l.Bands))
+	for _, band := range l.Bands {
+		band := band
+		out[band.Name] = stream.Generate(g, l.Info(band),
+			func(ctx context.Context, emit func(*stream.Chunk) bool) error {
+				shotIdx := int64(0)
+				for ci := 0; ci < l.NumChunks; ci++ {
+					pts := make([]stream.PointValue, per)
+					for i := 0; i < per; i++ {
+						p := l.shot(shotIdx)
+						t := l.StartTime + geom.Timestamp(shotIdx)
+						pts[i] = stream.PointValue{
+							P: geom.Point{S: p, T: t},
+							V: band.Field.Sample(p.X, p.Y, int64(t)),
+						}
+						shotIdx++
+					}
+					c, err := stream.NewPointsChunk(pts)
+					if err != nil {
+						return err
+					}
+					if !emit(c) {
+						return nil
+					}
+				}
+				return nil
+			})
+	}
+	return out, nil
+}

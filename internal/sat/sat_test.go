@@ -1,0 +1,440 @@
+package sat
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	f := func(x, y float64, tt int64) bool {
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			x, y = 0, 0
+		}
+		a := Noise2(42, x, y, tt)
+		b := Noise2(42, x, y, tt)
+		return a == b && a >= 0 && a < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds decorrelate.
+	if Noise2(1, 3.7, 4.1, 0) == Noise2(2, 3.7, 4.1, 0) {
+		t.Fatal("seeds must decorrelate")
+	}
+}
+
+func TestNoiseContinuity(t *testing.T) {
+	// Value noise must be continuous: small moves, small changes.
+	prev := Noise2(7, 0, 0.5, 0)
+	for x := 0.001; x < 3; x += 0.001 {
+		v := Noise2(7, x, 0.5, 0)
+		if math.Abs(v-prev) > 0.02 {
+			t.Fatalf("noise jump at x=%g: %g -> %g", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFBMBounded(t *testing.T) {
+	for x := -5.0; x < 5; x += 0.37 {
+		for y := -5.0; y < 5; y += 0.41 {
+			v := FBM(9, x, y, 3, 4)
+			if v < 0 || v >= 1 {
+				t.Fatalf("FBM out of range: %g", v)
+			}
+		}
+	}
+}
+
+func TestSceneBandsCorrelateWithVegetation(t *testing.T) {
+	s := DefaultScene(1234)
+	s.CloudCover = 0 // isolate the vegetation signal
+	vis := s.BandField(BandVIS)
+	nir := s.BandField(BandNIR)
+	// Find a high-veg and low-veg location.
+	var hiLon, hiLat, loLon, loLat float64
+	hi, lo := -1.0, 2.0
+	for lon := -125.0; lon < -115; lon += 0.25 {
+		for lat := 32.0; lat < 42; lat += 0.25 {
+			v := s.Vegetation(lon, lat)
+			if v > hi {
+				hi, hiLon, hiLat = v, lon, lat
+			}
+			if v < lo {
+				lo, loLon, loLat = v, lon, lat
+			}
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Fatalf("vegetation field too flat: hi=%g lo=%g", hi, lo)
+	}
+	// NDVI at the vegetated point must exceed NDVI at the barren point.
+	ndvi := func(lon, lat float64) float64 {
+		n := nir.Sample(lon, lat, 0)
+		v := vis.Sample(lon, lat, 0)
+		return (n - v) / (n + v)
+	}
+	if ndvi(hiLon, hiLat) <= ndvi(loLon, loLat) {
+		t.Fatalf("NDVI must rank vegetation: %g (veg) vs %g (bare)",
+			ndvi(hiLon, hiLat), ndvi(loLon, loLat))
+	}
+}
+
+func TestSceneCloudsBrightenVisible(t *testing.T) {
+	s := DefaultScene(99)
+	s.CloudCover = 0.9
+	cloudy := s.BandField(BandVIS)
+	s2 := DefaultScene(99)
+	s2.CloudCover = 0
+	clear := s2.BandField(BandVIS)
+	// Averaged over an area, heavy clouds brighten the visible band.
+	var sumCl, sumClr float64
+	n := 0
+	for lon := -120.0; lon < -118; lon += 0.1 {
+		for lat := 36.0; lat < 38; lat += 0.1 {
+			sumCl += cloudy.Sample(lon, lat, 0)
+			sumClr += clear.Sample(lon, lat, 0)
+			n++
+		}
+	}
+	if sumCl <= sumClr {
+		t.Fatalf("clouds must brighten vis: %g vs %g", sumCl/float64(n), sumClr/float64(n))
+	}
+}
+
+func collectBand(t *testing.T, im *Imager, band string) []*stream.Chunk {
+	t.Helper()
+	g := stream.NewGroup(context.Background())
+	streams, err := im.Streams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*stream.Chunk
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, _ = stream.Collect(context.Background(), streams[band])
+	}()
+	// Drain the other bands so producers can finish.
+	for name, s := range streams {
+		if name == band {
+			continue
+		}
+		go stream.Drain(context.Background(), s) //nolint:errcheck
+	}
+	<-done
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestLatLonImagerRowByRow(t *testing.T) {
+	scene := DefaultScene(5)
+	im, err := NewLatLonImager(geom.R(-122, 36, -120, 38), 16, 12, scene,
+		[]string{BandVIS, BandNIR}, stream.RowByRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectBand(t, im, BandVIS)
+
+	// 12 rows + 1 EOS per sector, 2 sectors.
+	if len(got) != 26 {
+		t.Fatalf("chunk count = %d, want 26", len(got))
+	}
+	rows, eos := 0, 0
+	for _, c := range got {
+		switch c.Kind {
+		case stream.KindGrid:
+			rows++
+			if c.Grid.Lat.H != 1 || c.Grid.Lat.W != 16 {
+				t.Fatalf("row chunk lattice = %v", c.Grid.Lat)
+			}
+		case stream.KindEndOfSector:
+			eos++
+			if c.Sector.Extent.NumPoints() != 16*12 {
+				t.Fatalf("EOS extent = %v", c.Sector.Extent)
+			}
+		}
+	}
+	if rows != 24 || eos != 2 {
+		t.Fatalf("rows=%d eos=%d", rows, eos)
+	}
+	// Values in nominal range.
+	for _, c := range got {
+		c.ForEachPoint(func(_ geom.Point, v float64) {
+			if !math.IsNaN(v) && (v < 0 || v > 1023) {
+				t.Fatalf("radiance %g out of range", v)
+			}
+		})
+	}
+}
+
+func TestImagerImageByImage(t *testing.T) {
+	scene := DefaultScene(5)
+	im, err := NewLatLonImager(geom.R(-122, 36, -120, 38), 8, 8, scene,
+		[]string{BandVIS}, stream.ImageByImage, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectBand(t, im, BandVIS)
+	if len(got) != 6 { // 3 frames + 3 EOS
+		t.Fatalf("chunk count = %d", len(got))
+	}
+	if got[0].Kind != stream.KindGrid || got[0].NumPoints() != 64 {
+		t.Fatalf("first chunk = %+v", got[0])
+	}
+}
+
+func TestImagerDeterminism(t *testing.T) {
+	mk := func() []*stream.Chunk {
+		scene := DefaultScene(77)
+		im, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 8, 8, scene,
+			[]string{BandVIS}, stream.RowByRow, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collectBand(t, im, BandVIS)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk count")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind {
+			t.Fatal("nondeterministic chunk kinds")
+		}
+		if a[i].Kind == stream.KindGrid {
+			for j := range a[i].Grid.Vals {
+				if a[i].Grid.Vals[j] != b[i].Grid.Vals[j] {
+					t.Fatal("nondeterministic values")
+				}
+			}
+		}
+	}
+}
+
+func TestImagerStampPolicies(t *testing.T) {
+	scene := DefaultScene(3)
+	im, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 4, 4, scene,
+		[]string{BandVIS, BandNIR}, stream.RowByRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sector-id stamping: both bands share sector timestamps 0, 1.
+	if im.stampFor(1, 0) != im.stampFor(1, 1) {
+		t.Fatal("sector stamping must agree across bands")
+	}
+	im.Stamp = stream.StampMeasurementTime
+	if im.stampFor(1, 0) == im.stampFor(1, 1) {
+		t.Fatal("measurement-time stamping must differ across bands")
+	}
+	// And across sectors.
+	if im.stampFor(1, 0) == im.stampFor(2, 0) {
+		t.Fatal("measurement times must advance across sectors")
+	}
+}
+
+func TestGOESImagerOffEarthNaN(t *testing.T) {
+	scene := DefaultScene(11)
+	// A sector near the limb of the disk: some scan angles miss the Earth.
+	im, err := NewGOESImager(-75, geom.R(-135, 20, -60, 55), 24, 18, scene,
+		[]string{BandVIS}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectBand(t, im, BandVIS)
+	valid, nan := 0, 0
+	for _, c := range got {
+		c.ForEachPoint(func(_ geom.Point, v float64) {
+			if math.IsNaN(v) {
+				nan++
+			} else {
+				valid++
+			}
+		})
+	}
+	if valid == 0 {
+		t.Fatal("GOES imager produced no valid data")
+	}
+	// CRS must be the satellite view.
+	if im.Info(im.Bands[0]).CRS.Name() != "geos:-75" {
+		t.Fatalf("CRS = %s", im.Info(im.Bands[0]).CRS.Name())
+	}
+}
+
+func TestGOESImagerInvisibleRegionFails(t *testing.T) {
+	scene := DefaultScene(1)
+	if _, err := NewGOESImager(-75, geom.R(100, -10, 110, 10), 8, 8, scene,
+		[]string{BandVIS}, 1); err == nil {
+		t.Fatal("antipodal region must be rejected")
+	}
+}
+
+func TestImagerValidation(t *testing.T) {
+	im := &Imager{}
+	if err := im.Validate(); err == nil {
+		t.Fatal("empty imager must be invalid")
+	}
+}
+
+func TestLIDARScanner(t *testing.T) {
+	s := DefaultScene(21)
+	l := &LIDARScanner{
+		Name:   "lidar",
+		Region: geom.R(-121, 37, -120, 38),
+		Bands: []Band{
+			{Name: "elev", Field: s.BandField(BandVIS)},
+			{Name: "intensity", Field: s.BandField(BandNIR)},
+		},
+		PointsPerChunk: 16,
+		NumChunks:      4,
+		Seed:           9,
+	}
+	g := stream.NewGroup(context.Background())
+	streams, err := l.Streams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []*stream.Chunk
+	done := make(chan struct{}, 2)
+	go func() { a, _ = stream.Collect(context.Background(), streams["elev"]); done <- struct{}{} }()
+	go func() { b, _ = stream.Collect(context.Background(), streams["intensity"]); done <- struct{}{} }()
+	<-done
+	<-done
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("chunk counts %d/%d", len(a), len(b))
+	}
+	var lastT geom.Timestamp = -1
+	for ci := range a {
+		if len(a[ci].Points) != 16 {
+			t.Fatalf("points per chunk = %d", len(a[ci].Points))
+		}
+		for i := range a[ci].Points {
+			pa, pb := a[ci].Points[i], b[ci].Points[i]
+			// Bands share the exact scan pattern (location + time).
+			if pa.P != pb.P {
+				t.Fatalf("band scan patterns diverge: %v vs %v", pa.P, pb.P)
+			}
+			// Points ordered by time.
+			if pa.P.T <= lastT {
+				t.Fatalf("timestamps not increasing: %d after %d", pa.P.T, lastT)
+			}
+			lastT = pa.P.T
+			if !l.Region.Contains(pa.P.S) {
+				t.Fatalf("shot outside region: %v", pa.P.S)
+			}
+		}
+	}
+}
+
+func TestLIDARValidation(t *testing.T) {
+	l := &LIDARScanner{Region: geom.EmptyRect()}
+	if err := l.Validate(); err == nil {
+		t.Fatal("empty region must be invalid")
+	}
+}
+
+func TestImagerRowsPerChunkBatching(t *testing.T) {
+	scene := DefaultScene(13)
+	im, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 8, 10, scene,
+		[]string{BandVIS}, stream.RowByRow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.RowsPerChunk = 4
+	got := collectBand(t, im, BandVIS)
+	// 10 rows in batches of 4 -> chunks of 4, 4, 2 rows + EOS.
+	var heights []int
+	for _, c := range got {
+		if c.Kind == stream.KindGrid {
+			heights = append(heights, c.Grid.Lat.H)
+		}
+	}
+	if len(heights) != 3 || heights[0] != 4 || heights[1] != 4 || heights[2] != 2 {
+		t.Fatalf("batch heights = %v", heights)
+	}
+	// Batched chunks carry the same values as unbatched.
+	im2, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 8, 10, scene,
+		[]string{BandVIS}, stream.RowByRow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := func(chunks []*stream.Chunk) []float64 {
+		var out []float64
+		for _, c := range chunks {
+			if c.Kind == stream.KindGrid {
+				out = append(out, c.Grid.Vals...)
+			}
+		}
+		return out
+	}
+	a, b := flat(got), flat(collectBand(t, im2, BandVIS))
+	if len(a) != len(b) {
+		t.Fatalf("value counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		va, vb := a[i], b[i]
+		if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+			t.Fatalf("value %d differs: %g vs %g", i, va, vb)
+		}
+	}
+}
+
+func TestImagerIntervalPacing(t *testing.T) {
+	scene := DefaultScene(3)
+	im, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 4, 4, scene,
+		[]string{BandVIS}, stream.RowByRow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.Interval = 30 * time.Millisecond
+	start := time.Now()
+	got := collectBand(t, im, BandVIS)
+	elapsed := time.Since(start)
+	if len(got) != 15 { // 3 sectors x (4 rows + EOS)
+		t.Fatalf("chunks = %d", len(got))
+	}
+	// Two inter-sector waits of 30ms must have elapsed.
+	if elapsed < 55*time.Millisecond {
+		t.Fatalf("pacing too fast: %s", elapsed)
+	}
+}
+
+func TestImagerIntervalCancellation(t *testing.T) {
+	scene := DefaultScene(3)
+	im, err := NewLatLonImager(geom.R(-122, 36, -121, 37), 4, 4, scene,
+		[]string{BandVIS}, stream.RowByRow, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.Interval = time.Hour // would take forever without cancellation
+	ctx, cancel := context.WithCancel(context.Background())
+	g := stream.NewGroup(ctx)
+	streams, err := im.Streams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first sector, then cancel.
+	for i := 0; i < 5; i++ {
+		<-streams[BandVIS].C
+	}
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("paced imager did not stop on cancellation")
+	}
+}

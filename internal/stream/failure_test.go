@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+)
+
+// Failure-injection coverage: the pipeline plumbing must unwind cleanly —
+// no goroutine leaks, no hangs — whatever stage fails, wherever the
+// cancellation comes from.
+
+// faultyOp fails after passing through a configurable number of chunks.
+type faultyOp struct {
+	after int
+}
+
+func (f *faultyOp) Name() string                  { return "faulty" }
+func (f *faultyOp) OutInfo(in Info) (Info, error) { return in, nil }
+func (f *faultyOp) Run(ctx context.Context, in <-chan *Chunk, out chan<- *Chunk, st *Stats) error {
+	n := 0
+	for c := range in {
+		if n >= f.after {
+			return fmt.Errorf("injected failure after %d chunks", n)
+		}
+		n++
+		if err := Send(ctx, out, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slowSource emits chunks forever until cancelled.
+func slowSource(g *Group, info Info, lat geom.Lattice) *Stream {
+	return Generate(g, info, func(ctx context.Context, emit func(*Chunk) bool) error {
+		for i := geom.Timestamp(0); ; i++ {
+			c, err := NewGridChunk(i, lat, make([]float64, lat.NumPoints()))
+			if err != nil {
+				return err
+			}
+			if !emit(c) {
+				return nil
+			}
+		}
+	})
+}
+
+func failureLattice(t *testing.T) geom.Lattice {
+	t.Helper()
+	lat, err := geom.NewLattice(0, 0, 1, 1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func TestMidPipelineFailureUnwindsEverything(t *testing.T) {
+	g := NewGroup(context.Background())
+	lat := failureLattice(t)
+	src := slowSource(g, testInfo(), lat)
+	mid, _, err := Apply(g, &faultyOp{after: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy downstream stage.
+	down, _, err := Apply(g, doubler{}, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range down.C { //nolint:revive
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("downstream did not unwind after injected failure")
+	}
+	err = g.Wait()
+	if err == nil || !errorsContain(err, "injected failure") {
+		t.Fatalf("Wait = %v, want injected failure", err)
+	}
+}
+
+func errorsContain(err error, substr string) bool {
+	return err != nil && (len(err.Error()) >= len(substr)) &&
+		(func() bool { return contains(err.Error(), substr) })()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParentCancellationUnwindsPipeline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	lat := failureLattice(t)
+	src := slowSource(g, testInfo(), lat)
+	out, _, err := Apply(g, doubler{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a few chunks, then cancel from outside.
+	for i := 0; i < 3; i++ {
+		<-out.C
+	}
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait after cancel = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not unwind on parent cancellation")
+	}
+}
+
+func TestAbandonedConsumerDoesNotBlockGroupForever(t *testing.T) {
+	// A consumer that stops reading: the stages block on Send until the
+	// group is cancelled; Wait with a cancelled parent must return.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	lat := failureLattice(t)
+	src := slowSource(g, testInfo(), lat)
+	out, _, err := Apply(g, doubler{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-out.C // read one chunk, then walk away
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("group hung with abandoned consumer")
+	}
+}
+
+func TestBinaryOperatorFailurePropagation(t *testing.T) {
+	g := NewGroup(context.Background())
+	lat := failureLattice(t)
+	a := slowSource(g, testInfo(), lat)
+	b := slowSource(g, testInfo(), lat)
+	out, _, err := Apply2(g, failingBinary{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range out.C { //nolint:revive
+	}
+	if err := g.Wait(); err == nil || !contains(err.Error(), "binary boom") {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+type failingBinary struct{}
+
+func (failingBinary) Name() string                    { return "failbin" }
+func (failingBinary) OutInfo(a, b Info) (Info, error) { return a, nil }
+func (failingBinary) Run(ctx context.Context, a, b <-chan *Chunk, out chan<- *Chunk, st *Stats) error {
+	select {
+	case <-a:
+	case <-b:
+	}
+	return errors.New("binary boom")
+}
+
+func TestTeeUnwindsWhenOneConsumerAbandons(t *testing.T) {
+	// Tee is synchronous: if one consumer walks away, the other stalls
+	// until cancellation. The group must still unwind.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	lat := failureLattice(t)
+	src := slowSource(g, testInfo(), lat)
+	outs := Tee(g, src, 2)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Consumer 0 reads two chunks then abandons.
+		<-outs[0].C
+		<-outs[0].C
+	}()
+	// Consumer 1 drains until close.
+	go func() {
+		for range outs[1].C { //nolint:revive
+		}
+	}()
+	wg.Wait()
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tee group hung after consumer abandoned")
+	}
+}
+
+func TestGroupManyFailuresFirstWins(t *testing.T) {
+	g := NewGroup(context.Background())
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func(ctx context.Context) error {
+			return fmt.Errorf("failure %d", i)
+		})
+	}
+	err := g.Wait()
+	if err == nil || !contains(err.Error(), "failure") {
+		t.Fatalf("Wait = %v", err)
+	}
+}

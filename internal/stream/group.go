@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// Group runs the goroutines of one query pipeline and collects the first
+// error. It is a minimal stdlib-only analogue of errgroup.Group: the first
+// failing stage cancels the group context, unwinding every other stage.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+// NewGroup derives a group from a parent context.
+func NewGroup(parent context.Context) *Group {
+	ctx, cancel := context.WithCancel(parent)
+	return &Group{ctx: ctx, cancel: cancel}
+}
+
+// Context returns the group's context; stages must watch it.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Go runs fn in a goroutine. A non-nil return becomes the group error
+// (first wins) and cancels the group.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(g.ctx); err != nil && err != context.Canceled {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// Wait blocks until every stage has returned, cancels the context, and
+// returns the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// Err returns the first error recorded so far without waiting.
+func (g *Group) Err() error { return g.err }

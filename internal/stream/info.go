@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"fmt"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/geom"
+)
+
+// Organization is the physical point organization of a GeoStream (Fig. 1
+// of the paper): it determines, more than anything else, how much state
+// the transform and composition operators must buffer.
+type Organization int
+
+const (
+	// ImageByImage: whole rectangular frames arrive at once (airborne
+	// cameras, Fig. 1a).
+	ImageByImage Organization = iota
+	// RowByRow: single scan lines arrive at a time (GOES-class satellite
+	// imagers, Fig. 1b).
+	RowByRow
+	// PointByPoint: individually located points ordered only by time
+	// (LIDAR-class instruments, Fig. 1c).
+	PointByPoint
+)
+
+func (o Organization) String() string {
+	switch o {
+	case ImageByImage:
+		return "image-by-image"
+	case RowByRow:
+		return "row-by-row"
+	case PointByPoint:
+		return "point-by-point"
+	}
+	return fmt.Sprintf("organization(%d)", int(o))
+}
+
+// StampPolicy says what the timestamps of a stream mean. §3.3 of the
+// paper: composition only ever matches points when both streams carry
+// scan-sector identifiers; measurement-time stamps of different spectral
+// scans never coincide.
+type StampPolicy int
+
+const (
+	// StampSectorID: T is the scan-sector identifier.
+	StampSectorID StampPolicy = iota
+	// StampMeasurementTime: T is the (simulated) acquisition instant.
+	StampMeasurementTime
+)
+
+func (p StampPolicy) String() string {
+	if p == StampMeasurementTime {
+		return "measurement-time"
+	}
+	return "sector-id"
+}
+
+// Info is the static metadata of a GeoStream: everything an operator or
+// the planner can know before the first chunk arrives.
+type Info struct {
+	// Band names the spectral channel or derived product ("vis", "nir",
+	// "ndvi", ...).
+	Band string
+	// CRS is the coordinate system associated with the spatial component
+	// (Definition 5); never nil for a valid stream.
+	CRS coord.CRS
+	// Org is the physical point organization.
+	Org Organization
+	// Stamp is the timestamping policy.
+	Stamp StampPolicy
+	// SectorGeom is the nominal full lattice of one scan sector — the
+	// §3.2 metadata that bounds operator buffering. Valid only when
+	// HasSectorMeta.
+	SectorGeom    geom.Lattice
+	HasSectorMeta bool
+	// VMin, VMax is the nominal radiometric value range, used as the
+	// default domain for stretches and rendering.
+	VMin, VMax float64
+}
+
+// Validate checks the invariants a stream's Info must satisfy.
+func (in Info) Validate() error {
+	if in.CRS == nil {
+		return fmt.Errorf("stream: info %q has no CRS", in.Band)
+	}
+	if in.HasSectorMeta {
+		if err := in.SectorGeom.Validate(); err != nil {
+			return fmt.Errorf("stream: info %q sector geometry: %w", in.Band, err)
+		}
+	}
+	if in.VMax < in.VMin {
+		return fmt.Errorf("stream: info %q value range [%g, %g] inverted", in.Band, in.VMin, in.VMax)
+	}
+	return nil
+}
+
+func (in Info) String() string {
+	crs := "<nil>"
+	if in.CRS != nil {
+		crs = in.CRS.Name()
+	}
+	return fmt.Sprintf("stream(%s, %s, %s, %s)", in.Band, crs, in.Org, in.Stamp)
+}

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats instruments one operator instance. The experiment harness reads
+// these counters to verify the paper's space-complexity claims directly:
+// the §3.1 claim that restrictions buffer nothing, the §3.2 claim that a
+// stretch buffers one frame, the §3.3 claim that composition buffering is
+// one image vs. one row depending on organization, and so on.
+//
+// All counters are safe for concurrent use.
+type Stats struct {
+	Name string
+
+	ChunksIn  atomic.Int64
+	ChunksOut atomic.Int64
+	PointsIn  atomic.Int64
+	PointsOut atomic.Int64
+
+	// bufferedPoints is the operator's current intermediate state in
+	// points; peakBuffered is its high-water mark.
+	bufferedPoints atomic.Int64
+	peakBuffered   atomic.Int64
+
+	// MatchedSectors / UnmatchedSectors count composition pairing outcomes.
+	MatchedSectors   atomic.Int64
+	UnmatchedSectors atomic.Int64
+}
+
+// CountIn records an arriving chunk.
+func (s *Stats) CountIn(c *Chunk) {
+	s.ChunksIn.Add(1)
+	s.PointsIn.Add(int64(c.NumPoints()))
+}
+
+// CountOut records an emitted chunk.
+func (s *Stats) CountOut(c *Chunk) {
+	s.ChunksOut.Add(1)
+	s.PointsOut.Add(int64(c.NumPoints()))
+}
+
+// Buffer records n points entering the operator's intermediate state and
+// updates the high-water mark.
+func (s *Stats) Buffer(n int64) {
+	cur := s.bufferedPoints.Add(n)
+	for {
+		peak := s.peakBuffered.Load()
+		if cur <= peak || s.peakBuffered.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Unbuffer records n points leaving the intermediate state.
+func (s *Stats) Unbuffer(n int64) { s.bufferedPoints.Add(-n) }
+
+// PeakBufferedPoints returns the high-water mark of buffered points — the
+// measured space complexity of the operator.
+func (s *Stats) PeakBufferedPoints() int64 { return s.peakBuffered.Load() }
+
+// BufferedPoints returns the currently buffered point count.
+func (s *Stats) BufferedPoints() int64 { return s.bufferedPoints.Load() }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s{in: %d chunks/%d pts, out: %d chunks/%d pts, peak buffer: %d pts}",
+		s.Name, s.ChunksIn.Load(), s.PointsIn.Load(),
+		s.ChunksOut.Load(), s.PointsOut.Load(), s.PeakBufferedPoints())
+}

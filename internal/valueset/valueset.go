@@ -1,0 +1,191 @@
+// Package valueset implements the value-set side of Image Algebra as used
+// by the GeoStreams data model (§2, Definition 2: "a value set V is an
+// instance of a homogeneous algebra, that is, a set of values together
+// with a set of operands").
+//
+// Two layers live here:
+//
+//   - Algebra[V]: a generic homogeneous algebra over an arbitrary carrier
+//     type, with the γ-operations the composition operator needs
+//     (γ ∈ {+, −, ×, ÷, sup, inf}); instances are provided for float64
+//     (the engine's scalar pixel type, one spectral band per stream, as in
+//     §3.3) and for multi-band vectors.
+//   - Set: predicates over scalar values, used by the value restriction
+//     operator G|V (§3.1).
+//
+// Missing data is represented by NaN; every operation propagates NaN, and
+// Sets never contain NaN unless they say so explicitly.
+package valueset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gamma identifies one of the binary composition operations of §3.3.
+type Gamma int
+
+const (
+	Add Gamma = iota
+	Sub
+	Mul
+	Div
+	Sup // pointwise supremum (∨)
+	Inf // pointwise infimum (∧)
+)
+
+// ParseGamma resolves the query-language spelling of a composition op.
+func ParseGamma(s string) (Gamma, error) {
+	switch s {
+	case "+", "add":
+		return Add, nil
+	case "-", "sub":
+		return Sub, nil
+	case "*", "mul":
+		return Mul, nil
+	case "/", "div":
+		return Div, nil
+	case "sup", "max":
+		return Sup, nil
+	case "inf", "min":
+		return Inf, nil
+	}
+	return 0, fmt.Errorf("valueset: unknown composition operator %q", s)
+}
+
+func (g Gamma) String() string {
+	switch g {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Sup:
+		return "sup"
+	case Inf:
+		return "inf"
+	}
+	return fmt.Sprintf("gamma(%d)", int(g))
+}
+
+// Apply evaluates the γ-operation on scalar values. Division by zero and
+// any NaN operand yield NaN (missing data propagates).
+func (g Gamma) Apply(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	switch g {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return math.NaN()
+		}
+		return a / b
+	case Sup:
+		return math.Max(a, b)
+	case Inf:
+		return math.Min(a, b)
+	}
+	return math.NaN()
+}
+
+// Algebra is a homogeneous algebra over the carrier type V: the value set
+// of Definition 2. The binary operations correspond to the γ-operations;
+// Zero is the additive identity; Valid is set membership.
+type Algebra[V any] struct {
+	Name  string
+	Zero  V
+	Add   func(a, b V) V
+	Sub   func(a, b V) V
+	Mul   func(a, b V) V
+	Div   func(a, b V) V
+	Sup   func(a, b V) V
+	Inf   func(a, b V) V
+	Eq    func(a, b V) bool
+	Valid func(v V) bool
+}
+
+// Op returns the algebra's function for a γ-operation.
+func (a Algebra[V]) Op(g Gamma) (func(x, y V) V, error) {
+	switch g {
+	case Add:
+		return a.Add, nil
+	case Sub:
+		return a.Sub, nil
+	case Mul:
+		return a.Mul, nil
+	case Div:
+		return a.Div, nil
+	case Sup:
+		return a.Sup, nil
+	case Inf:
+		return a.Inf, nil
+	}
+	return nil, fmt.Errorf("valueset: algebra %s has no operation %v", a.Name, g)
+}
+
+// Float64 is the scalar value set Z/R used for single-band imagery.
+func Float64() Algebra[float64] {
+	return Algebra[float64]{
+		Name: "float64",
+		Zero: 0,
+		Add:  Add.Apply,
+		Sub:  Sub.Apply,
+		Mul:  Mul.Apply,
+		Div:  Div.Apply,
+		Sup:  Sup.Apply,
+		Inf:  Inf.Apply,
+		Eq: func(a, b float64) bool {
+			return a == b || (math.IsNaN(a) && math.IsNaN(b))
+		},
+		Valid: func(v float64) bool { return !math.IsInf(v, 0) },
+	}
+}
+
+// Multiband is the value set Z^n (n ≥ 1) for color/multi-spectral pixels;
+// all operations apply element-wise. Operating on vectors of different
+// lengths yields a zero-length vector (invalid).
+func Multiband(n int) Algebra[[]float64] {
+	lift := func(g Gamma) func(a, b []float64) []float64 {
+		return func(a, b []float64) []float64 {
+			if len(a) != len(b) {
+				return nil
+			}
+			out := make([]float64, len(a))
+			for i := range a {
+				out[i] = g.Apply(a[i], b[i])
+			}
+			return out
+		}
+	}
+	return Algebra[[]float64]{
+		Name: fmt.Sprintf("multiband(%d)", n),
+		Zero: make([]float64, n),
+		Add:  lift(Add),
+		Sub:  lift(Sub),
+		Mul:  lift(Mul),
+		Div:  lift(Div),
+		Sup:  lift(Sup),
+		Inf:  lift(Inf),
+		Eq: func(a, b []float64) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+					return false
+				}
+			}
+			return true
+		},
+		Valid: func(v []float64) bool { return len(v) == n },
+	}
+}

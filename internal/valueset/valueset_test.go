@@ -1,0 +1,199 @@
+package valueset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseGamma(t *testing.T) {
+	cases := map[string]Gamma{
+		"+": Add, "add": Add, "-": Sub, "sub": Sub,
+		"*": Mul, "mul": Mul, "/": Div, "div": Div,
+		"sup": Sup, "max": Sup, "inf": Inf, "min": Inf,
+	}
+	for s, want := range cases {
+		got, err := ParseGamma(s)
+		if err != nil || got != want {
+			t.Errorf("ParseGamma(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseGamma("mod"); err == nil {
+		t.Fatal("unknown gamma must fail")
+	}
+}
+
+func TestGammaApply(t *testing.T) {
+	cases := []struct {
+		g    Gamma
+		a, b float64
+		want float64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, 2, 3, 6},
+		{Div, 6, 3, 2},
+		{Sup, 2, 3, 3},
+		{Inf, 2, 3, 2},
+	}
+	for _, c := range cases {
+		if got := c.g.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.Apply(%g, %g) = %g, want %g", c.g, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGammaNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	for _, g := range []Gamma{Add, Sub, Mul, Div, Sup, Inf} {
+		if !math.IsNaN(g.Apply(nan, 1)) || !math.IsNaN(g.Apply(1, nan)) {
+			t.Errorf("%v must propagate NaN", g)
+		}
+	}
+	if !math.IsNaN(Div.Apply(1, 0)) {
+		t.Fatal("division by zero must yield NaN")
+	}
+}
+
+func TestGammaString(t *testing.T) {
+	if Add.String() != "+" || Sup.String() != "sup" {
+		t.Fatal("gamma String wrong")
+	}
+}
+
+// Properties of the scalar algebra: commutativity of +, *, sup, inf;
+// associativity of sup/inf; sup/inf absorption.
+func TestScalarAlgebraLaws(t *testing.T) {
+	alg := Float64()
+	clean := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	comm := func(a, b float64) bool {
+		a, b = clean(a), clean(b)
+		return alg.Add(a, b) == alg.Add(b, a) &&
+			alg.Mul(a, b) == alg.Mul(b, a) &&
+			alg.Sup(a, b) == alg.Sup(b, a) &&
+			alg.Inf(a, b) == alg.Inf(b, a)
+	}
+	if err := quick.Check(comm, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	lattice := func(a, b, c float64) bool {
+		a, b, c = clean(a), clean(b), clean(c)
+		assoc := alg.Sup(alg.Sup(a, b), c) == alg.Sup(a, alg.Sup(b, c)) &&
+			alg.Inf(alg.Inf(a, b), c) == alg.Inf(a, alg.Inf(b, c))
+		absorb := alg.Sup(a, alg.Inf(a, b)) == a && alg.Inf(a, alg.Sup(a, b)) == a
+		return assoc && absorb
+	}
+	if err := quick.Check(lattice, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero is the additive identity.
+	if alg.Add(7.5, alg.Zero) != 7.5 {
+		t.Fatal("zero not additive identity")
+	}
+}
+
+func TestAlgebraOpLookup(t *testing.T) {
+	alg := Float64()
+	for _, g := range []Gamma{Add, Sub, Mul, Div, Sup, Inf} {
+		f, err := alg.Op(g)
+		if err != nil {
+			t.Fatalf("Op(%v): %v", g, err)
+		}
+		if f(4, 2) != g.Apply(4, 2) {
+			t.Fatalf("Op(%v) disagrees with Apply", g)
+		}
+	}
+	if _, err := alg.Op(Gamma(99)); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestMultibandAlgebra(t *testing.T) {
+	alg := Multiband(3)
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if !alg.Eq(alg.Add(a, b), []float64{11, 22, 33}) {
+		t.Fatal("multiband add wrong")
+	}
+	if !alg.Eq(alg.Sup(a, b), b) || !alg.Eq(alg.Inf(a, b), a) {
+		t.Fatal("multiband sup/inf wrong")
+	}
+	if got := alg.Mul(a, []float64{1, 2}); got != nil {
+		t.Fatal("length mismatch must yield nil")
+	}
+	if !alg.Valid(a) || alg.Valid([]float64{1}) {
+		t.Fatal("multiband validity wrong")
+	}
+	if !alg.Eq(alg.Zero, []float64{0, 0, 0}) {
+		t.Fatal("multiband zero wrong")
+	}
+	// NaN equality: NaN == NaN under Eq.
+	nan := math.NaN()
+	if !alg.Eq([]float64{nan, 1, 2}, []float64{nan, 1, 2}) {
+		t.Fatal("Eq must treat NaN as equal to NaN")
+	}
+}
+
+func TestRangeSet(t *testing.T) {
+	r, err := NewRange(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(0) || !r.Contains(10) || !r.Contains(5) {
+		t.Fatal("range must be closed")
+	}
+	if r.Contains(-0.001) || r.Contains(10.001) || r.Contains(math.NaN()) {
+		t.Fatal("range membership wrong")
+	}
+	if _, err := NewRange(5, 1); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	if _, err := NewRange(math.NaN(), 1); err == nil {
+		t.Fatal("NaN bound must fail")
+	}
+}
+
+func TestHalfLineAndFiniteSets(t *testing.T) {
+	if !(Above{5}).Contains(5.01) || (Above{5}).Contains(5) {
+		t.Fatal("above must be exclusive")
+	}
+	if !(Below{5}).Contains(4.99) || (Below{5}).Contains(5) {
+		t.Fatal("below must be exclusive")
+	}
+	f := Finite{}
+	if !f.Contains(0) || f.Contains(math.NaN()) || f.Contains(math.Inf(1)) {
+		t.Fatal("finite membership wrong")
+	}
+	if !(AllValues{}).Contains(math.NaN()) {
+		t.Fatal("allvalues must contain NaN")
+	}
+}
+
+func TestEnumSet(t *testing.T) {
+	e := NewEnum(1, 2, 3, math.NaN())
+	if !e.Contains(2) || e.Contains(4) || e.Contains(math.NaN()) {
+		t.Fatal("enum membership wrong")
+	}
+	if e.String() != "valenum(1, 2, 3)" {
+		t.Fatalf("enum String = %q", e.String())
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	r, _ := NewRange(0, 10)
+	x := IntersectSets(r, Above{3})
+	if !x.Contains(5) || x.Contains(2) || x.Contains(11) {
+		t.Fatal("set intersection wrong")
+	}
+	if IntersectSets(r) != Set(r) {
+		t.Fatal("singleton intersect must be identity")
+	}
+	if !IntersectSets().Contains(math.NaN()) {
+		t.Fatal("empty intersect must be allvalues")
+	}
+}

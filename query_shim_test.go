@@ -1,0 +1,20 @@
+package geostreams_test
+
+import (
+	"geostreams/internal/query"
+	"geostreams/internal/stream"
+)
+
+// Thin aliases keeping bench_test.go readable.
+
+func queryParse(q string) (query.Node, error) {
+	return query.Parse(q, map[string]bool{"nir": true, "vis": true, "ir": true})
+}
+
+func queryOptimize(n query.Node, catalog map[string]stream.Info) (query.Node, error) {
+	return query.Optimize(n, catalog)
+}
+
+func queryBuild(g *stream.Group, n query.Node, sources map[string]*stream.Stream) (*stream.Stream, []*stream.Stats, error) {
+	return query.Build(g, n, sources)
+}
