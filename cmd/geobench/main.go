@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N]
+//	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N] [-json]
+//
+// With -json the rendered tables are followed by one machine-readable JSON
+// snapshot on stdout: the config, every table (rows plus its metrics map,
+// e.g. the F3 frame-latency and delivery-freshness percentiles), and the
+// total wall time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,12 +23,21 @@ import (
 	"geostreams/internal/bench"
 )
 
+// snapshot is the -json output document.
+type snapshot struct {
+	Config       bench.Config   `json:"config"`
+	Experiments  []*bench.Table `json:"experiments"`
+	Failed       []string       `json:"failed,omitempty"`
+	TotalSeconds float64        `json:"total_seconds"`
+}
+
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick or default")
 	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, A1..A3) or 'all'")
 	w := flag.Int("w", 0, "override sector width (points)")
 	h := flag.Int("h", 0, "override sector height (points)")
 	sectors := flag.Int("sectors", 0, "override sector count")
+	jsonOut := flag.Bool("json", false, "append a JSON metrics snapshot of all results to stdout")
 	flag.Parse()
 
 	cfg := bench.Default
@@ -52,7 +67,8 @@ func main() {
 
 	fmt.Printf("GeoStreams experiment suite — sector %dx%d (%d pts), %d sectors\n\n",
 		cfg.W, cfg.H, cfg.Frame(), cfg.Sectors)
-	failed := 0
+	snap := snapshot{Config: cfg}
+	suiteStart := time.Now()
 	for _, e := range bench.AllWithAblations() {
 		if !runAll && !want[e.ID] {
 			continue
@@ -61,13 +77,24 @@ func main() {
 		tbl, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n\n", e.ID, err)
-			failed++
+			snap.Failed = append(snap.Failed, e.ID)
 			continue
 		}
+		tbl.SetMetric("wall_seconds", time.Since(start).Seconds())
+		snap.Experiments = append(snap.Experiments, tbl)
 		tbl.Render(os.Stdout)
 		fmt.Printf("  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	if failed > 0 {
+	snap.TotalSeconds = time.Since(suiteStart).Seconds()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(snap.Failed) > 0 {
 		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@
 //	geoquery frames -id 1 -n 5 -out ./frames
 //	geoquery series -id 2 -n 10
 //	geoquery stats
+//	geoquery metrics
 //	geoquery list
 //	geoquery drop -id 1
 package main
@@ -25,7 +26,7 @@ import (
 	"geostreams/internal/dsms"
 )
 
-const usage = "usage: geoquery catalog|explain|register|frames|series|stats|list|drop [flags]"
+const usage = "usage: geoquery catalog|explain|register|frames|series|stats|metrics|list|drop [flags]"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -95,12 +96,18 @@ func main() {
 			}
 		}
 	case "stats":
-		hs, err := c.Stats()
+		st, err := c.Stats()
 		fatal(err)
-		for _, h := range hs {
-			fmt.Printf("band %-6s subscribers=%d delivered=%d dropped=%d routed=%d\n",
-				h.Band, h.Subscribers, h.Delivered, h.Dropped, h.Routed)
+		fmt.Printf("queries=%d uptime=%.1fs\n", st.Queries, st.UptimeSeconds)
+		for _, h := range st.Hubs {
+			fmt.Printf("band %-6s subscribers=%d delivered=%d dropped=%d routed=%d unrouted=%d age_p50=%.3fs age_p95=%.3fs\n",
+				h.Band, h.Subscribers, h.Delivered, h.Dropped, h.Routed,
+				h.Unrouted, h.AgeP50Seconds, h.AgeP95Seconds)
 		}
+	case "metrics":
+		text, err := c.Metrics()
+		fatal(err)
+		fmt.Print(text)
 	case "list":
 		qs, err := c.Queries()
 		fatal(err)

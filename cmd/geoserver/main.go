@@ -7,8 +7,10 @@
 //	geoserver [-addr :8080] [-goes] [-subsat -75]
 //	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	          [-sectors 0] [-interval 2s] [-seed 42]
+//	          [-log-format text|json] [-log-level info] [-debug]
 //
-// With -sectors 0 the instrument scans forever. Try:
+// With -sectors 0 the instrument scans forever. -debug mounts
+// net/http/pprof under /debug/pprof/. Try:
 //
 //	curl localhost:8080/catalog
 //	curl -s localhost:8080/explain --get --data-urlencode \
@@ -16,13 +18,13 @@
 //	curl -s localhost:8080/queries -d \
 //	    '{"query": "stretch(ndvi(nir, vis), linear, 0, 255)", "colormap": "ndvi"}'
 //	curl -s localhost:8080/queries/1/frame -o frame.png
+//	curl -s localhost:8080/metrics
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"net/http"
 	"os"
@@ -33,6 +35,7 @@ import (
 
 	"geostreams/internal/dsms"
 	"geostreams/internal/geom"
+	"geostreams/internal/obs"
 	"geostreams/internal/sat"
 	"geostreams/internal/stream"
 )
@@ -63,11 +66,21 @@ func main() {
 	sectors := flag.Int("sectors", 0, "number of scan sectors (0 = unlimited)")
 	interval := flag.Duration("interval", 2*time.Second, "time between scan sectors")
 	seed := flag.Int64("seed", 42, "scene seed")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger := obs.NewCLILogger(*logFormat, *logLevel).With("component", "geoserver")
+
+	fatal := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	region, err := parseRegion(*regionStr)
 	if err != nil {
-		log.Fatalf("geoserver: %v", err)
+		fatal("%v", err)
 	}
 	nSectors := *sectors
 	if nSectors <= 0 {
@@ -78,6 +91,8 @@ func main() {
 	defer stop()
 
 	srv := dsms.NewServer(ctx)
+	srv.SetLogger(logger)
+	srv.SetDebug(*debug)
 	scene := sat.DefaultScene(*seed)
 	bands := []string{"vis", "nir", "ir"}
 	var im *sat.Imager
@@ -87,16 +102,16 @@ func main() {
 		im, err = sat.NewLatLonImager(region, *w, *h, scene, bands, stream.RowByRow, nSectors)
 	}
 	if err != nil {
-		log.Fatalf("geoserver: instrument: %v", err)
+		fatal("instrument: %v", err)
 	}
 	im.Interval = *interval
 	streams, err := im.Streams(srv.Group())
 	if err != nil {
-		log.Fatalf("geoserver: %v", err)
+		fatal("%v", err)
 	}
 	for _, band := range bands {
 		if err := srv.AddSource(streams[band]); err != nil {
-			log.Fatalf("geoserver: %v", err)
+			fatal("%v", err)
 		}
 	}
 	srv.Start()
@@ -104,7 +119,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		<-ctx.Done()
-		log.Println("geoserver: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx) //nolint:errcheck
@@ -115,10 +130,11 @@ func main() {
 	if *useGOES {
 		crs = fmt.Sprintf("geos:%g", *subsat)
 	}
-	log.Printf("geoserver: bands %v over %v in %s, sector %dx%d every %s",
-		bands, region, crs, *w, *h, *interval)
-	log.Printf("geoserver: listening on %s", *addr)
+	logger.Info("instrument configured",
+		"bands", fmt.Sprintf("%v", bands), "region", region.String(), "crs", crs,
+		"sector_w", *w, "sector_h", *h, "interval", interval.String())
+	logger.Info("listening", "addr", *addr, "pprof", *debug)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("geoserver: %v", err)
+		fatal("%v", err)
 	}
 }

@@ -106,7 +106,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, h := range stats {
+	for _, h := range stats.Hubs {
 		fmt.Printf("band %-4s delivered=%-5d dropped=%-3d index matches=%d\n",
 			h.Band, h.Delivered, h.Dropped, h.Routed)
 	}

@@ -35,16 +35,28 @@ func (c Config) Frame() int { return c.W * c.H }
 
 // Table is one rendered experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper claim under test
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"` // the paper claim under test
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Metrics carries machine-readable measurements alongside the rendered
+	// rows (latency percentiles, throughput, freshness) for the geobench
+	// -json snapshot.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// SetMetric records one machine-readable measurement.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
+}
 
 // Render writes the table as aligned text.
 func (t *Table) Render(w io.Writer) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"image/png"
 	"net/http/httptest"
+	"sort"
 	"time"
 
 	"geostreams/internal/dsms"
@@ -23,7 +24,7 @@ func F3EndToEnd(cfg Config) (*Table, error) {
 		Title: "end-to-end DSMS over HTTP (architecture of Fig. 3)",
 		Claim: "the full generator→parser→optimizer→execution→PNG-delivery loop runs continuously for concurrent queries",
 		Columns: []string{"query", "frames", "bytes PNG", "avg frame latency",
-			"total"},
+			"p50", "p95", "total"},
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -66,7 +67,7 @@ func F3EndToEnd(cfg Config) (*Table, error) {
 
 	for i, q := range queries {
 		frames, bytesTotal := 0, 0
-		var latSum time.Duration
+		var lats []float64
 		start := time.Now()
 		last := start
 		for {
@@ -78,7 +79,7 @@ func F3EndToEnd(cfg Config) (*Table, error) {
 				break
 			}
 			now := time.Now()
-			latSum += now.Sub(last)
+			lats = append(lats, now.Sub(last).Seconds())
 			last = now
 			frames++
 			bytesTotal += len(f.PNG)
@@ -90,8 +91,44 @@ func F3EndToEnd(cfg Config) (*Table, error) {
 		if frames == 0 {
 			return nil, fmt.Errorf("%s: no frames delivered", q.label)
 		}
+		avg := total / time.Duration(frames)
+		p50, p95 := pctile(lats, 0.5), pctile(lats, 0.95)
 		t.AddRow(q.label, fmtI(int64(frames)), fmtI(int64(bytesTotal)),
-			fmtDur(latSum/time.Duration(frames)), fmtDur(total))
+			fmtDur(avg), fmtDur(secDur(p50)), fmtDur(secDur(p95)), fmtDur(total))
+		key := fmt.Sprintf("q%d_", i)
+		t.SetMetric(key+"frames", float64(frames))
+		t.SetMetric(key+"png_bytes", float64(bytesTotal))
+		t.SetMetric(key+"frame_latency_p50_seconds", p50)
+		t.SetMetric(key+"frame_latency_p95_seconds", p95)
+	}
+
+	// Server-side freshness: per query, the delivery stage's observed
+	// instrument-ingest→delivery age percentiles.
+	list, err := client.Queries()
+	if err != nil {
+		return nil, err
+	}
+	for i, qi := range list {
+		if qi.Delivery == nil {
+			continue
+		}
+		key := fmt.Sprintf("q%d_", i)
+		t.SetMetric(key+"delivery_age_p50_seconds", qi.Delivery.AgeP50Seconds)
+		t.SetMetric(key+"delivery_age_p95_seconds", qi.Delivery.AgeP95Seconds)
+		t.SetMetric(key+"shed_frames", float64(qi.Delivery.ShedFrames))
 	}
 	return t, nil
 }
+
+// pctile returns the q-th percentile of an unsorted sample (nearest rank).
+func pctile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func secDur(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

@@ -141,9 +141,13 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 	lat := op.sectorGeom
 	n := lat.NumPoints()
 
-	// history is a ring of the last Window frames.
+	// history is a ring of the last Window frames; histIngs carries the
+	// oldest ingest stamp of each frame, so emitted aggregates can report
+	// the age of the stalest data in the window.
 	history := make([][]float64, 0, op.Window)
+	histIngs := make([]int64, 0, op.Window)
 	var cur []float64
+	var curIng int64
 	var curT geom.Timestamp
 	haveCur := false
 
@@ -161,9 +165,15 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 			return nil
 		}
 		history = append(history, cur)
+		histIngs = append(histIngs, curIng)
 		if len(history) > op.Window {
 			st.Unbuffer(int64(n))
 			history = history[1:]
+			histIngs = histIngs[1:]
+		}
+		var winIng int64
+		for _, ing := range histIngs {
+			winIng = stream.MinIngest(winIng, ing)
 		}
 		// Aggregate across the window per cell.
 		vals := make([]float64, n)
@@ -179,17 +189,20 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 		if err != nil {
 			return err
 		}
+		o.StampIngest(winIng)
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
 		st.CountOut(o)
 		eos := stream.NewEndOfSector(t, lat)
+		eos.StampIngest(winIng)
 		if err := stream.Send(ctx, out, eos); err != nil {
 			return err
 		}
 		st.CountOut(eos)
 		haveCur = false
 		cur = nil
+		curIng = 0
 		return nil
 	}
 
@@ -207,6 +220,7 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 				curT = c.T
 				haveCur = true
 			}
+			curIng = stream.MinIngest(curIng, c.Ingest)
 			// Rasterize the patch into the current frame.
 			g := c.Grid
 			for r := 0; r < g.Lat.H; r++ {
@@ -266,13 +280,17 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 		n          int
 		sum        float64
 		lo, hi     = math.Inf(1), math.Inf(-1)
+		secIng     int64
 		curT       geom.Timestamp
 		haveSector bool
 	)
 	bounds := op.Region.Bounds()
 	center := bounds.Center()
 
-	reset := func() { n, sum, lo, hi = 0, 0, math.Inf(1), math.Inf(-1) }
+	reset := func() {
+		n, sum, lo, hi = 0, 0, math.Inf(1), math.Inf(-1)
+		secIng = 0
+	}
 
 	emit := func(t geom.Timestamp) error {
 		var v float64
@@ -306,6 +324,7 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 		if err != nil {
 			return err
 		}
+		o.StampIngest(secIng)
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
@@ -332,6 +351,7 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 			}
 			curT = c.T
 			haveSector = true
+			secIng = stream.MinIngest(secIng, c.Ingest)
 			if !c.Bounds().Intersects(bounds) {
 				continue
 			}

@@ -167,6 +167,7 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 		delete(other.eos, t)
 		st.MatchedSectors.Add(1)
 		o := stream.NewEndOfSector(t, c.Sector.Extent)
+		o.InheritIngest(c)
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
@@ -273,6 +274,8 @@ func (op Compose) matchChunks(c, o *stream.Chunk, gamma valueset.Gamma, flip boo
 		if err != nil {
 			panic(err) // unreachable: same lattice as a valid chunk
 		}
+		m.InheritIngest(c)
+		m.InheritIngest(o)
 		return m
 	case c.Kind == stream.KindPoints && o.Kind == stream.KindPoints:
 		return matchPointChunks(c, o, gamma, flip)
@@ -310,5 +313,7 @@ func matchPointChunks(c, o *stream.Chunk, gamma valueset.Gamma, flip bool) *stre
 	if err != nil {
 		panic(err) // unreachable: outPts non-empty when inputs matched
 	}
+	m.InheritIngest(c)
+	m.InheritIngest(o)
 	return m
 }

@@ -67,6 +67,17 @@ type convState struct {
 type rowPatch struct {
 	lat  geom.Lattice
 	vals []float64
+	ing  int64 // ingest stamp of the chunk the row came from
+}
+
+// windowIngest folds the ingest stamps of the rows [lo, hi] feeding one
+// output row, so the emitted row carries its oldest contributing stamp.
+func windowIngest(rows []rowPatch, lo, hi int) int64 {
+	var ing int64
+	for i := lo; i <= hi; i++ {
+		ing = stream.MinIngest(ing, rows[i].ing)
+	}
+	return ing
 }
 
 func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
@@ -117,6 +128,8 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 		if err != nil {
 			return err
 		}
+		lo, hi := max(0, j-pad), min(bottom, j+pad)
+		o.StampIngest(windowIngest(s.rows, lo, hi))
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
@@ -172,6 +185,7 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 				cur.rows = append(cur.rows, rowPatch{
 					lat:  g.Lat.Row(r),
 					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+					ing:  c.Ingest,
 				})
 				st.Buffer(int64(g.Lat.W))
 			}
@@ -263,6 +277,7 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 		if err != nil {
 			return err
 		}
+		o.StampIngest(windowIngest(s.rows, max(0, j-1), min(bottom, j+1)))
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
@@ -313,6 +328,7 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 				cur.rows = append(cur.rows, rowPatch{
 					lat:  g.Lat.Row(r),
 					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+					ing:  c.Ingest,
 				})
 				st.Buffer(int64(g.Lat.W))
 			}

@@ -220,8 +220,11 @@ func (op *Resample) OutInfo(in stream.Info) (stream.Info, error) {
 // sectorState is the per-sector working state: the assembled source rows
 // and the emission cursor. The geometry plan is shared across sectors.
 type sectorState struct {
-	t    geom.Timestamp
-	plan *resamplePlan
+	t geom.Timestamp
+	// ingest is the oldest ingest stamp of any chunk contributing to the
+	// sector; every emitted row carries it.
+	ingest int64
+	plan   *resamplePlan
 	rows [][]float64 // source rows, indexed by sector row; nil = absent/freed
 	// owned marks rows whose storage belongs to this operator; rows
 	// aliased from a chunk's storage must be copied before any merge
@@ -270,6 +273,7 @@ func (op *Resample) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<-
 			if cur == nil {
 				cur = &sectorState{t: c.T}
 			}
+			cur.ingest = stream.MinIngest(cur.ingest, c.Ingest)
 			if err := op.ingest(ctx, cur, c, out, st); err != nil {
 				return err
 			}
@@ -286,6 +290,7 @@ func (op *Resample) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<-
 				return fmt.Errorf("resample: sector %d target lattice: %w", c.T, err)
 			}
 			o := stream.NewEndOfSector(c.T, tgt)
+			o.InheritIngest(c)
 			if err := stream.Send(ctx, out, o); err != nil {
 				return err
 			}
@@ -436,7 +441,12 @@ func (op *Resample) renderRow(s *sectorState, j int) (*stream.Chunk, error) {
 		}
 		vals[i] = op.sample(s, p.mapped[j*p.tgt.W+i])
 	}
-	return stream.NewGridChunk(s.t, lat, vals)
+	o, err := stream.NewGridChunk(s.t, lat, vals)
+	if err != nil {
+		return nil, err
+	}
+	o.StampIngest(s.ingest)
+	return o, nil
 }
 
 // sample reads the assembled source frame at a source-CRS coordinate.
@@ -562,5 +572,10 @@ func (op *Resample) mapPoints(c *stream.Chunk) (*stream.Chunk, error) {
 	if len(pts) == 0 {
 		return nil, nil
 	}
-	return stream.NewPointsChunk(pts)
+	o, err := stream.NewPointsChunk(pts)
+	if err != nil {
+		return nil, err
+	}
+	o.InheritIngest(c)
+	return o, nil
 }

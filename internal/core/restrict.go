@@ -101,6 +101,7 @@ func restrictGrid(c *stream.Chunk, region geom.Region, bounds geom.Rect, isRect 
 		// Unreachable: the sub-lattice is valid whenever ClipRect said ok.
 		panic(err)
 	}
+	out.InheritIngest(c)
 	return out
 }
 
@@ -120,6 +121,7 @@ func restrictPoints(c *stream.Chunk, region geom.Region) *stream.Chunk {
 	if err != nil {
 		panic(err) // unreachable: keep is non-empty
 	}
+	out.InheritIngest(c)
 	return out
 }
 
@@ -162,6 +164,7 @@ func (op TemporalRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out
 				if o, err = stream.NewPointsChunk(keep); err != nil {
 					return err
 				}
+				o.InheritIngest(c)
 			}
 		default:
 			// Punctuation for filtered-out sectors still flows: downstream
@@ -230,6 +233,7 @@ func (op ValueRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out ch
 				if o, err = stream.NewPointsChunk(keep); err != nil {
 					return err
 				}
+				o.InheritIngest(c)
 			}
 		default:
 			o = c

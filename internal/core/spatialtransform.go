@@ -73,8 +73,10 @@ func (op ZoomIn) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *s
 			if o, err = stream.NewGridChunk(c.T, lat, vals); err != nil {
 				return err
 			}
+			o.InheritIngest(c)
 		case stream.KindEndOfSector:
 			o = stream.NewEndOfSector(c.T, zoomInLattice(c.Sector.Extent, k))
+			o.InheritIngest(c)
 		default:
 			return fmt.Errorf("zoomin: unsupported chunk kind %s", c.Kind)
 		}
@@ -137,11 +139,12 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 	// emitted block row.
 	var (
 		rows     []*stream.GridPatch // buffered single rows, top to bottom
+		rowIngs  []int64             // ingest stamp of each buffered row
 		rowT     geom.Timestamp
 		haveRows bool
 	)
 
-	emitBlock := func(block []*stream.GridPatch, t geom.Timestamp) error {
+	emitBlock := func(block []*stream.GridPatch, t geom.Timestamp, ingest int64) error {
 		// All rows in a block share the column lattice of the first row.
 		base := block[0].Lat
 		outLat := zoomOutLattice(base, k)
@@ -179,6 +182,7 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 		if err != nil {
 			return err
 		}
+		o.StampIngest(ingest)
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
@@ -193,13 +197,18 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 				n = len(rows)
 			}
 			block := rows[:n]
-			if err := emitBlock(block, rowT); err != nil {
+			var ingest int64
+			for _, ing := range rowIngs[:n] {
+				ingest = stream.MinIngest(ingest, ing)
+			}
+			if err := emitBlock(block, rowT, ingest); err != nil {
 				return err
 			}
 			for _, r := range block {
 				st.Unbuffer(int64(len(r.Vals)))
 			}
 			rows = rows[n:]
+			rowIngs = rowIngs[n:]
 		}
 		return nil
 	}
@@ -226,6 +235,7 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 					Lat:  rowLat,
 					Vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
 				})
+				rowIngs = append(rowIngs, c.Ingest)
 				st.Buffer(int64(g.Lat.W))
 			}
 			if err := flushRows(false); err != nil {
@@ -237,6 +247,7 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 			}
 			haveRows = false
 			o := stream.NewEndOfSector(c.T, zoomOutLattice(c.Sector.Extent, k))
+			o.InheritIngest(c)
 			if err := stream.Send(ctx, out, o); err != nil {
 				return err
 			}

@@ -62,6 +62,7 @@ func (op ValueTransform) Run(ctx context.Context, in <-chan *stream.Chunk, out c
 			if o, err = stream.NewPointsChunk(pts); err != nil {
 				return err
 			}
+			o.InheritIngest(c)
 		}
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
@@ -271,7 +272,12 @@ func (op ValueTransform) apply(c *stream.Chunk) (*stream.Chunk, error) {
 		for i, pv := range c.Points {
 			pts[i] = stream.PointValue{P: pv.P, V: op.Fn(pv.V)}
 		}
-		return stream.NewPointsChunk(pts)
+		o, err := stream.NewPointsChunk(pts)
+		if err != nil {
+			return nil, err
+		}
+		o.InheritIngest(c)
+		return o, nil
 	}
 	return c, nil
 }

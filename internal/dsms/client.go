@@ -154,9 +154,24 @@ func (c *Client) Deregister(id int64) error {
 	return nil
 }
 
-// Stats fetches the hub routing telemetry.
-func (c *Client) Stats() ([]HubStats, error) {
-	var out []HubStats
+// Stats fetches the server stats: hub routing telemetry, query count, and
+// uptime.
+func (c *Client) Stats() (ServerStats, error) {
+	var out ServerStats
 	err := c.get("/stats", &out)
 	return out, err
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }

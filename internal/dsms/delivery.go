@@ -5,10 +5,12 @@ import (
 	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"geostreams/internal/cascade"
 	"geostreams/internal/geom"
+	"geostreams/internal/obs"
 	"geostreams/internal/query"
 	"geostreams/internal/raster"
 	"geostreams/internal/stream"
@@ -61,6 +63,7 @@ type Registered struct {
 
 	opts    DeliveryOptions
 	stats   []*stream.Stats
+	deliv   *deliveryStats
 	group   *stream.Group
 	server  *Server
 	bands   []string
@@ -68,6 +71,51 @@ type Registered struct {
 	series  *seriesBuffer
 	stopped chan struct{}
 	err     error
+}
+
+// deliveryStats instruments the final stage of a query: what actually
+// reached the client-facing queues, and how stale the data was when it
+// got there.
+type deliveryStats struct {
+	frames       atomic.Int64
+	frameBytes   atomic.Int64
+	seriesPoints atomic.Int64
+	// age observes, per delivered data chunk, the seconds from instrument
+	// ingest to arrival at the delivery stage — the end-to-end data
+	// freshness of the whole pipeline.
+	age *obs.Histogram
+}
+
+func newDeliveryStats() *deliveryStats {
+	return &deliveryStats{age: obs.NewDurationHistogram()}
+}
+
+// DeliveryStats is the JSON form of a query's delivery-stage telemetry.
+type DeliveryStats struct {
+	Frames       int64 `json:"frames"`
+	FrameBytes   int64 `json:"frame_bytes"`
+	SeriesPoints int64 `json:"series_points"`
+	ShedFrames   int64 `json:"shed_frames"`
+
+	AgeSamples    int64   `json:"age_samples"`
+	AgeP50Seconds float64 `json:"age_p50_seconds"`
+	AgeP95Seconds float64 `json:"age_p95_seconds"`
+	AgeP99Seconds float64 `json:"age_p99_seconds"`
+}
+
+// DeliveryStats snapshots the delivery-stage telemetry.
+func (r *Registered) DeliveryStats() DeliveryStats {
+	age := r.deliv.age.Snapshot()
+	return DeliveryStats{
+		Frames:       r.deliv.frames.Load(),
+		FrameBytes:   r.deliv.frameBytes.Load(),
+		SeriesPoints: r.deliv.seriesPoints.Load(),
+		ShedFrames:   r.frames.shedCount(),
+		AgeSamples:   age.Count,
+		AgeP50Seconds: age.Quantile(0.5),
+		AgeP95Seconds: age.Quantile(0.95),
+		AgeP99Seconds: age.Quantile(0.99),
+	}
 }
 
 // Err returns the query's terminal error after it has stopped.
@@ -84,26 +132,49 @@ func (r *Registered) Err() error {
 func (r *Registered) OperatorStats() []OperatorStats {
 	out := make([]OperatorStats, len(r.stats))
 	for i, st := range r.stats {
+		lat := st.LatencySnapshot()
 		out[i] = OperatorStats{
-			Name:       st.Name,
-			ChunksIn:   st.ChunksIn.Load(),
-			ChunksOut:  st.ChunksOut.Load(),
-			PointsIn:   st.PointsIn.Load(),
-			PointsOut:  st.PointsOut.Load(),
-			PeakBuffer: st.PeakBufferedPoints(),
+			Name:           st.Name,
+			ChunksIn:       st.ChunksIn.Load(),
+			ChunksOut:      st.ChunksOut.Load(),
+			PointsIn:       st.PointsIn.Load(),
+			PointsOut:      st.PointsOut.Load(),
+			PeakBuffer:     st.PeakBufferedPoints(),
+			BufferedPoints: st.BufferedPoints(),
+			BusySeconds:    st.BusyTime().Seconds(),
+			IdleSeconds:    st.IdleTime().Seconds(),
+			QueueDepth:     st.QueueDepth(),
+			QueueCap:       st.QueueCap(),
+			PeakQueueDepth: st.PeakQueueDepth(),
+			LatencySamples: lat.Count,
+			LatencyP50:     lat.Quantile(0.5),
+			LatencyP95:     lat.Quantile(0.95),
+			LatencyP99:     lat.Quantile(0.99),
 		}
 	}
 	return out
 }
 
-// OperatorStats is the JSON form of stream.Stats.
+// OperatorStats is the JSON form of stream.Stats: the space counters the
+// paper's experiments assert plus the runtime telemetry (busy/idle split,
+// output-queue occupancy, and per-chunk processing-latency percentiles).
 type OperatorStats struct {
-	Name       string `json:"name"`
-	ChunksIn   int64  `json:"chunks_in"`
-	ChunksOut  int64  `json:"chunks_out"`
-	PointsIn   int64  `json:"points_in"`
-	PointsOut  int64  `json:"points_out"`
-	PeakBuffer int64  `json:"peak_buffer_points"`
+	Name           string  `json:"name"`
+	ChunksIn       int64   `json:"chunks_in"`
+	ChunksOut      int64   `json:"chunks_out"`
+	PointsIn       int64   `json:"points_in"`
+	PointsOut      int64   `json:"points_out"`
+	PeakBuffer     int64   `json:"peak_buffer_points"`
+	BufferedPoints int64   `json:"buffered_points"`
+	BusySeconds    float64 `json:"busy_seconds"`
+	IdleSeconds    float64 `json:"idle_seconds"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCap       int     `json:"queue_capacity"`
+	PeakQueueDepth int64   `json:"peak_queue_depth"`
+	LatencySamples int64   `json:"latency_samples"`
+	LatencyP50     float64 `json:"latency_p50_seconds"`
+	LatencyP95     float64 `json:"latency_p95_seconds"`
+	LatencyP99     float64 `json:"latency_p99_seconds"`
 }
 
 // deliver consumes the pipeline output: raster outputs are assembled into
@@ -122,6 +193,8 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 		r.frames.push(&Frame{
 			Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, PNG: buf.Bytes(),
 		})
+		r.deliv.frames.Add(1)
+		r.deliv.frameBytes.Add(int64(buf.Len()))
 		return nil
 	}
 	for {
@@ -140,6 +213,10 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 				r.frames.close()
 				return nil
 			}
+			if c.IsData() && c.Ingest != 0 {
+				// End-to-end freshness: instrument ingest → delivery stage.
+				r.deliv.age.Observe(float64(time.Now().UnixNano()-c.Ingest) / 1e9)
+			}
 			if c.Kind == stream.KindPoints {
 				for _, pv := range c.Points {
 					r.series.push(SeriesPoint{
@@ -147,6 +224,7 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 						Val: pv.V, NaN: math.IsNaN(pv.V),
 					})
 				}
+				r.deliv.seriesPoints.Add(int64(len(c.Points)))
 				continue
 			}
 			imgs, err := asm.Add(c)
@@ -207,6 +285,13 @@ func (q *frameQueue) push(f *Frame) {
 	}
 	q.buf = append(q.buf, f)
 	q.cond.Broadcast()
+}
+
+// shedCount reads the number of frames dropped for a slow client.
+func (q *frameQueue) shedCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.Shed
 }
 
 func (q *frameQueue) close() {

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"image/png"
+	"io"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -257,10 +260,27 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if len(list[0].Operators) == 0 {
 		t.Fatal("query list missing operator stats")
 	}
+	if list[0].Delivery == nil || list[0].Delivery.Frames != 3 {
+		t.Fatalf("query list delivery stats = %+v", list[0].Delivery)
+	}
+	if list[0].Delivery.AgeSamples == 0 {
+		t.Fatal("delivery stats missing end-to-end age samples")
+	}
+	if !strings.Contains(list[0].PlanObserved, "observed:") {
+		t.Fatalf("plan_observed missing telemetry:\n%s", list[0].PlanObserved)
+	}
 
-	hs, err := c.Stats()
-	if err != nil || len(hs) != 2 {
-		t.Fatalf("hub stats: %v, %+v", err, hs)
+	st, err := c.Stats()
+	if err != nil || len(st.Hubs) != 2 {
+		t.Fatalf("server stats: %v, %+v", err, st)
+	}
+	if st.Queries != 1 || st.UptimeSeconds <= 0 {
+		t.Fatalf("server stats gauges = %+v", st)
+	}
+	for _, h := range st.Hubs {
+		if h.AgeSamples == 0 {
+			t.Fatalf("hub %s missing ingest-age samples", h.Band)
+		}
 	}
 
 	if err := c.Deregister(int64(qi.ID)); err != nil {
@@ -271,9 +291,89 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	// Acceptance: GET /metrics on a server with a live query returns valid
+	// Prometheus text exposition carrying the per-operator counters, the
+	// processing-latency histogram, and the end-to-end delivery chunk-age
+	// histogram.
+	s, stop := startServer(t, 2)
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	reg, err := s.Register("rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))",
+		DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	for {
+		if _, ok := reg.NextFrame(5 * time.Second); !ok {
+			break
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"geostreams_uptime_seconds",
+		"geostreams_queries 1",
+		`geostreams_hub_delivered_chunks_total{band="vis"}`,
+		`geostreams_hub_chunk_age_seconds_bucket{band="vis",le="+Inf"}`,
+		"geostreams_operator_chunks_in_total{",
+		"geostreams_operator_points_out_total{",
+		"geostreams_operator_peak_buffered_points{",
+		"# TYPE geostreams_operator_latency_seconds histogram",
+		"geostreams_operator_latency_seconds_bucket{",
+		"# TYPE geostreams_delivery_chunk_age_seconds histogram",
+		`geostreams_delivery_chunk_age_seconds_bucket{query="1",le="+Inf"}`,
+		"geostreams_delivery_frames_total{",
+		"go_goroutines",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must parse as "name{labels} value" or
+	// "name value" — a cheap validity check of the exposition format.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("non-numeric value in line %q", line)
+		}
+	}
+
+	// The client helper fetches the same payload.
+	viaClient, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(viaClient, "geostreams_queries") {
+		t.Fatal("client Metrics() missing families")
+	}
+}
+
 func TestChunkDequeShedsOldestData(t *testing.T) {
 	var dropped atomic.Int64
-	d := newChunkDeque(2, &dropped)
+	d := newChunkDeque(2, &dropped, nil)
 	lat, err := geom.NewLattice(0, 0, 1, 1, 2, 1)
 	if err != nil {
 		t.Fatal(err)

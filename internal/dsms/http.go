@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -19,12 +20,14 @@ import (
 //	GET    /catalog                 band metadata
 //	POST   /queries                 register {"query": "...", "colormap": "..."} → QueryInfo
 //	GET    /queries                 list registered queries with stats
-//	GET    /queries/{id}            one query's info and stats
+//	GET    /queries/{id}            one query's info, per-operator stats, and delivery freshness
 //	DELETE /queries/{id}            deregister
 //	GET    /queries/{id}/frame      next PNG frame (?wait=ms, default 5000; 204 if none)
 //	GET    /queries/{id}/series     time-series points (?from=index)
 //	GET    /explain?q=...           plan + optimized plan with cost annotations
-//	GET    /stats                   hub routing telemetry
+//	GET    /stats                   server stats: hub routing telemetry, query count, uptime
+//	GET    /metrics                 Prometheus text exposition (operator/hub/delivery telemetry)
+//	GET    /debug/pprof/...         runtime profiles; mounted only with SetDebug(true)
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -38,6 +41,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}/series", s.handleSeries)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.registry.Handler())
+	s.mu.Lock()
+	debug := s.debug
+	s.mu.Unlock()
+	if debug {
+		// net/http/pprof registers on http.DefaultServeMux; re-route its
+		// endpoints through this mux only when debugging is enabled.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -53,7 +69,9 @@ type BandInfo struct {
 	VMax         float64 `json:"vmax"`
 }
 
-// QueryInfo is the JSON form of a registered query.
+// QueryInfo is the JSON form of a registered query. With stats it carries
+// the per-operator telemetry and the delivery stage's end-to-end freshness
+// summary.
 type QueryInfo struct {
 	ID        cascade.QueryID `json:"id"`
 	Query     string          `json:"query"`
@@ -62,6 +80,10 @@ type QueryInfo struct {
 	OutCRS    string          `json:"out_crs"`
 	Colormap  string          `json:"colormap"`
 	Operators []OperatorStats `json:"operators,omitempty"`
+	Delivery  *DeliveryStats  `json:"delivery,omitempty"`
+	// PlanObserved is the plan annotated with live telemetry: predicted vs
+	// observed peak buffer, throughput, and latency percentiles per node.
+	PlanObserved string `json:"plan_observed,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,6 +153,11 @@ func (s *Server) queryInfo(r *Registered, withStats bool) QueryInfo {
 	}
 	if withStats {
 		qi.Operators = r.OperatorStats()
+		ds := r.DeliveryStats()
+		qi.Delivery = &ds
+		if obs, err := query.ExplainObserved(r.Plan, s.Catalog(), r.stats); err == nil {
+			qi.PlanObserved = obs
+		}
 	}
 	return qi
 }
@@ -238,6 +265,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, out)
 }
 
+// ServerStats is the JSON form of GET /stats: per-band routing telemetry
+// plus server-level gauges.
+type ServerStats struct {
+	Hubs          []HubStats `json:"hubs"`
+	Queries       int        `json:"queries"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.HubStats())
+	writeJSON(w, http.StatusOK, s.ServerStats())
 }

@@ -10,9 +10,11 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"geostreams/internal/cascade"
 	"geostreams/internal/geom"
+	"geostreams/internal/obs"
 	"geostreams/internal/stream"
 )
 
@@ -30,10 +32,20 @@ type hub struct {
 	index cascade.Index
 
 	// Routing telemetry: chunks delivered, data chunks shed because a
-	// subscriber fell behind, and total index matches.
+	// subscriber fell behind, total index matches, and data chunks that
+	// matched no subscriber at all.
 	delivered atomic.Int64
 	dropped   atomic.Int64
 	routed    atomic.Int64
+	unrouted  atomic.Int64
+
+	// age observes, at routing time, the seconds between a data chunk's
+	// instrument ingest stamp and its arrival at the hub — ingest freshness
+	// before any query processing.
+	age *obs.Histogram
+
+	// log receives slow-consumer shed and routing events; nil-safe.
+	log *obs.Logger
 }
 
 // minSubBuffer is the floor on each subscriber's pending data-chunk
@@ -41,11 +53,13 @@ type hub struct {
 // never shed, so operator state always closes).
 const minSubBuffer = 64
 
-func newHub(info stream.Info) *hub {
+func newHub(info stream.Info, log *obs.Logger) *hub {
 	return &hub{
 		info:  info,
 		subs:  make(map[cascade.QueryID]*subscriber),
 		index: cascade.NewTree(),
+		age:   obs.NewDurationHistogram(),
+		log:   log.With("band", info.Band),
 	}
 }
 
@@ -116,10 +130,13 @@ func (h *hub) subscribe(id cascade.QueryID, region geom.Rect) *stream.Stream {
 	defer h.mu.Unlock()
 	s := &subscriber{
 		id: id, region: region,
-		deque: newChunkDeque(h.subBudget(), &h.dropped),
-		out:   make(chan *stream.Chunk, stream.DefaultBuffer),
-		done:  make(chan struct{}),
-		hub:   h,
+		deque: newChunkDeque(h.subBudget(), &h.dropped, func(dropped int64) {
+			h.log.Warn("slow consumer shedding data chunks",
+				"query", int64(id), "dropped_total", dropped)
+		}),
+		out:  make(chan *stream.Chunk, stream.DefaultBuffer),
+		done: make(chan struct{}),
+		hub:  h,
 	}
 	h.subs[id] = s
 	h.index.Insert(id, region)
@@ -180,8 +197,18 @@ func (h *hub) route(c *stream.Chunk) {
 	h.mu.Lock()
 	var targets []*subscriber
 	if c.IsData() {
+		if c.Ingest != 0 {
+			h.age.Observe(float64(time.Now().UnixNano()-c.Ingest) / 1e9)
+		}
 		ids := h.index.Probe(c.Bounds(), nil)
 		h.routed.Add(int64(len(ids)))
+		if len(ids) == 0 && len(h.subs) > 0 {
+			// Data outside every subscriber's region: shared restriction
+			// filtered it at the hub (the §4 win); log sparsely.
+			if n := h.unrouted.Add(1); n&(n-1) == 0 {
+				h.log.Debug("chunk matched no subscriber region", "unrouted_total", n)
+			}
+		}
 		for _, id := range ids {
 			if s, ok := h.subs[id]; ok {
 				targets = append(targets, s)
@@ -199,25 +226,37 @@ func (h *hub) route(c *stream.Chunk) {
 	}
 }
 
-// HubStats is the routing telemetry of one band hub.
+// HubStats is the routing telemetry of one band hub. The freshness fields
+// summarize the hub's ingest-age histogram: the observed delay between the
+// instrument stamping a data chunk and the hub routing it.
 type HubStats struct {
 	Band        string `json:"band"`
 	Subscribers int    `json:"subscribers"`
 	Delivered   int64  `json:"delivered_chunks"`
 	Dropped     int64  `json:"dropped_chunks"`
 	Routed      int64  `json:"routed_matches"`
+	Unrouted    int64  `json:"unrouted_chunks"`
+
+	AgeSamples    int64   `json:"age_samples"`
+	AgeP50Seconds float64 `json:"age_p50_seconds"`
+	AgeP95Seconds float64 `json:"age_p95_seconds"`
 }
 
 func (h *hub) stats() HubStats {
 	h.mu.Lock()
 	n := len(h.subs)
 	h.mu.Unlock()
+	age := h.age.Snapshot()
 	return HubStats{
-		Band:        h.info.Band,
-		Subscribers: n,
-		Delivered:   h.delivered.Load(),
-		Dropped:     h.dropped.Load(),
-		Routed:      h.routed.Load(),
+		Band:          h.info.Band,
+		Subscribers:   n,
+		Delivered:     h.delivered.Load(),
+		Dropped:       h.dropped.Load(),
+		Routed:        h.routed.Load(),
+		Unrouted:      h.unrouted.Load(),
+		AgeSamples:    age.Count,
+		AgeP50Seconds: age.Quantile(0.5),
+		AgeP95Seconds: age.Quantile(0.95),
 	}
 }
 
@@ -233,10 +272,16 @@ type chunkDeque struct {
 	maxData int
 	closed  bool
 	dropped *atomic.Int64
+	// logDrop fires on this deque's 1st, 2nd, 4th, 8th, ... shed (power-of
+	// -two rate limiting) with the deque's cumulative shed count, so a
+	// persistently slow consumer produces a trickle of warnings, not a
+	// flood. May be nil.
+	logDrop func(total int64)
+	shed    int64
 }
 
-func newChunkDeque(maxData int, dropped *atomic.Int64) *chunkDeque {
-	d := &chunkDeque{maxData: maxData, dropped: dropped}
+func newChunkDeque(maxData int, dropped *atomic.Int64, logDrop func(int64)) *chunkDeque {
+	d := &chunkDeque{maxData: maxData, dropped: dropped, logDrop: logDrop}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
@@ -254,6 +299,10 @@ func (d *chunkDeque) push(c *stream.Chunk) {
 				d.buf = append(d.buf[:i], d.buf[i+1:]...)
 				d.data--
 				d.dropped.Add(1)
+				d.shed++
+				if d.logDrop != nil && d.shed&(d.shed-1) == 0 {
+					d.logDrop(d.shed)
+				}
 				break
 			}
 		}

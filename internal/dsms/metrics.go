@@ -1,0 +1,132 @@
+package dsms
+
+import (
+	"strconv"
+	"time"
+
+	"geostreams/internal/obs"
+)
+
+// Collect emits the server's telemetry in Prometheus exposition form. It is
+// registered as the primary collector of the server's obs.Registry and
+// backs GET /metrics.
+//
+// Families:
+//
+//	geostreams_uptime_seconds / geostreams_queries      server-level gauges
+//	geostreams_hub_*{band=...}                          per-band routing
+//	geostreams_hub_chunk_age_seconds{band=...}          ingest→hub freshness
+//	geostreams_operator_*{query=,op=,pos=}              per-operator counters
+//	geostreams_operator_latency_seconds{...}            per-chunk processing
+//	geostreams_operator_chunk_age_seconds{...}          ingest→operator age
+//	geostreams_delivery_*{query=...}                    delivery stage
+//	geostreams_delivery_chunk_age_seconds{query=...}    end-to-end freshness
+func (s *Server) Collect(e *obs.Exposition) {
+	s.mu.Lock()
+	hubs := make([]*hub, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
+	queries := make([]*Registered, 0, len(s.queries))
+	for _, r := range s.queries {
+		queries = append(queries, r)
+	}
+	started := s.started
+	s.mu.Unlock()
+
+	e.Gauge("geostreams_uptime_seconds",
+		"Seconds since the DSMS server was created.",
+		time.Since(started).Seconds())
+	e.Gauge("geostreams_queries",
+		"Number of currently registered continuous queries.",
+		float64(len(queries)))
+
+	for _, h := range hubs {
+		band := obs.L("band", h.info.Band)
+		hs := h.stats()
+		e.Gauge("geostreams_hub_subscribers",
+			"Query pipelines subscribed to this band hub.",
+			float64(hs.Subscribers), band)
+		e.Counter("geostreams_hub_delivered_chunks_total",
+			"Chunks handed to subscriber pipelines by this hub.",
+			float64(hs.Delivered), band)
+		e.Counter("geostreams_hub_dropped_chunks_total",
+			"Data chunks shed because a subscriber fell behind.",
+			float64(hs.Dropped), band)
+		e.Counter("geostreams_hub_routed_matches_total",
+			"Cascade-tree index matches (chunk x subscriber pairs).",
+			float64(hs.Routed), band)
+		e.Counter("geostreams_hub_unrouted_chunks_total",
+			"Data chunks that matched no subscriber region.",
+			float64(hs.Unrouted), band)
+		e.Histogram("geostreams_hub_chunk_age_seconds",
+			"Seconds from instrument ingest to hub routing, per data chunk.",
+			h.age.Snapshot(), band)
+	}
+
+	for _, r := range queries {
+		q := obs.L("query", strconv.FormatInt(int64(r.ID), 10))
+		for pos, st := range r.stats {
+			lbl := []obs.Label{q,
+				obs.L("op", st.Name),
+				obs.L("pos", strconv.Itoa(pos)),
+			}
+			e.Counter("geostreams_operator_chunks_in_total",
+				"Chunks consumed by the operator.",
+				float64(st.ChunksIn.Load()), lbl...)
+			e.Counter("geostreams_operator_chunks_out_total",
+				"Chunks produced by the operator.",
+				float64(st.ChunksOut.Load()), lbl...)
+			e.Counter("geostreams_operator_points_in_total",
+				"Lattice points / samples consumed by the operator.",
+				float64(st.PointsIn.Load()), lbl...)
+			e.Counter("geostreams_operator_points_out_total",
+				"Lattice points / samples produced by the operator.",
+				float64(st.PointsOut.Load()), lbl...)
+			e.Gauge("geostreams_operator_buffered_points",
+				"Points currently buffered in operator state.",
+				float64(st.BufferedPoints()), lbl...)
+			e.Gauge("geostreams_operator_peak_buffered_points",
+				"High-water mark of buffered points (paper 3.1-3.3 space bounds).",
+				float64(st.PeakBufferedPoints()), lbl...)
+			e.Counter("geostreams_operator_busy_seconds_total",
+				"Wall time spent processing chunks (includes downstream send).",
+				st.BusyTime().Seconds(), lbl...)
+			e.Counter("geostreams_operator_idle_seconds_total",
+				"Wall time spent waiting for input.",
+				st.IdleTime().Seconds(), lbl...)
+			e.Gauge("geostreams_operator_queue_depth",
+				"Chunks sitting in the operator's output channel right now.",
+				float64(st.QueueDepth()), lbl...)
+			e.Gauge("geostreams_operator_queue_capacity",
+				"Capacity of the operator's output channel.",
+				float64(st.QueueCap()), lbl...)
+			e.Gauge("geostreams_operator_peak_queue_depth",
+				"High-water mark of the operator's output channel occupancy.",
+				float64(st.PeakQueueDepth()), lbl...)
+			e.Histogram("geostreams_operator_latency_seconds",
+				"Per-chunk processing latency (input receipt to output emit).",
+				st.LatencySnapshot(), lbl...)
+			e.Histogram("geostreams_operator_chunk_age_seconds",
+				"Seconds from instrument ingest to the operator consuming a chunk.",
+				st.AgeSnapshot(), lbl...)
+		}
+
+		ds := r.DeliveryStats()
+		e.Counter("geostreams_delivery_frames_total",
+			"PNG frames assembled and queued for the client.",
+			float64(ds.Frames), q)
+		e.Counter("geostreams_delivery_frame_bytes_total",
+			"Encoded PNG bytes queued for the client.",
+			float64(ds.FrameBytes), q)
+		e.Counter("geostreams_delivery_series_points_total",
+			"Time-series points appended to the client buffer.",
+			float64(ds.SeriesPoints), q)
+		e.Counter("geostreams_delivery_shed_frames_total",
+			"Frames shed because the client polled too slowly.",
+			float64(ds.ShedFrames), q)
+		e.Histogram("geostreams_delivery_chunk_age_seconds",
+			"End-to-end seconds from instrument ingest to the delivery stage.",
+			r.deliv.age.Snapshot(), q)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"geostreams/internal/cascade"
+	"geostreams/internal/obs"
 	"geostreams/internal/query"
 	"geostreams/internal/stream"
 )
@@ -33,13 +35,20 @@ type Server struct {
 	// before the first scan sector flows.
 	start     chan struct{}
 	startOnce sync.Once
+
+	// Observability: registry backing GET /metrics, lifecycle logger
+	// (nil-safe), pprof gate, and the uptime epoch.
+	registry *obs.Registry
+	log      *obs.Logger
+	debug    bool
+	started  time.Time
 }
 
 // NewServer creates a DSMS whose lifetime is bounded by ctx. Attach
 // sources with AddSource, register initial queries, then call Start.
 func NewServer(ctx context.Context) *Server {
 	ctx, cancel := context.WithCancel(ctx)
-	return &Server{
+	s := &Server{
 		ctx:     ctx,
 		cancel:  cancel,
 		g:       stream.NewGroup(ctx),
@@ -47,11 +56,49 @@ func NewServer(ctx context.Context) *Server {
 		hubs:    make(map[string]*hub),
 		queries: make(map[cascade.QueryID]*Registered),
 		start:   make(chan struct{}),
+		started: time.Now(),
 	}
+	s.registry = obs.NewRegistry()
+	s.registry.Register(obs.CollectorFunc(s.Collect))
+	s.registry.Register(obs.NewGoCollector())
+	return s
+}
+
+// SetLogger attaches a structured logger for pipeline lifecycle events
+// (query registered/started/failed/cancelled, sector routing, slow-consumer
+// sheds). Call before AddSource so hubs inherit it; a nil logger (the
+// default) discards everything.
+func (s *Server) SetLogger(l *obs.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = l
+}
+
+// SetDebug toggles mounting of net/http/pprof under /debug/pprof/ in
+// Handler. Off by default; call before Handler.
+func (s *Server) SetDebug(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.debug = on
+}
+
+// Registry exposes the server's metric registry so embedders can add their
+// own collectors alongside the built-in ones.
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+func (s *Server) logger() *obs.Logger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
 }
 
 // Start releases the hubs to consume their instrument streams.
-func (s *Server) Start() { s.startOnce.Do(func() { close(s.start) }) }
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.logger().Info("server started", "bands", len(s.Catalog()))
+		close(s.start)
+	})
+}
 
 // Group exposes the server's pipeline group so source generators can run
 // inside it.
@@ -71,9 +118,10 @@ func (s *Server) AddSource(src *stream.Stream) error {
 	if err := src.Info.Validate(); err != nil {
 		return err
 	}
-	h := newHub(src.Info)
+	h := newHub(src.Info, s.log)
 	s.hubs[band] = h
 	s.catalog[band] = src.Info
+	s.log.Info("source attached", "band", band, "organization", src.Info.Org.String())
 	s.g.Go(func(ctx context.Context) error {
 		select {
 		case <-s.start:
@@ -135,12 +183,15 @@ func (s *Server) Explain(text string) (string, error) {
 
 // Register parses, validates, optimizes, and launches a continuous query.
 func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error) {
+	log := s.logger()
 	plan, err := query.Parse(text, s.bandSet())
 	if err != nil {
+		log.Warn("query rejected", "stage", "parse", "query", text, "error", err.Error())
 		return nil, err
 	}
 	catalog := s.Catalog()
 	if err := query.Validate(plan, catalog); err != nil {
+		log.Warn("query rejected", "stage", "validate", "query", text, "error", err.Error())
 		return nil, err
 	}
 	opt, err := query.Optimize(plan, catalog)
@@ -198,6 +249,7 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		Info:    outInfo,
 		opts:    opts.withDefaults(outInfo),
 		stats:   stats,
+		deliv:   newDeliveryStats(),
 		group:   qg,
 		server:  s,
 		bands:   subscribed,
@@ -208,11 +260,18 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	s.mu.Lock()
 	s.queries[id] = r
 	s.mu.Unlock()
+	log.Info("query registered", "query", int64(id), "plan", query.Format(opt),
+		"bands", len(subscribed), "operators", len(stats))
 
 	// Delivery stage: assemble, encode, enqueue.
 	qg.Go(func(ctx context.Context) error { return r.deliver(ctx, out) })
 	go func() {
 		r.err = qg.Wait()
+		if r.err != nil {
+			log.Error("query pipeline failed", "query", int64(id), "error", r.err.Error())
+		} else {
+			log.Info("query pipeline finished", "query", int64(id))
+		}
 		// The pipeline is gone (completed, failed, or cancelled): abort
 		// any still-attached hub subscriptions so their forwarders exit.
 		for _, band := range r.bands {
@@ -239,6 +298,7 @@ func (s *Server) Deregister(id cascade.QueryID) error {
 	if !ok {
 		return fmt.Errorf("dsms: no query %d", id)
 	}
+	s.logger().Info("query deregistered", "query", int64(id))
 	for _, band := range r.bands {
 		s.mu.Lock()
 		h := s.hubs[band]
@@ -283,6 +343,19 @@ func (s *Server) HubStats() []HubStats {
 	return out
 }
 
+// ServerStats snapshots the hub telemetry plus server-level gauges.
+func (s *Server) ServerStats() ServerStats {
+	s.mu.Lock()
+	n := len(s.queries)
+	started := s.started
+	s.mu.Unlock()
+	return ServerStats{
+		Hubs:          s.HubStats(),
+		Queries:       n,
+		UptimeSeconds: time.Since(started).Seconds(),
+	}
+}
+
 // Close shuts the server down: cancels sources, stops queries, waits.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -296,6 +369,7 @@ func (s *Server) Close() error {
 		ids = append(ids, id)
 	}
 	s.mu.Unlock()
+	s.log.Info("server shutting down", "queries", len(ids))
 	for _, id := range ids {
 		s.Deregister(id) //nolint:errcheck
 	}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one metric dimension (e.g. {query="3"}, {op="compose(/)"}).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Exposition accumulates metric samples grouped into families and renders
+// them in the Prometheus text exposition format (version 0.0.4). Families
+// keep first-added order; samples within a family keep insertion order.
+// Adding to the same family from several collectors is fine — the TYPE and
+// HELP headers are emitted once per family.
+type Exposition struct {
+	order []string
+	fams  map[string]*family
+}
+
+type family struct {
+	name, typ, help string
+	samples         []sample
+}
+
+type sample struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels []Label
+	value  float64
+}
+
+// NewExposition builds an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{fams: make(map[string]*family)}
+}
+
+func (e *Exposition) family(name, typ, help string) *family {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help}
+		e.fams[name] = f
+		e.order = append(e.order, name)
+	}
+	return f
+}
+
+// Counter adds one sample of a cumulative counter family.
+func (e *Exposition) Counter(name, help string, v float64, labels ...Label) {
+	f := e.family(name, "counter", help)
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// Gauge adds one sample of a gauge family.
+func (e *Exposition) Gauge(name, help string, v float64, labels ...Label) {
+	f := e.family(name, "gauge", help)
+	f.samples = append(f.samples, sample{labels: labels, value: v})
+}
+
+// Histogram adds one series of a histogram family from a snapshot:
+// cumulative `_bucket{le=...}` samples, `_sum`, and `_count`.
+func (e *Exposition) Histogram(name, help string, s HistogramSnapshot, labels ...Label) {
+	f := e.family(name, "histogram", help)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		ls := make([]Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		ls = append(ls, Label{Key: "le", Value: le})
+		f.samples = append(f.samples, sample{suffix: "_bucket", labels: ls, value: float64(cum)})
+	}
+	if len(s.Counts) == 0 {
+		// Empty snapshot (nil histogram): still expose a well-formed series.
+		ls := append(append([]Label{}, labels...), Label{Key: "le", Value: "+Inf"})
+		f.samples = append(f.samples, sample{suffix: "_bucket", labels: ls, value: 0})
+	}
+	f.samples = append(f.samples, sample{suffix: "_sum", labels: labels, value: s.Sum})
+	f.samples = append(f.samples, sample{suffix: "_count", labels: labels, value: float64(s.Count)})
+}
+
+// WriteTo renders the exposition.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, name := range e.order {
+		f := e.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			writeLabels(&b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the exposition to a string (tests, snapshots).
+func (e *Exposition) String() string {
+	var b strings.Builder
+	e.WriteTo(&b) //nolint:errcheck
+	return b.String()
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

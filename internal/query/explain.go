@@ -157,6 +157,99 @@ func Explain(n Node, catalog map[string]stream.Info) (string, error) {
 	return b.String(), nil
 }
 
+// ExplainObserved renders the plan tree with the §3 cost-model prediction
+// next to the live telemetry of the running pipeline: predicted vs observed
+// peak buffer, chunk/point throughput, processing-latency percentiles, and
+// the busy share of each operator's wall time. `stats` must be the slice
+// returned by Build for the same plan.
+func ExplainObserved(n Node, catalog map[string]stream.Info, stats []*stream.Stats) (string, error) {
+	byNode := assignStats(n, stats)
+	var b strings.Builder
+	var walk func(n Node, depth int) error
+	walk = func(n Node, depth int) error {
+		info, err := InfoOf(n, catalog)
+		if err != nil {
+			return err
+		}
+		est := estimateFor(n, catalog)
+		fmt.Fprintf(&b, "%s%-40s %s", strings.Repeat("  ", depth), n.Label(), info)
+		if est != nil {
+			fmt.Fprintf(&b, "  space=%s", est.Class)
+			if est.BufferPoints > 0 {
+				fmt.Fprintf(&b, " (predicted ~%d pts)", est.BufferPoints)
+			}
+		}
+		if st := byNode[n]; st != nil {
+			lat := st.LatencySnapshot()
+			busy, idle := st.BusyTime().Seconds(), st.IdleTime().Seconds()
+			share := 0.0
+			if busy+idle > 0 {
+				share = 100 * busy / (busy + idle)
+			}
+			fmt.Fprintf(&b, "\n%s  observed: peak_buffer=%d pts, in=%d chunks/%d pts, lat p50=%s p95=%s, busy=%.1f%%",
+				strings.Repeat("  ", depth),
+				st.PeakBufferedPoints(), st.ChunksIn.Load(), st.PointsIn.Load(),
+				formatSeconds(lat.Quantile(0.5)), formatSeconds(lat.Quantile(0.95)), share)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// assignStats pairs plan nodes with Build's stats slice by replaying
+// Build's construction order: a post-order walk in which shared subtrees
+// (same Node pointer) are visited once and Source nodes produce no
+// operator. A mismatch leaves the remaining nodes unmatched rather than
+// failing — the rendering then simply omits the observed columns.
+func assignStats(n Node, stats []*stream.Stats) map[Node]*stream.Stats {
+	out := make(map[Node]*stream.Stats)
+	seen := make(map[Node]bool)
+	i := 0
+	var walk func(n Node)
+	walk = func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children() {
+			walk(c)
+		}
+		if _, isSource := n.(*Source); isSource {
+			return
+		}
+		if i < len(stats) {
+			out[n] = stats[i]
+			i++
+		}
+	}
+	walk(n)
+	return out
+}
+
+// formatSeconds renders a duration in seconds with a unit fit for the
+// magnitude (µs / ms / s).
+func formatSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
 // estimateFor maps a plan node to the cost model's prediction over its
 // input stream.
 func estimateFor(n Node, catalog map[string]stream.Info) *core.Estimate {

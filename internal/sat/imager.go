@@ -195,6 +195,7 @@ func (im *Imager) produceBand(ctx context.Context, bandIdx int, band Band, emit 
 			if err != nil {
 				return err
 			}
+			c.StampIngest(time.Now().UnixNano())
 			if !emit(c) {
 				return nil
 			}
@@ -208,13 +209,16 @@ func (im *Imager) produceBand(ctx context.Context, bandIdx int, band Band, emit 
 				if err != nil {
 					return err
 				}
+				c.StampIngest(time.Now().UnixNano())
 				if !emit(c) {
 					return nil
 				}
 			}
 		}
 		if im.EmitSectorMeta {
-			if !emit(stream.NewEndOfSector(t, im.Sector)) {
+			eos := stream.NewEndOfSector(t, im.Sector)
+			eos.StampIngest(time.Now().UnixNano())
+			if !emit(eos) {
 				return nil
 			}
 		}

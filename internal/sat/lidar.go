@@ -3,6 +3,7 @@ package sat
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"geostreams/internal/coord"
 	"geostreams/internal/geom"
@@ -96,6 +97,7 @@ func (l *LIDARScanner) Streams(g *stream.Group) (map[string]*stream.Stream, erro
 					if err != nil {
 						return err
 					}
+					c.StampIngest(time.Now().UnixNano())
 					if !emit(c) {
 						return nil
 					}

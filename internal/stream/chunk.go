@@ -101,6 +101,45 @@ type Chunk struct {
 	Grid   *GridPatch   // when Kind == KindGrid
 	Points []PointValue // when Kind == KindPoints
 	Sector *SectorMeta  // when Kind == KindEndOfSector
+
+	// Ingest is the wall-clock time (unix nanoseconds) at which the
+	// instrument produced the oldest data this chunk carries; 0 means
+	// unstamped. Instruments call StampIngest at emission; operators
+	// propagate it to derived chunks with InheritIngest (keeping the oldest
+	// contributing stamp), so the delivery stage can measure end-to-end
+	// data freshness. The stamp must be set before the chunk is sent —
+	// chunks are immutable once published.
+	Ingest int64
+}
+
+// StampIngest marks the chunk as ingested at the given wall-clock time in
+// unix nanoseconds; instruments call it at emission.
+func (c *Chunk) StampIngest(nanos int64) { c.Ingest = nanos }
+
+// InheritIngest propagates the ingest stamp from a source chunk onto a
+// derived one, keeping the oldest (smallest nonzero) stamp so end-to-end
+// age reflects the stalest contributing data. May be called repeatedly
+// with each source of a multi-input derivation.
+func (c *Chunk) InheritIngest(src *Chunk) {
+	if src == nil || src.Ingest == 0 {
+		return
+	}
+	if c.Ingest == 0 || src.Ingest < c.Ingest {
+		c.Ingest = src.Ingest
+	}
+}
+
+// MinIngest combines two ingest stamps, returning the oldest nonzero one
+// (0 when both are unstamped); buffering operators use it to fold the
+// stamps of everything contributing to a sector.
+func MinIngest(a, b int64) int64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 || a < b {
+		return a
+	}
+	return b
 }
 
 // NewGridChunk builds a grid chunk; the values slice is adopted, not
@@ -178,7 +217,7 @@ func (c *Chunk) CloneGrid() *Chunk {
 	}
 	vals := make([]float64, len(c.Grid.Vals))
 	copy(vals, c.Grid.Vals)
-	return &Chunk{Kind: KindGrid, T: c.T, Grid: &GridPatch{Lat: c.Grid.Lat, Vals: vals}}
+	return &Chunk{Kind: KindGrid, T: c.T, Grid: &GridPatch{Lat: c.Grid.Lat, Vals: vals}, Ingest: c.Ingest}
 }
 
 // Bounds returns the spatial bounding box of the chunk's points (empty for
@@ -197,8 +236,8 @@ func (c *Chunk) Bounds() geom.Rect {
 	return geom.EmptyRect()
 }
 
-// Stats returns basic value statistics over the chunk's points, ignoring
-// NaN: count of finite values, min, max, and sum.
+// ValueStats returns basic value statistics over the chunk's points,
+// ignoring NaN: count of finite values, min, max, and sum.
 func (c *Chunk) ValueStats() (n int, min, max, sum float64) {
 	min, max = math.Inf(1), math.Inf(-1)
 	c.ForEachPoint(func(_ geom.Point, v float64) {

@@ -61,11 +61,13 @@ func Apply(g *Group, op Operator, in *Stream) (*Stream, *Stats, error) {
 	if err := outInfo.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%s: produces invalid stream: %w", op.Name(), err)
 	}
-	st := &Stats{Name: op.Name()}
+	st := NewStats(op.Name())
 	out := make(chan *Chunk, DefaultBuffer)
+	st.watchQueue(out)
 	inC := in.C
 	g.Go(func(ctx context.Context) error {
 		defer close(out)
+		st.markRunning()
 		if err := op.Run(ctx, inC, out, st); err != nil {
 			return fmt.Errorf("%s: %w", op.Name(), err)
 		}
@@ -83,11 +85,13 @@ func Apply2(g *Group, op BinaryOperator, a, b *Stream) (*Stream, *Stats, error) 
 	if err := outInfo.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%s: produces invalid stream: %w", op.Name(), err)
 	}
-	st := &Stats{Name: op.Name()}
+	st := NewStats(op.Name())
 	out := make(chan *Chunk, DefaultBuffer)
+	st.watchQueue(out)
 	aC, bC := a.C, b.C
 	g.Go(func(ctx context.Context) error {
 		defer close(out)
+		st.markRunning()
 		if err := op.Run(ctx, aC, bC, out, st); err != nil {
 			return fmt.Errorf("%s: %w", op.Name(), err)
 		}
