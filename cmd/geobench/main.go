@@ -4,23 +4,27 @@
 //
 // Usage:
 //
-//	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N] [-json]
+//	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N]
+//	         [-parallelism N] [-json]
 //
-// With -json the rendered tables are followed by one machine-readable JSON
-// snapshot on stdout: the config, every table (rows plus its metrics map,
-// e.g. the F3 frame-latency and delivery-freshness percentiles), and the
-// total wall time.
+// With -json stdout carries exactly one machine-readable JSON snapshot —
+// the config, every table (rows plus its metrics map, e.g. the F3
+// frame-latency and delivery-freshness percentiles), the execution-engine
+// counters, and the total wall time — while the rendered tables move to
+// stderr, so `geobench -json > snap.json` is directly consumable by CI.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"geostreams/internal/bench"
+	"geostreams/internal/exec"
 )
 
 // snapshot is the -json output document.
@@ -28,17 +32,30 @@ type snapshot struct {
 	Config       bench.Config   `json:"config"`
 	Experiments  []*bench.Table `json:"experiments"`
 	Failed       []string       `json:"failed,omitempty"`
+	Exec         exec.Stats     `json:"exec"`
 	TotalSeconds float64        `json:"total_seconds"`
 }
 
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick or default")
-	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, A1..A3) or 'all'")
+	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, A1..A3, P1) or 'all'")
 	w := flag.Int("w", 0, "override sector width (points)")
 	h := flag.Int("h", 0, "override sector height (points)")
 	sectors := flag.Int("sectors", 0, "override sector count")
-	jsonOut := flag.Bool("json", false, "append a JSON metrics snapshot of all results to stdout")
+	jsonOut := flag.Bool("json", false, "emit a JSON metrics snapshot on stdout (tables go to stderr)")
+	parallelism := flag.Int("parallelism", 0,
+		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
 	flag.Parse()
+
+	if *parallelism > 0 {
+		exec.SetParallelism(*parallelism)
+	}
+	// Human-readable output goes to stdout normally, to stderr under -json
+	// so stdout is pure JSON.
+	var tw io.Writer = os.Stdout
+	if *jsonOut {
+		tw = os.Stderr
+	}
 
 	cfg := bench.Default
 	if *scale == "quick" {
@@ -65,7 +82,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("GeoStreams experiment suite — sector %dx%d (%d pts), %d sectors\n\n",
+	fmt.Fprintf(tw, "GeoStreams experiment suite — sector %dx%d (%d pts), %d sectors\n\n",
 		cfg.W, cfg.H, cfg.Frame(), cfg.Sectors)
 	snap := snapshot{Config: cfg}
 	suiteStart := time.Now()
@@ -82,9 +99,10 @@ func main() {
 		}
 		tbl.SetMetric("wall_seconds", time.Since(start).Seconds())
 		snap.Experiments = append(snap.Experiments, tbl)
-		tbl.Render(os.Stdout)
-		fmt.Printf("  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		tbl.Render(tw)
+		fmt.Fprintf(tw, "  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	snap.Exec = exec.Snapshot()
 	snap.TotalSeconds = time.Since(suiteStart).Seconds()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

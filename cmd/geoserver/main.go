@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"geostreams/internal/dsms"
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
 	"geostreams/internal/sat"
@@ -69,7 +70,13 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	parallelism := flag.Int("parallelism", 0,
+		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
 	flag.Parse()
+
+	if *parallelism > 0 {
+		exec.SetParallelism(*parallelism)
+	}
 
 	logger := obs.NewCLILogger(*logFormat, *logLevel).With("component", "geoserver")
 

@@ -223,6 +223,12 @@ func OptimizeQuery(plan QueryPlan, catalog map[string]Info) (QueryPlan, error) {
 	return query.Optimize(plan, catalog)
 }
 
+// FuseQuery collapses adjacent point-wise plan stages into single-pass
+// fused operators; apply it after OptimizeQuery, before BuildQuery.
+func FuseQuery(plan QueryPlan) QueryPlan {
+	return query.Fuse(plan)
+}
+
 // BuildQuery wires a plan into a running pipeline over the given sources.
 func BuildQuery(g *Group, plan QueryPlan, sources map[string]*Stream) (*Stream, []*Stats, error) {
 	return query.Build(g, plan, sources)

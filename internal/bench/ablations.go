@@ -14,12 +14,14 @@ import (
 // Ablations isolate design choices DESIGN.md calls out that the paper
 // leaves implicit. They extend All() under A-prefixed ids.
 
-// AllWithAblations returns the experiments plus the ablations.
+// AllWithAblations returns the experiments plus the ablations and the
+// execution-engine performance experiment.
 func AllWithAblations() []Experiment {
 	return append(All(),
 		Experiment{"A1", "ablation: composition fair-merge input gating", A1FairMerge},
 		Experiment{"A2", "ablation: chunk batching (rows per chunk)", A2Batching},
 		Experiment{"A3", "ablation: neighborhood operators (kernel row window)", A3Filters},
+		Experiment{"P1", "execution engine: data-parallel kernels + point-wise fusion", P1ParallelFusion},
 	)
 }
 

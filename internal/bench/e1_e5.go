@@ -211,7 +211,7 @@ func E5Reproject(cfg Config) (*Table, error) {
 		Title: "re-projection buffering: blocking vs sector-metadata progressive (Fig. 2b, §3.2)",
 		Claim: "\"such types of spatial transform operators may block for a considerable amount of time\" — unless scan-sector metadata bounds the buffer",
 		Columns: []string{"pipeline", "mode", "peak buffer (pts)", "buffer/frame",
-			"time to first output", "total"},
+			"time to first output", "total", "per-point cost", "throughput"},
 	}
 	// A realistic GOES geometry: GEOS scan angles over the bench region.
 	scene := sat.DefaultScene(11)
@@ -235,12 +235,14 @@ func E5Reproject(cfg Config) (*Table, error) {
 		start := time.Now()
 		var first time.Duration
 		got := 0
+		var points int64
 		for c := range out.C {
 			if c.IsData() && got == 0 {
 				first = time.Since(start)
 			}
 			if c.IsData() {
 				got++
+				points += int64(c.NumPoints())
 			}
 		}
 		total := time.Since(start)
@@ -253,7 +255,8 @@ func E5Reproject(cfg Config) (*Table, error) {
 		}
 		frame := float64(cfg.Frame())
 		t.AddRow("GEOS→latlon", mode, fmtI(st.PeakBufferedPoints()),
-			fmtF(float64(st.PeakBufferedPoints())/frame), fmtDur(first), fmtDur(total))
+			fmtF(float64(st.PeakBufferedPoints())/frame), fmtDur(first), fmtDur(total),
+			nsPerPoint(points, total), fmtRate(points, total))
 		if got == 0 {
 			return nil, fmt.Errorf("E5: no output produced")
 		}

@@ -24,7 +24,7 @@ func E6Compose(cfg Config) (*Table, error) {
 		Title: "stream composition: buffering by organization and stamping policy (§3.3)",
 		Claim: "image-by-image buffers a complete image, row-by-row a single row; measurement-time stamps never match",
 		Columns: []string{"organization", "stamping", "match rate", "peak buffer (pts)",
-			"buffer/frame", "buffer rows"},
+			"buffer/frame", "buffer rows", "per-point cost", "throughput"},
 	}
 	for _, org := range []stream.Organization{stream.ImageByImage, stream.RowByRow} {
 		for _, stamp := range []stream.StampPolicy{stream.StampSectorID, stream.StampMeasurementTime} {
@@ -35,7 +35,7 @@ func E6Compose(cfg Config) (*Table, error) {
 			in := totalPoints(ac)
 			// Keep shedding from masking the measurement-time case.
 			op := core.Compose{Gamma: valueset.Sub, MaxPending: 2 * cfg.Frame() * cfg.Sectors}
-			points, _, st, err := runOp2(op, ai, bi, ac, bc)
+			points, elapsed, st, err := runOp2(op, ai, bi, ac, bc)
 			if err != nil {
 				return nil, err
 			}
@@ -44,7 +44,8 @@ func E6Compose(cfg Config) (*Table, error) {
 				fmt.Sprintf("%.0f%%", 100*float64(points)/float64(in)),
 				fmtI(st.PeakBufferedPoints()),
 				fmtF(float64(st.PeakBufferedPoints())/frame),
-				fmtF(float64(st.PeakBufferedPoints())/float64(cfg.W)))
+				fmtF(float64(st.PeakBufferedPoints())/float64(cfg.W)),
+				nsPerPoint(in, elapsed), fmtRate(in, elapsed))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -63,7 +64,7 @@ func E7Pushdown(cfg Config) (*Table, error) {
 		Title: "spatial restriction push-down (§3.4 running example)",
 		Claim: "pushing the spatial restriction inward yields the dominant space/time gain, growing as selectivity shrinks",
 		Columns: []string{"selectivity", "plan", "wall time", "points processed",
-			"points speedup", "time speedup"},
+			"throughput", "points speedup", "time speedup"},
 	}
 	type result struct {
 		elapsed time.Duration
@@ -128,11 +129,12 @@ func E7Pushdown(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		label := fmt.Sprintf("%.0f%%", sel*100)
-		t.AddRow(label, "naive", fmtDur(naive.elapsed), fmtI(naive.points), "", "")
+		t.AddRow(label, "naive", fmtDur(naive.elapsed), fmtI(naive.points),
+			fmtRate(naive.points, naive.elapsed), "", "")
 		pSpeed := float64(naive.points) / float64(maxI64(opt.points, 1))
 		tSpeed := float64(naive.elapsed) / float64(maxI64(int64(opt.elapsed), 1))
 		t.AddRow(label, "optimized", fmtDur(opt.elapsed), fmtI(opt.points),
-			fmtF(pSpeed)+"x", fmtF(tSpeed)+"x")
+			fmtRate(opt.points, opt.elapsed), fmtF(pSpeed)+"x", fmtF(tSpeed)+"x")
 	}
 	return t, nil
 }

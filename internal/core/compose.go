@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"geostreams/internal/coord"
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 	"geostreams/internal/valueset"
@@ -262,14 +263,18 @@ func (op Compose) matchChunks(c, o *stream.Chunk, gamma valueset.Gamma, flip boo
 		if !c.Grid.Lat.Equal(o.Grid.Lat) {
 			return nil
 		}
-		vals := make([]float64, len(c.Grid.Vals))
-		for i := range vals {
-			x, y := c.Grid.Vals[i], o.Grid.Vals[i]
-			if flip {
-				x, y = y, x
+		lat := c.Grid.Lat
+		cv, ov := c.Grid.Vals, o.Grid.Vals
+		vals := exec.AllocVals(len(cv))
+		exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
+			for i := r0 * lat.W; i < r1*lat.W; i++ {
+				x, y := cv[i], ov[i]
+				if flip {
+					x, y = y, x
+				}
+				vals[i] = gamma.Apply(x, y)
 			}
-			vals[i] = gamma.Apply(x, y)
-		}
+		})
 		m, err := stream.NewGridChunk(c.T, c.Grid.Lat, vals)
 		if err != nil {
 			panic(err) // unreachable: same lattice as a valid chunk

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/imagealg"
 	"geostreams/internal/stream"
@@ -84,60 +85,6 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 	pad := op.Kernel.H / 2
 	var cur *convState
 
-	emit := func(s *convState, j int, bottom int) error {
-		// Output row j uses input rows [j-pad, j+pad] clamped to
-		// [0, bottom]; rows below `bottom` have not arrived (non-final)
-		// or do not exist (final flush).
-		row := s.rows[j]
-		vals := make([]float64, row.lat.W)
-		for x := 0; x < row.lat.W; x++ {
-			var acc float64
-			bad := false
-			for ky := 0; ky < op.Kernel.H && !bad; ky++ {
-				sy := j + ky - pad
-				if sy < 0 {
-					sy = 0
-				}
-				if sy > bottom {
-					sy = bottom
-				}
-				src := s.rows[sy]
-				for kx := 0; kx < op.Kernel.W; kx++ {
-					sx := x + kx - op.Kernel.W/2
-					if sx < 0 {
-						sx = 0
-					}
-					if sx >= len(src.vals) {
-						sx = len(src.vals) - 1
-					}
-					v := src.vals[sx]
-					acc += v * op.Kernel.Weights[ky*op.Kernel.W+kx]
-					if math.IsNaN(acc) {
-						bad = true
-						break
-					}
-				}
-			}
-			if bad {
-				vals[x] = math.NaN()
-			} else {
-				vals[x] = acc
-			}
-		}
-		o, err := stream.NewGridChunk(s.t, row.lat, vals)
-		if err != nil {
-			return err
-		}
-		lo, hi := max(0, j-pad), min(bottom, j+pad)
-		o.StampIngest(windowIngest(s.rows, lo, hi))
-		if err := stream.Send(ctx, out, o); err != nil {
-			return err
-		}
-		st.CountOut(o)
-		s.emitted++
-		return nil
-	}
-
 	flush := func(s *convState, final bool) error {
 		if s == nil {
 			return nil
@@ -146,16 +93,41 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 		if bottom < 0 {
 			return nil
 		}
-		for j := s.emitted; j < len(s.rows); j++ {
-			if !final && j+pad > bottom {
-				break
-			}
-			if err := emit(s, j, bottom); err != nil {
-				return err
-			}
-			// Window slides: row j-pad leaves the working set.
-			if lo := j - pad; lo >= 0 {
-				st.Unbuffer(int64(len(s.rows[lo].vals)))
+		// Ready output rows: [j0, j1). A non-final flush can only produce
+		// rows whose full window [j-pad, j+pad] has arrived; the final
+		// flush clamps the window at the sector edge instead.
+		j0, j1 := s.emitted, len(s.rows)
+		if !final && j1 > bottom-pad+1 {
+			j1 = bottom - pad + 1
+		}
+		if j1 > j0 {
+			// Each output row depends only on the (read-only) input window,
+			// so the batch parallelizes; rows are then sent in scan order.
+			// The per-point work is one multiply-add per kernel weight,
+			// which the effective width reflects for the size cutoff.
+			batch := make([][]float64, j1-j0)
+			exec.ForRows(len(batch), s.rows[j0].lat.W*op.Kernel.H*op.Kernel.W, func(r0, r1 int) {
+				for k := r0; k < r1; k++ {
+					batch[k] = op.computeRow(s, j0+k, bottom)
+				}
+			})
+			for k, vals := range batch {
+				j := j0 + k
+				o, err := stream.NewGridChunk(s.t, s.rows[j].lat, vals)
+				if err != nil {
+					return err
+				}
+				lo, hi := max(0, j-pad), min(bottom, j+pad)
+				o.StampIngest(windowIngest(s.rows, lo, hi))
+				if err := stream.Send(ctx, out, o); err != nil {
+					return err
+				}
+				st.CountOut(o)
+				s.emitted++
+				// Window slides: row j-pad leaves the working set.
+				if lo := j - pad; lo >= 0 {
+					st.Unbuffer(int64(len(s.rows[lo].vals)))
+				}
 			}
 		}
 		if final {
@@ -210,6 +182,51 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 	return flush(cur, true)
 }
 
+// computeRow evaluates output row j against input rows clamped to
+// [0, bottom] — rows below bottom have not arrived (non-final flush) or do
+// not exist (sector edge). The buffer escapes into a published chunk, so it
+// is pooled on allocation but never recycled.
+func (op Convolve) computeRow(s *convState, j, bottom int) []float64 {
+	pad := op.Kernel.H / 2
+	row := s.rows[j]
+	vals := exec.AllocVals(row.lat.W)
+	for x := 0; x < row.lat.W; x++ {
+		var acc float64
+		bad := false
+		for ky := 0; ky < op.Kernel.H && !bad; ky++ {
+			sy := j + ky - pad
+			if sy < 0 {
+				sy = 0
+			}
+			if sy > bottom {
+				sy = bottom
+			}
+			src := s.rows[sy]
+			for kx := 0; kx < op.Kernel.W; kx++ {
+				sx := x + kx - op.Kernel.W/2
+				if sx < 0 {
+					sx = 0
+				}
+				if sx >= len(src.vals) {
+					sx = len(src.vals) - 1
+				}
+				v := src.vals[sx]
+				acc += v * op.Kernel.Weights[ky*op.Kernel.W+kx]
+				if math.IsNaN(acc) {
+					bad = true
+					break
+				}
+			}
+		}
+		if bad {
+			vals[x] = math.NaN()
+		} else {
+			vals[x] = acc
+		}
+	}
+	return vals
+}
+
 // Gradient computes the Sobel gradient magnitude — the shape/edge
 // detection primitive the paper cites from Image Algebra. It is a
 // convolution pair sharing one 3-row window.
@@ -235,71 +252,37 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 	sx, sy := imagealg.SobelX(), imagealg.SobelY()
 	var cur *convState
 
-	emit := func(s *convState, j int, bottom int) error {
-		row := s.rows[j]
-		vals := make([]float64, row.lat.W)
-		for x := 0; x < row.lat.W; x++ {
-			var gx, gy float64
-			bad := false
-			for ky := 0; ky < 3 && !bad; ky++ {
-				syi := j + ky - 1
-				if syi < 0 {
-					syi = 0
-				}
-				if syi > bottom {
-					syi = bottom
-				}
-				src := s.rows[syi]
-				for kx := 0; kx < 3; kx++ {
-					sxi := x + kx - 1
-					if sxi < 0 {
-						sxi = 0
-					}
-					if sxi >= len(src.vals) {
-						sxi = len(src.vals) - 1
-					}
-					v := src.vals[sxi]
-					if math.IsNaN(v) {
-						bad = true
-						break
-					}
-					gx += v * sx.Weights[ky*3+kx]
-					gy += v * sy.Weights[ky*3+kx]
-				}
-			}
-			if bad {
-				vals[x] = math.NaN()
-			} else {
-				vals[x] = math.Hypot(gx, gy)
-			}
-		}
-		o, err := stream.NewGridChunk(s.t, row.lat, vals)
-		if err != nil {
-			return err
-		}
-		o.StampIngest(windowIngest(s.rows, max(0, j-1), min(bottom, j+1)))
-		if err := stream.Send(ctx, out, o); err != nil {
-			return err
-		}
-		st.CountOut(o)
-		s.emitted++
-		if lo := j - 1; lo >= 0 {
-			st.Unbuffer(int64(len(s.rows[lo].vals)))
-		}
-		return nil
-	}
-
 	flush := func(s *convState, final bool) error {
 		if s == nil || len(s.rows) == 0 {
 			return nil
 		}
 		bottom := len(s.rows) - 1
-		for j := s.emitted; j < len(s.rows); j++ {
-			if !final && j+1 > bottom {
-				break
-			}
-			if err := emit(s, j, bottom); err != nil {
-				return err
+		j0, j1 := s.emitted, len(s.rows)
+		if !final && j1 > bottom {
+			j1 = bottom // rows j with j+1 <= bottom
+		}
+		if j1 > j0 {
+			batch := make([][]float64, j1-j0)
+			exec.ForRows(len(batch), s.rows[j0].lat.W*9, func(r0, r1 int) {
+				for k := r0; k < r1; k++ {
+					batch[k] = gradientRow(s, j0+k, bottom, sx, sy)
+				}
+			})
+			for k, vals := range batch {
+				j := j0 + k
+				o, err := stream.NewGridChunk(s.t, s.rows[j].lat, vals)
+				if err != nil {
+					return err
+				}
+				o.StampIngest(windowIngest(s.rows, max(0, j-1), min(bottom, j+1)))
+				if err := stream.Send(ctx, out, o); err != nil {
+					return err
+				}
+				st.CountOut(o)
+				s.emitted++
+				if lo := j - 1; lo >= 0 {
+					st.Unbuffer(int64(len(s.rows[lo].vals)))
+				}
 			}
 		}
 		if final {
@@ -351,4 +334,47 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 		}
 	}
 	return flush(cur, true)
+}
+
+// gradientRow evaluates both Sobel responses for output row j against input
+// rows clamped to [0, bottom]; same batching contract as Convolve.computeRow.
+func gradientRow(s *convState, j, bottom int, sx, sy imagealg.Kernel) []float64 {
+	row := s.rows[j]
+	vals := exec.AllocVals(row.lat.W)
+	for x := 0; x < row.lat.W; x++ {
+		var gx, gy float64
+		bad := false
+		for ky := 0; ky < 3 && !bad; ky++ {
+			syi := j + ky - 1
+			if syi < 0 {
+				syi = 0
+			}
+			if syi > bottom {
+				syi = bottom
+			}
+			src := s.rows[syi]
+			for kx := 0; kx < 3; kx++ {
+				sxi := x + kx - 1
+				if sxi < 0 {
+					sxi = 0
+				}
+				if sxi >= len(src.vals) {
+					sxi = len(src.vals) - 1
+				}
+				v := src.vals[sxi]
+				if math.IsNaN(v) {
+					bad = true
+					break
+				}
+				gx += v * sx.Weights[ky*3+kx]
+				gy += v * sy.Weights[ky*3+kx]
+			}
+		}
+		if bad {
+			vals[x] = math.NaN()
+		} else {
+			vals[x] = math.Hypot(gx, gy)
+		}
+	}
+	return vals
 }

@@ -78,6 +78,10 @@ func EstimateCost(op any, in stream.Info) Estimate {
 		return Estimate{Class: CostConstant, PerPointWork: 1}
 	case ValueTransform:
 		return Estimate{Class: CostConstant, PerPointWork: 1}
+	case FusedPointwise:
+		// One pass, N point-wise stages: the chain's work without its
+		// per-stage clone and channel-hop overhead.
+		return Estimate{Class: CostConstant, PerPointWork: float64(len(o.Stages))}
 	case ZoomIn:
 		return Estimate{Class: CostConstant, PerPointWork: float64(o.K * o.K)}
 	case ZoomOut:

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"geostreams/internal/exec"
+	"geostreams/internal/stream"
+)
+
+// FusedStage is one constituent of a FusedPointwise operator: exactly one
+// of Transform or Restrict is set.
+type FusedStage struct {
+	Transform *ValueTransform
+	Restrict  *ValueRestrict
+}
+
+// name returns the stage's operator name for plans.
+func (s FusedStage) name() string {
+	if s.Transform != nil {
+		return s.Transform.Name()
+	}
+	return s.Restrict.Name()
+}
+
+// FusedPointwise applies a chain of adjacent point-wise stages — value
+// transforms (Definition 8) and value restrictions (§3.1) — in a single
+// pass over each chunk: one output allocation and one channel hop for the
+// whole chain, where the unfused pipeline pays one of each per stage. It is
+// the execution-side twin of the §3.4 rewrite rules: the rules prove the
+// stages commute and merge as algebra, fusion cashes that in as a kernel.
+//
+// The per-value semantics replicate the stage operators exactly, so a fused
+// pipeline is bit-identical to the unfused one:
+//
+//   - a transform applies its function unconditionally, NaN included
+//     (Threshold(NaN) yields its high value, just as the standalone
+//     operator's loop does);
+//   - a restriction on a grid skips NaN and turns excluded values into NaN;
+//     on a point list it drops excluded points, and a chunk losing every
+//     point is dropped entirely.
+type FusedPointwise struct {
+	Stages []FusedStage
+}
+
+func (op FusedPointwise) Name() string {
+	parts := make([]string, len(op.Stages))
+	for i, s := range op.Stages {
+		parts[i] = s.name()
+	}
+	return "fused(" + strings.Join(parts, " → ") + ")"
+}
+
+// OutInfo folds the stage operators' OutInfo in application order, so the
+// fused operator's declared output metadata matches the unfused chain.
+func (op FusedPointwise) OutInfo(in stream.Info) (stream.Info, error) {
+	if len(op.Stages) == 0 {
+		return stream.Info{}, fmt.Errorf("fused operator needs at least one stage")
+	}
+	var err error
+	for _, s := range op.Stages {
+		if s.Transform != nil {
+			in, err = s.Transform.OutInfo(in)
+		} else if s.Restrict != nil {
+			in, err = s.Restrict.OutInfo(in)
+		} else {
+			err = fmt.Errorf("fused stage has neither transform nor restriction")
+		}
+		if err != nil {
+			return stream.Info{}, err
+		}
+	}
+	return in, nil
+}
+
+func (op FusedPointwise) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
+	for c := range in {
+		st.CountIn(c)
+		o, err := op.apply(c)
+		if err != nil {
+			return err
+		}
+		if o == nil {
+			continue // every point restricted away
+		}
+		if err := stream.Send(ctx, out, o); err != nil {
+			return err
+		}
+		st.CountOut(o)
+	}
+	return nil
+}
+
+// gridVal runs one grid value through the whole stage chain.
+func (op FusedPointwise) gridVal(v float64) float64 {
+	for _, s := range op.Stages {
+		if s.Transform != nil {
+			v = s.Transform.Fn(v)
+			continue
+		}
+		if math.IsNaN(v) {
+			continue
+		}
+		if !s.Restrict.Values.Contains(v) {
+			v = math.NaN()
+		}
+	}
+	return v
+}
+
+// apply maps one chunk through the fused chain; it returns nil when a
+// restriction stage leaves a point chunk empty.
+func (op FusedPointwise) apply(c *stream.Chunk) (*stream.Chunk, error) {
+	switch c.Kind {
+	case stream.KindGrid:
+		lat := c.Grid.Lat
+		src := c.Grid.Vals
+		vals := exec.AllocVals(len(src))
+		exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
+			for i := r0 * lat.W; i < r1*lat.W; i++ {
+				vals[i] = op.gridVal(src[i])
+			}
+		})
+		o, err := stream.NewGridChunk(c.T, lat, vals)
+		if err != nil {
+			return nil, err
+		}
+		o.InheritIngest(c)
+		return o, nil
+	case stream.KindPoints:
+		keep := make([]stream.PointValue, 0, len(c.Points))
+		for _, pv := range c.Points {
+			v := pv.V
+			drop := false
+			for _, s := range op.Stages {
+				if s.Transform != nil {
+					v = s.Transform.Fn(v)
+				} else if !s.Restrict.Values.Contains(v) {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				keep = append(keep, stream.PointValue{P: pv.P, V: v})
+			}
+		}
+		if len(keep) == 0 {
+			return nil, nil
+		}
+		o, err := stream.NewPointsChunk(keep)
+		if err != nil {
+			return nil, err
+		}
+		o.InheritIngest(c)
+		return o, nil
+	}
+	return c, nil
+}

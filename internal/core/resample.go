@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"geostreams/internal/coord"
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
@@ -361,17 +362,19 @@ func (op *Resample) rasterize(s *sectorState, c *stream.Chunk, st *stream.Stats,
 			}
 		default:
 			if s.rows[srcRow] == nil {
-				s.rows[srcRow] = make([]float64, src.W)
-				for i := range s.rows[srcRow] {
-					s.rows[srcRow][i] = math.NaN()
+				// Operator-private row: pooled allocation, recycled on free.
+				row := exec.AllocVals(src.W)
+				for i := range row {
+					row[i] = math.NaN()
 				}
+				s.rows[srcRow] = row
 				s.owned[srcRow] = true
 				if count {
 					st.Buffer(int64(src.W))
 				}
 			} else if !s.owned[srcRow] {
 				// Copy-on-write before merging into an aliased row.
-				cp := make([]float64, src.W)
+				cp := exec.AllocVals(src.W)
 				copy(cp, s.rows[srcRow])
 				s.rows[srcRow] = cp
 				s.owned[srcRow] = true
@@ -395,32 +398,54 @@ func (s *sectorState) contiguousFrom() int {
 }
 
 // emitReady emits output rows whose source requirements are satisfied; if
-// final, emits everything remaining (missing sources become NaN).
+// final, emits everything remaining (missing sources become NaN). The ready
+// run is rendered as one parallel batch (each output row reads only the
+// immutable assembled source frame) and then sent in row order; source rows
+// are freed — and operator-owned ones recycled — as the cursor passes them.
 func (op *Resample) emitReady(ctx context.Context, s *sectorState, out chan<- *stream.Chunk, st *stream.Stats, final bool) error {
 	if s.plan == nil {
 		return nil
 	}
 	have := s.contiguousFrom()
-	for s.nextOut < s.plan.tgt.H {
-		j := s.nextOut
-		if !final && s.plan.maxNeed[j] >= have {
-			break
+	j0, j1 := s.nextOut, s.nextOut
+	if final {
+		j1 = s.plan.tgt.H
+	} else {
+		for j1 < s.plan.tgt.H && s.plan.maxNeed[j1] < have {
+			j1++
 		}
-		row, err := op.renderRow(s, j)
+	}
+	if j1 <= j0 {
+		return nil
+	}
+	batch := make([][]float64, j1-j0)
+	exec.ForRows(len(batch), s.plan.tgt.W, func(r0, r1 int) {
+		for k := r0; k < r1; k++ {
+			batch[k] = op.renderRowVals(s, j0+k)
+		}
+	})
+	for k, vals := range batch {
+		j := j0 + k
+		o, err := stream.NewGridChunk(s.t, s.plan.tgt.Row(j), vals)
 		if err != nil {
 			return err
 		}
-		if err := stream.Send(ctx, out, row); err != nil {
+		o.StampIngest(s.ingest)
+		if err := stream.Send(ctx, out, o); err != nil {
 			return err
 		}
-		st.CountOut(row)
+		st.CountOut(o)
 		s.nextOut++
-		// Free source rows no longer needed by any future output row.
+		// Free source rows no longer needed by any future output row; the
+		// whole batch is already rendered, so nothing reads them again.
 		if op.Progressive {
 			freeBelow := s.plan.sufMin[s.nextOut]
 			for r := 0; r < len(s.rows) && r < freeBelow; r++ {
 				if s.rows[r] != nil {
 					st.Unbuffer(int64(len(s.rows[r])))
+					if s.owned[r] {
+						exec.Recycle(s.rows[r])
+					}
 					s.rows[r] = nil
 				}
 			}
@@ -429,24 +454,19 @@ func (op *Resample) emitReady(ctx context.Context, s *sectorState, out chan<- *s
 	return nil
 }
 
-// renderRow computes one output row from the plan's cached mapping.
-func (op *Resample) renderRow(s *sectorState, j int) (*stream.Chunk, error) {
+// renderRowVals computes output row j from the plan's cached mapping. The
+// buffer escapes into a published chunk: pooled allocation, never recycled.
+func (op *Resample) renderRowVals(s *sectorState, j int) []float64 {
 	p := s.plan
-	lat := p.tgt.Row(j)
-	vals := make([]float64, lat.W)
-	for i := 0; i < lat.W; i++ {
+	vals := exec.AllocVals(p.tgt.W)
+	for i := 0; i < p.tgt.W; i++ {
 		if !p.ok[j*p.tgt.W+i] {
 			vals[i] = math.NaN()
 			continue
 		}
 		vals[i] = op.sample(s, p.mapped[j*p.tgt.W+i])
 	}
-	o, err := stream.NewGridChunk(s.t, lat, vals)
-	if err != nil {
-		return nil, err
-	}
-	o.StampIngest(s.ingest)
-	return o, nil
+	return vals
 }
 
 // sample reads the assembled source frame at a source-CRS coordinate.
@@ -514,17 +534,26 @@ func (op *Resample) finishSector(ctx context.Context, s *sectorState, out chan<-
 	if err := op.emitReady(ctx, s, out, st, true); err != nil {
 		return err
 	}
-	// Release everything still held.
+	// Release everything still held; operator-owned rows go back to the
+	// buffer pool (aliased rows belong to their chunks and do not).
 	if !op.Progressive {
 		for _, c := range s.patches {
 			st.Unbuffer(int64(c.NumPoints()))
 		}
 		s.patches = nil
+		for r := range s.rows {
+			if s.rows[r] != nil && s.owned[r] {
+				exec.Recycle(s.rows[r])
+			}
+		}
 		s.rows = nil
 	} else {
 		for r := range s.rows {
 			if s.rows[r] != nil {
 				st.Unbuffer(int64(len(s.rows[r])))
+				if s.owned[r] {
+					exec.Recycle(s.rows[r])
+				}
 				s.rows[r] = nil
 			}
 		}

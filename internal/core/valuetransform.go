@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/imagealg"
 	"geostreams/internal/stream"
@@ -46,23 +47,9 @@ func (op ValueTransform) OutInfo(in stream.Info) (stream.Info, error) {
 func (op ValueTransform) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
 	for c := range in {
 		st.CountIn(c)
-		o := c
-		switch c.Kind {
-		case stream.KindGrid:
-			o = c.CloneGrid()
-			for i, v := range o.Grid.Vals {
-				o.Grid.Vals[i] = op.Fn(v)
-			}
-		case stream.KindPoints:
-			pts := make([]stream.PointValue, len(c.Points))
-			for i, pv := range c.Points {
-				pts[i] = stream.PointValue{P: pv.P, V: op.Fn(pv.V)}
-			}
-			var err error
-			if o, err = stream.NewPointsChunk(pts); err != nil {
-				return err
-			}
-			o.InheritIngest(c)
+		o, err := op.apply(c)
+		if err != nil {
+			return err
 		}
 		if err := stream.Send(ctx, out, o); err != nil {
 			return err
@@ -228,12 +215,31 @@ func (op Stretch) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 	return flush()
 }
 
-// fit builds the frame's transfer function from the buffered chunks.
+// fit builds the frame's transfer function from the buffered chunks. Grid
+// chunks are reduced with exec.MapRows — shard partials merged in row
+// order, so the fitted function is bit-identical at any parallelism — and
+// scan Vals directly instead of paying a ForEachPoint closure plus a
+// geom.Point construction per pixel.
 func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (imagealg.PixelFunc, error) {
 	switch op.Kind {
 	case StretchLinear:
 		m := imagealg.NewMoments()
 		for _, c := range pending {
+			if c.Kind == stream.KindGrid {
+				lat := c.Grid.Lat
+				vals := c.Grid.Vals
+				parts := exec.MapRows(lat.H, lat.W, func(r0, r1 int) *imagealg.Moments {
+					p := imagealg.NewMoments()
+					for i := r0 * lat.W; i < r1*lat.W; i++ {
+						p.Add(vals[i])
+					}
+					return p
+				})
+				for _, p := range parts {
+					m.Merge(p)
+				}
+				continue
+			}
 			c.ForEachPoint(func(_ geom.Point, v float64) { m.Add(v) })
 		}
 		return imagealg.FitLinearStretch(m, op.OutMin, op.OutMax)
@@ -246,6 +252,23 @@ func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (im
 			return nil, err
 		}
 		for _, c := range pending {
+			if c.Kind == stream.KindGrid {
+				lat := c.Grid.Lat
+				vals := c.Grid.Vals
+				parts := exec.MapRows(lat.H, lat.W, func(r0, r1 int) *imagealg.Histogram {
+					p, _ := imagealg.NewHistogram(h.Min, h.Max, len(h.Counts))
+					for i := r0 * lat.W; i < r1*lat.W; i++ {
+						p.Add(vals[i])
+					}
+					return p
+				})
+				for _, p := range parts {
+					if err := h.Merge(p); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
 			c.ForEachPoint(func(_ geom.Point, v float64) { h.Add(v) })
 		}
 		if op.Kind == StretchEqualize {
@@ -258,20 +281,38 @@ func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (im
 	return nil, fmt.Errorf("unknown stretch kind %v", op.Kind)
 }
 
-// apply is ValueTransform's chunk mapping, reused by Stretch's replay.
+// apply is ValueTransform's chunk mapping, shared by Run and Stretch's
+// replay. Grid chunks skip the CloneGrid copy: the output buffer comes from
+// the recycle pool and every element is written by the row-sharded kernel,
+// so the clone's copy pass would be pure waste. The fresh buffer escapes
+// into a published chunk and is never recycled (chunk immutability is
+// load-bearing for fan-out); the pool is refilled by operator-private
+// scratch elsewhere.
 func (op ValueTransform) apply(c *stream.Chunk) (*stream.Chunk, error) {
 	switch c.Kind {
 	case stream.KindGrid:
-		o := c.CloneGrid()
-		for i, v := range o.Grid.Vals {
-			o.Grid.Vals[i] = op.Fn(v)
+		lat := c.Grid.Lat
+		src := c.Grid.Vals
+		vals := exec.AllocVals(len(src))
+		exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
+			for i := r0 * lat.W; i < r1*lat.W; i++ {
+				vals[i] = op.Fn(src[i])
+			}
+		})
+		o, err := stream.NewGridChunk(c.T, lat, vals)
+		if err != nil {
+			return nil, err
 		}
+		o.InheritIngest(c)
 		return o, nil
 	case stream.KindPoints:
 		pts := make([]stream.PointValue, len(c.Points))
-		for i, pv := range c.Points {
-			pts[i] = stream.PointValue{P: pv.P, V: op.Fn(pv.V)}
-		}
+		src := c.Points
+		exec.ForRows(len(src), 1, func(r0, r1 int) {
+			for i := r0; i < r1; i++ {
+				pts[i] = stream.PointValue{P: src[i].P, V: op.Fn(src[i].V)}
+			}
+		})
 		o, err := stream.NewPointsChunk(pts)
 		if err != nil {
 			return nil, err

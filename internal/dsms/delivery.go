@@ -177,6 +177,10 @@ type OperatorStats struct {
 	LatencyP99     float64 `json:"latency_p99_seconds"`
 }
 
+// encodeBufPool recycles the PNG encode scratch across frames and queries;
+// compression state dominates encode allocation otherwise.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // deliver consumes the pipeline output: raster outputs are assembled into
 // frames and PNG-encoded; point outputs append to the series buffer.
 func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
@@ -186,15 +190,26 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 		return err
 	}
 	encode := func(img *raster.Image) error {
-		var buf bytes.Buffer
-		if err := img.EncodePNG(&buf, cm, r.opts.VMin, r.opts.VMax); err != nil {
+		// Encode into a pooled scratch buffer and copy the finished PNG
+		// out: the buffer is delivery-private (provably unique ownership),
+		// the published Frame holds its own exact-size copy.
+		buf := encodeBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := img.EncodePNG(buf, cm, r.opts.VMin, r.opts.VMax); err != nil {
+			encodeBufPool.Put(buf)
 			return err
 		}
+		png := append([]byte(nil), buf.Bytes()...)
+		n := buf.Len()
+		encodeBufPool.Put(buf)
+		// The assembled frame is delivery-private and fully rendered into
+		// the PNG; its value buffer goes back to the grid-buffer pool.
+		img.Recycle()
 		r.frames.push(&Frame{
-			Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, PNG: buf.Bytes(),
+			Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, PNG: png,
 		})
 		r.deliv.frames.Add(1)
-		r.deliv.frameBytes.Add(int64(buf.Len()))
+		r.deliv.frameBytes.Add(int64(n))
 		return nil
 	}
 	for {

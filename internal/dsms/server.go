@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"geostreams/internal/cascade"
+	"geostreams/internal/exec"
 	"geostreams/internal/obs"
 	"geostreams/internal/query"
 	"geostreams/internal/stream"
@@ -61,6 +62,7 @@ func NewServer(ctx context.Context) *Server {
 	s.registry = obs.NewRegistry()
 	s.registry.Register(obs.CollectorFunc(s.Collect))
 	s.registry.Register(obs.NewGoCollector())
+	s.registry.Register(exec.Collector())
 	return s
 }
 
@@ -170,11 +172,12 @@ func (s *Server) Explain(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	fused := query.Fuse(opt)
 	naive, err := query.Explain(plan, catalog)
 	if err != nil {
 		return "", err
 	}
-	optimized, err := query.Explain(opt, catalog)
+	optimized, err := query.Explain(fused, catalog)
 	if err != nil {
 		return "", err
 	}
@@ -198,6 +201,9 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	if err != nil {
 		return nil, err
 	}
+	// Fusion runs after the §3.4 rewrites: the fused plan is what gets
+	// built and stored, so ExplainObserved pairs stats with its nodes.
+	opt = query.Fuse(opt)
 	outInfo, err := query.InfoOf(opt, catalog)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Grid-buffer allocator: a size-classed sync.Pool front for the []float64
+// value slices that dominate the engine's steady-state allocation rate
+// (one per chunk per dense operator). Classes are powers of two from
+// minClassBits to maxClassBits; a request rounds up to its class and is
+// re-sliced to the exact length.
+//
+// Ownership rule (load-bearing — see stream/chunk.go): a buffer may be
+// recycled only while its ownership is provably unique, i.e. operator- or
+// delivery-private scratch that never escaped into a published chunk.
+// Chunks are immutable once sent and may be shared by any number of
+// consumers through Tee and the DSMS hubs, so a chunk's Vals must NEVER be
+// recycled by a consumer. The payoff still reaches published chunks:
+// AllocVals hands recycled private scratch back out at kernel allocation
+// sites, so the pool shrinks total allocation even though only private
+// buffers flow back in.
+
+const (
+	minClassBits = 8  // 256 values (2 KiB) — below this, malloc is cheap enough
+	maxClassBits = 24 // 16M values (128 MiB) — above this, pooling pins too much
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var (
+	classes [numClasses]sync.Pool
+
+	poolHits     atomic.Int64
+	poolMisses   atomic.Int64
+	poolRecycles atomic.Int64
+	poolBypass   atomic.Int64 // requests outside the pooled size range
+)
+
+// classOf returns the size-class index whose capacity (2^(minClassBits+i))
+// holds n values, or -1 when n is outside the pooled range.
+func classOf(n int) int {
+	if n <= 0 || n > 1<<maxClassBits {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minClassBits {
+		b = minClassBits
+	}
+	return b - minClassBits
+}
+
+// AllocVals returns a []float64 of length n for a grid kernel's output.
+// The contents are UNDEFINED — callers must write every element (every
+// dense kernel does: it fills the full lattice, using NaN for absent
+// points). Buffers come from the recycle pool when a class match is
+// available and from the heap otherwise.
+func AllocVals(n int) []float64 {
+	c := classOf(n)
+	if c < 0 {
+		poolBypass.Add(1)
+		return make([]float64, n)
+	}
+	if v, ok := classes[c].Get().(*[]float64); ok {
+		poolHits.Add(1)
+		return (*v)[:n]
+	}
+	poolMisses.Add(1)
+	return make([]float64, n, 1<<(minClassBits+c))
+}
+
+// Recycle returns a buffer to its size-class pool. Only call it on buffers
+// whose ownership is provably unique (operator-private scratch); never on
+// the Vals of a chunk that has been sent downstream. Buffers whose
+// capacity is not an exact pooled class (e.g. sub-slices of foreign
+// storage) are dropped on the floor.
+func Recycle(v []float64) {
+	c := cap(v)
+	if c == 0 || c&(c-1) != 0 { // not a power of two: not ours
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b < minClassBits || b > maxClassBits {
+		return
+	}
+	poolRecycles.Add(1)
+	full := v[:c]
+	classes[b-minClassBits].Put(&full)
+}

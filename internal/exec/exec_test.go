@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestForRowsCoversEveryRowOnce(t *testing.T) {
+	for _, h := range []int{1, 2, 7, 64, 500, 4096} {
+		w := 64
+		hits := make([]int32, h)
+		var mu sync.Mutex
+		ForRows(h, w, func(r0, r1 int) {
+			if r0 < 0 || r1 > h || r0 >= r1 {
+				t.Errorf("bad shard [%d, %d) for h=%d", r0, r1, h)
+			}
+			mu.Lock()
+			for r := r0; r < r1; r++ {
+				hits[r]++
+			}
+			mu.Unlock()
+		})
+		for r, n := range hits {
+			if n != 1 {
+				t.Fatalf("h=%d: row %d visited %d times", h, r, n)
+			}
+		}
+	}
+}
+
+func TestForRowsScalarUnderCutoff(t *testing.T) {
+	calls := 0
+	ForRows(10, 10, func(r0, r1 int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("small loop split into %d shards, want 1 scalar call", calls)
+	}
+}
+
+func TestForRowsRespectsParallelismOne(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	calls := 0
+	ForRows(4096, 4096, func(r0, r1 int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("parallelism 1 split into %d shards, want 1", calls)
+	}
+}
+
+// TestMapRowsDeterministic asserts the bit-identity contract: the shard
+// partials (and therefore any in-order merge of them) are the same at
+// parallelism 1 and at full parallelism.
+func TestMapRowsDeterministic(t *testing.T) {
+	h, w := 1024, 512
+	vals := make([]float64, h*w)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1000
+	}
+	sum := func(r0, r1 int) float64 {
+		s := 0.0
+		for i := r0 * w; i < r1*w; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	merge := func(parts []float64) float64 {
+		s := 0.0
+		for _, p := range parts {
+			s += p
+		}
+		return s
+	}
+
+	SetParallelism(1)
+	scalar := merge(MapRows(h, w, sum))
+	SetParallelism(0)
+	parallel := merge(MapRows(h, w, sum))
+	if math.Float64bits(scalar) != math.Float64bits(parallel) {
+		t.Fatalf("MapRows reduction not bit-identical: scalar %x parallel %x",
+			math.Float64bits(scalar), math.Float64bits(parallel))
+	}
+}
+
+func TestAllocValsClassesAndRecycle(t *testing.T) {
+	v := AllocVals(1000)
+	if len(v) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(v))
+	}
+	if cap(v) != 1024 {
+		t.Fatalf("cap = %d, want 1024 (next size class)", cap(v))
+	}
+	Recycle(v)
+	// The recycled buffer should come back for a same-class request.
+	w := AllocVals(600)
+	if cap(w) != 1024 {
+		t.Fatalf("recycled cap = %d, want 1024", cap(w))
+	}
+
+	// Outside the pooled range: plain heap allocations, exact length.
+	big := AllocVals(1<<maxClassBits + 1)
+	if len(big) != 1<<maxClassBits+1 {
+		t.Fatalf("oversize len = %d", len(big))
+	}
+	Recycle(big[:0]) // cap not a pooled class; must be dropped silently
+}
+
+func TestRecycleForeignBufferIgnored(t *testing.T) {
+	// A sub-slice of foreign storage must not poison the pool.
+	backing := make([]float64, 300)
+	Recycle(backing[10:20])
+}
+
+// TestPoolStressRace hammers the shared pool and allocator from many
+// goroutines at once — the concurrent-queries scenario — and is the
+// anchor for `go test -race ./internal/exec`.
+func TestPoolStressRace(t *testing.T) {
+	const goroutines = 16
+	const iters = 40
+	h, w := 256, 256
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			src := make([]float64, h*w)
+			for i := range src {
+				src[i] = rng.Float64()
+			}
+			for it := 0; it < iters; it++ {
+				dst := AllocVals(h * w)
+				ForRows(h, w, func(r0, r1 int) {
+					for i := r0 * w; i < r1*w; i++ {
+						dst[i] = src[i]*2 + 1
+					}
+				})
+				for i := 0; i < h*w; i += 4097 {
+					if dst[i] != src[i]*2+1 {
+						t.Errorf("goroutine %d iter %d: dst[%d] = %g, want %g",
+							seed, it, i, dst[i], src[i]*2+1)
+						return
+					}
+				}
+				Recycle(dst)
+			}
+		}(int64(gi))
+	}
+	wg.Wait()
+}
+
+func BenchmarkForRows(b *testing.B) {
+	h, w := 1024, 1024
+	src := make([]float64, h*w)
+	dst := make([]float64, h*w)
+	b.SetBytes(int64(h * w * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForRows(h, w, func(r0, r1 int) {
+			for j := r0 * w; j < r1*w; j++ {
+				dst[j] = src[j]*0.5 + 3
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"geostreams/internal/obs"
+)
+
+// Fusion telemetry, recorded by the query planner when it wires a
+// FusedPointwise operator (internal/query): how many fused operators were
+// built and how many constituent point-wise stages they absorbed. Lives
+// here so every engine counter is exported by one collector.
+var (
+	fusedOperators atomic.Int64
+	fusedStages    atomic.Int64
+)
+
+// CountFusion records one fused operator replacing n point-wise stages.
+func CountFusion(n int) {
+	fusedOperators.Add(1)
+	fusedStages.Add(int64(n))
+}
+
+// Stats is a point-in-time snapshot of the execution-engine counters.
+type Stats struct {
+	Parallelism     int   `json:"parallelism"`
+	ParallelKernels int64 `json:"parallel_kernels"`
+	ScalarKernels   int64 `json:"scalar_kernels"`
+	Shards          int64 `json:"shards"`
+	PoolHits        int64 `json:"pool_hits"`
+	PoolMisses      int64 `json:"pool_misses"`
+	PoolRecycles    int64 `json:"pool_recycles"`
+	PoolBypass      int64 `json:"pool_bypass"`
+	FusedOperators  int64 `json:"fused_operators"`
+	FusedStages     int64 `json:"fused_stages"`
+}
+
+// Snapshot reads the engine counters.
+func Snapshot() Stats {
+	return Stats{
+		Parallelism:     Parallelism(),
+		ParallelKernels: parallelKernels.Load(),
+		ScalarKernels:   scalarKernels.Load(),
+		Shards:          shardsRun.Load(),
+		PoolHits:        poolHits.Load(),
+		PoolMisses:      poolMisses.Load(),
+		PoolRecycles:    poolRecycles.Load(),
+		PoolBypass:      poolBypass.Load(),
+		FusedOperators:  fusedOperators.Load(),
+		FusedStages:     fusedStages.Load(),
+	}
+}
+
+// Collector exposes the engine counters as geostreams_exec_* metrics; the
+// DSMS server registers it so /metrics carries pool hit-rate, kernel
+// sharding, and fusion counts alongside the per-operator telemetry.
+func Collector() obs.Collector {
+	return obs.CollectorFunc(func(e *obs.Exposition) {
+		s := Snapshot()
+		e.Gauge("geostreams_exec_parallelism",
+			"Worker-pool target size for data-parallel grid kernels.",
+			float64(s.Parallelism))
+		e.Counter("geostreams_exec_parallel_kernels_total",
+			"Dense-kernel invocations executed row-sharded on the worker pool.",
+			float64(s.ParallelKernels))
+		e.Counter("geostreams_exec_scalar_kernels_total",
+			"Dense-kernel invocations that stayed scalar (under the size cutoff or parallelism 1).",
+			float64(s.ScalarKernels))
+		e.Counter("geostreams_exec_kernel_shards_total",
+			"Row shards executed across all parallel kernel invocations.",
+			float64(s.Shards))
+		e.Counter("geostreams_exec_pool_hits_total",
+			"Grid-buffer allocations served from the size-classed recycle pool.",
+			float64(s.PoolHits))
+		e.Counter("geostreams_exec_pool_misses_total",
+			"Grid-buffer allocations that fell through to the heap.",
+			float64(s.PoolMisses))
+		e.Counter("geostreams_exec_pool_recycles_total",
+			"Operator-private grid buffers returned to the recycle pool.",
+			float64(s.PoolRecycles))
+		e.Counter("geostreams_exec_pool_bypass_total",
+			"Grid-buffer allocations outside the pooled size range.",
+			float64(s.PoolBypass))
+		e.Counter("geostreams_exec_fused_operators_total",
+			"FusedPointwise operators wired by the planner.",
+			float64(s.FusedOperators))
+		e.Counter("geostreams_exec_fused_stages_total",
+			"Point-wise plan stages absorbed into fused operators.",
+			float64(s.FusedStages))
+	})
+}

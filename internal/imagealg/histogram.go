@@ -61,6 +61,25 @@ func (h *Histogram) AddAll(vals []float64) {
 	}
 }
 
+// Merge folds another histogram's counts into h. Both must have the same
+// range and bin count (the engine's parallel fitting always merges shard
+// partials built from one NewHistogram configuration); mismatched shapes
+// return an error.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.Counts) != len(h.Counts) || o.Min != h.Min || o.Max != h.Max {
+		return fmt.Errorf("imagealg: merging histogram [%g, %g]/%d into [%g, %g]/%d",
+			o.Min, o.Max, len(o.Counts), h.Min, h.Max, len(h.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.N += o.N
+	return nil
+}
+
 // CDF returns the empirical cumulative distribution evaluated at the upper
 // edge of each bin, as fractions in [0, 1]. An empty histogram returns all
 // zeros.
@@ -138,6 +157,24 @@ func (m *Moments) Add(v float64) {
 func (m *Moments) AddAll(vals []float64) {
 	for _, v := range vals {
 		m.Add(v)
+	}
+}
+
+// Merge folds another accumulator into m. Merging shard partials in a
+// fixed order keeps parallel reductions deterministic: the float sums
+// combine in slice order, independent of which worker computed each shard.
+func (m *Moments) Merge(o *Moments) {
+	if o == nil || o.N == 0 {
+		return
+	}
+	m.N += o.N
+	m.Sum += o.Sum
+	m.SumSq += o.SumSq
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
 	}
 }
 

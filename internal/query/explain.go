@@ -46,6 +46,16 @@ func InfoOf(n Node, catalog map[string]stream.Info) (stream.Info, error) {
 			return stream.Info{}, err
 		}
 		return t.Op.OutInfo(in)
+	case *Fused:
+		in, err := InfoOf(t.In, catalog)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		op, err := fusedOp(t)
+		if err != nil {
+			return stream.Info{}, err
+		}
+		return op.OutInfo(in)
 	case *StretchFn:
 		in, err := InfoOf(t.In, catalog)
 		if err != nil {
@@ -271,6 +281,12 @@ func estimateFor(n Node, catalog map[string]stream.Info) *core.Estimate {
 		op = core.ValueRestrict{Values: t.Set}
 	case *MapFn:
 		op = t.Op
+	case *Fused:
+		fo, err := fusedOp(t)
+		if err != nil {
+			return nil
+		}
+		op = fo
 	case *StretchFn:
 		op = core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}
 	case *Zoom:

@@ -1,0 +1,159 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"geostreams/internal/core"
+)
+
+// Fused is a maximal chain of adjacent point-wise plan stages — value
+// transforms (MapFn) and value restrictions (RestrictV) — collapsed into
+// one FusedPointwise physical operator. Stages holds the original nodes in
+// application order (innermost first), so EXPLAIN keeps the chain legible
+// and the planner rebuilds each constituent operator verbatim.
+type Fused struct {
+	In     Node
+	Stages []Node
+}
+
+func (n *Fused) Children() []Node { return []Node{n.In} }
+
+func (n *Fused) Label() string {
+	parts := make([]string, len(n.Stages))
+	for i, s := range n.Stages {
+		parts[i] = s.Label()
+	}
+	return "fused(" + strings.Join(parts, " → ") + ")"
+}
+
+// pointwise reports whether a node is a fusable point-wise stage.
+func pointwise(n Node) bool {
+	switch n.(type) {
+	case *MapFn, *RestrictV:
+		return true
+	}
+	return false
+}
+
+// Fuse collapses chains of two or more adjacent point-wise stages into
+// Fused nodes. It is a separate pass applied after Optimize: the §3.4
+// rewrites decide where the point-wise stages sit (merged, pushed below or
+// above blocking operators), fusion then turns each remaining chain into a
+// single-pass kernel.
+//
+// A chain only absorbs nodes with a single consumer. A node shared between
+// plan branches (the ndvi macro, merged common subexpressions) backs a Tee
+// in the planner; fusing across that boundary would duplicate the shared
+// work once per branch instead of computing it once.
+func Fuse(n Node) Node {
+	refs := map[Node]int{}
+	var count func(Node, map[Node]bool)
+	count = func(n Node, seen map[Node]bool) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children() {
+			refs[c]++
+			count(c, seen)
+		}
+	}
+	count(n, map[Node]bool{})
+	refs[n]++
+
+	rewritten := map[Node]Node{}
+	var walk func(Node) Node
+	walk = func(n Node) Node {
+		if out, ok := rewritten[n]; ok {
+			return out
+		}
+		var out Node
+		if pointwise(n) {
+			// Collect the maximal chain below this stage. Members past the
+			// head must be single-consumer: a teed stage stays a boundary
+			// (it starts its own chain when walked via its other parents).
+			chain := []Node{n}
+			cur := chainInput(n)
+			for pointwise(cur) && refs[cur] == 1 {
+				chain = append(chain, cur)
+				cur = chainInput(cur)
+			}
+			if len(chain) >= 2 {
+				// Stages apply innermost first.
+				for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+					chain[i], chain[j] = chain[j], chain[i]
+				}
+				out = &Fused{In: walk(cur), Stages: chain}
+			}
+		}
+		if out == nil {
+			out = rebuildWithInputs(n, walk)
+		}
+		rewritten[n] = out
+		return out
+	}
+	return walk(n)
+}
+
+// chainInput returns the input of a point-wise stage.
+func chainInput(n Node) Node {
+	switch t := n.(type) {
+	case *MapFn:
+		return t.In
+	case *RestrictV:
+		return t.In
+	}
+	return nil
+}
+
+// rebuildWithInputs reproduces a node with its inputs rewritten by walk,
+// preserving sharing through the caller's memo table.
+func rebuildWithInputs(n Node, walk func(Node) Node) Node {
+	switch t := n.(type) {
+	case *Source:
+		return t
+	case *RestrictS:
+		return &RestrictS{In: walk(t.In), Region: t.Region}
+	case *RestrictT:
+		return &RestrictT{In: walk(t.In), Times: t.Times}
+	case *RestrictV:
+		return &RestrictV{In: walk(t.In), Set: t.Set}
+	case *MapFn:
+		return &MapFn{In: walk(t.In), Op: t.Op, Desc: t.Desc}
+	case *StretchFn:
+		return &StretchFn{In: walk(t.In), Kind: t.Kind, Min: t.Min, Max: t.Max}
+	case *Zoom:
+		return &Zoom{In: walk(t.In), K: t.K, Out: t.Out}
+	case *Reproject:
+		return &Reproject{In: walk(t.In), To: t.To, Interp: t.Interp}
+	case *Rotate:
+		return &Rotate{In: walk(t.In), Degrees: t.Degrees}
+	case *Filter:
+		return &Filter{In: walk(t.In), Kind: t.Kind, N: t.N, Sigma: t.Sigma}
+	case *ComposeOp:
+		return &ComposeOp{L: walk(t.L), R: walk(t.R), Gamma: t.Gamma}
+	case *AggT:
+		return &AggT{In: walk(t.In), Fn: t.Fn, Window: t.Window}
+	case *AggR:
+		return &AggR{In: walk(t.In), Fn: t.Fn, Region: t.Region}
+	}
+	return n
+}
+
+// fusedOp instantiates the physical operator of a Fused node.
+func fusedOp(t *Fused) (core.FusedPointwise, error) {
+	stages := make([]core.FusedStage, len(t.Stages))
+	for i, s := range t.Stages {
+		switch n := s.(type) {
+		case *MapFn:
+			op := n.Op
+			stages[i] = core.FusedStage{Transform: &op}
+		case *RestrictV:
+			stages[i] = core.FusedStage{Restrict: &core.ValueRestrict{Values: n.Set}}
+		default:
+			return core.FusedPointwise{}, fmt.Errorf("query: non-point-wise stage %T in fused node", s)
+		}
+	}
+	return core.FusedPointwise{Stages: stages}, nil
+}

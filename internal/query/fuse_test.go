@@ -1,0 +1,215 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"geostreams/internal/exec"
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+// fuseTestQueries are the point-wise chains the fusion pass targets, plus
+// shapes that must act as fusion boundaries (zooms, restrictions on space,
+// binary compositions).
+var fuseTestQueries = []string{
+	"clamp(scale(nir, 2, 10), -1000, 1000)",
+	"scale(vselect(clamp(nir, 0, 900), range(100, 800)), 0.5, 0)",
+	"clamp(scale(ndvi(nir, vis), 100, 0), -50, 50)",
+	"vselect(scale(zoomin(clamp(nir, 0, 1000), 2), 1.5, 0), range(0, 1500))",
+	"rselect(clamp(scale(nir, 2, 0), 0, 2000), rect(-121.8, 36.2, -120.2, 37.8))",
+	"clamp(scale(clamp(scale(vis, 1.5, 3), 0, 2000), 0.25, -1), 0, 400)",
+}
+
+// runFusePlan executes a query over a fresh deterministic image-by-image
+// workload — sectors large enough to clear exec.ParallelCutoff — and
+// returns the raw output chunk sequence. fuse selects whether the fusion
+// pass runs after optimization.
+func runFusePlan(q string, fuse bool) ([]*stream.Chunk, error) {
+	g := stream.NewGroup(context.Background())
+	scene := sat.DefaultScene(20060406)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 160, 128, scene,
+		[]string{"nir", "vis"}, stream.ImageByImage, 2)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := im.Streams(g)
+	if err != nil {
+		return nil, err
+	}
+	catalog := map[string]stream.Info{
+		"nir": im.Info(im.Bands[0]),
+		"vis": im.Info(im.Bands[1]),
+	}
+	plan, err := Parse(q, testBands)
+	if err != nil {
+		return nil, fmt.Errorf("Parse(%q): %w", q, err)
+	}
+	if plan, err = Optimize(plan, catalog); err != nil {
+		return nil, fmt.Errorf("Optimize(%q): %w", q, err)
+	}
+	if fuse {
+		plan = Fuse(plan)
+	}
+	used := Bands(plan)
+	for band, s := range sources {
+		if used[band] == 0 {
+			go stream.Drain(context.Background(), s) //nolint:errcheck
+		}
+	}
+	out, _, err := Build(g, plan, sources)
+	if err != nil {
+		return nil, fmt.Errorf("Build(%q): %w", q, err)
+	}
+	chunks, err := stream.Collect(context.Background(), out)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return chunks, nil
+}
+
+// sameChunks checks two output chunk sequences are bit-identical:
+// same chunk boundaries, same lattices and timestamps, and for every value
+// the same float64 bits (NaN matches NaN).
+func sameChunks(q string, want, got []*stream.Chunk) error {
+	sameVal := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsNaN(a) && math.IsNaN(b)
+		}
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("%q: chunk count %d vs %d", q, len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Kind != b.Kind || a.T != b.T {
+			return fmt.Errorf("%q: chunk %d header (%v, t=%d) vs (%v, t=%d)",
+				q, i, a.Kind, a.T, b.Kind, b.T)
+		}
+		switch a.Kind {
+		case stream.KindGrid:
+			if a.Grid.Lat != b.Grid.Lat || len(a.Grid.Vals) != len(b.Grid.Vals) {
+				return fmt.Errorf("%q: chunk %d lattice mismatch", q, i)
+			}
+			for j := range a.Grid.Vals {
+				if !sameVal(a.Grid.Vals[j], b.Grid.Vals[j]) {
+					return fmt.Errorf("%q: chunk %d value %d: %v vs %v",
+						q, i, j, a.Grid.Vals[j], b.Grid.Vals[j])
+				}
+			}
+		case stream.KindPoints:
+			if len(a.Points) != len(b.Points) {
+				return fmt.Errorf("%q: chunk %d point count %d vs %d",
+					q, i, len(a.Points), len(b.Points))
+			}
+			for j := range a.Points {
+				if a.Points[j].P != b.Points[j].P || !sameVal(a.Points[j].V, b.Points[j].V) {
+					return fmt.Errorf("%q: chunk %d point %d mismatch", q, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestFusedParallelBitIdentical is the engine's central property: the
+// fused plan running on parallel kernels produces exactly the chunk
+// sequence of the unfused plan on scalar kernels — same chunk boundaries,
+// same bits — so neither fusion nor the worker pool is observable in the
+// data.
+func TestFusedParallelBitIdentical(t *testing.T) {
+	defer exec.SetParallelism(0)
+	for _, q := range fuseTestQueries {
+		exec.SetParallelism(1)
+		want, err := runFusePlan(q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force the parallel path even on single-core CI machines.
+		exec.SetParallelism(4)
+		got, err := runFusePlan(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameChunks(q, want, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFusePassProducesFusedNodes guards against the fusion pass silently
+// degrading to a no-op: every chain query above must contain a fused node
+// after Fuse, and single point-wise stages must not be wrapped.
+func TestFusePassProducesFusedNodes(t *testing.T) {
+	catalog := map[string]stream.Info{
+		"nir": {Band: "nir", CRS: mustLatLon(), VMax: 1023},
+		"vis": {Band: "vis", CRS: mustLatLon(), VMax: 1023},
+	}
+	for _, q := range fuseTestQueries[:3] {
+		plan, err := Parse(q, testBands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(plan, catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := Format(Fuse(opt)); !strings.Contains(f, "fused(") {
+			t.Fatalf("no fused node in plan for %q:\n%s", q, f)
+		}
+	}
+	plan, err := Parse("scale(ndvi(nir, vis), 2, 0)", testBands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(plan, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := Format(Fuse(opt)); strings.Contains(f, "fused(") {
+		t.Fatalf("single point-wise stage must not be fused:\n%s", f)
+	}
+}
+
+// TestConcurrentFusedQueriesSharedPool stresses the process-wide worker
+// pool and the shared buffer allocator under -race: several fused parallel
+// queries run concurrently and each must still reproduce the scalar
+// unfused reference bits.
+func TestConcurrentFusedQueriesSharedPool(t *testing.T) {
+	defer exec.SetParallelism(0)
+	q := fuseTestQueries[2] // chain over the NDVI composition
+	exec.SetParallelism(1)
+	want, err := runFusePlan(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.SetParallelism(4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := runFusePlan(q, true)
+			if err == nil {
+				err = sameChunks(q, want, got)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"geostreams/internal/core"
+	"geostreams/internal/exec"
 	"geostreams/internal/stream"
 )
 
@@ -149,6 +150,17 @@ func (p *planner) construct(n Node) (*stream.Stream, error) {
 			return nil, err
 		}
 		return p.apply(t.Op, in)
+	case *Fused:
+		in, err := p.take(t.In)
+		if err != nil {
+			return nil, err
+		}
+		op, err := fusedOp(t)
+		if err != nil {
+			return nil, err
+		}
+		exec.CountFusion(len(t.Stages))
+		return p.apply(op, in)
 	case *StretchFn:
 		in, err := p.take(t.In)
 		if err != nil {

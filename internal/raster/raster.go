@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
@@ -26,16 +27,27 @@ type Image struct {
 // At returns the value at grid index (col, row).
 func (im *Image) At(col, row int) float64 { return im.Vals[row*im.Lat.W+col] }
 
-// NewImage allocates an all-NaN image over a lattice.
+// NewImage allocates an all-NaN image over a lattice. The value buffer is
+// drawn from the shared grid-buffer pool; an owner that provably drops the
+// image after rendering may return it with Image.Recycle.
 func NewImage(t geom.Timestamp, lat geom.Lattice) (*Image, error) {
 	if err := lat.Validate(); err != nil {
 		return nil, err
 	}
-	vals := make([]float64, lat.NumPoints())
+	vals := exec.AllocVals(lat.NumPoints())
 	for i := range vals {
 		vals[i] = math.NaN()
 	}
 	return &Image{T: t, Lat: lat, Vals: vals}, nil
+}
+
+// Recycle returns the image's value buffer to the shared pool and clears
+// it. Only the image's sole owner may call this, after its last read: the
+// assembler copies chunk values in (never aliases them), so an image the
+// caller is about to drop is provably private.
+func (im *Image) Recycle() {
+	exec.Recycle(im.Vals)
+	im.Vals = nil
 }
 
 // Assembler accumulates the chunks of each sector into full frames,

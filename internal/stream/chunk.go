@@ -237,9 +237,27 @@ func (c *Chunk) Bounds() geom.Rect {
 }
 
 // ValueStats returns basic value statistics over the chunk's points,
-// ignoring NaN: count of finite values, min, max, and sum.
+// ignoring NaN: count of finite values, min, max, and sum. Grid chunks scan
+// Vals directly — the per-pixel location a ForEachPoint closure would
+// construct is dead weight for value-only statistics.
 func (c *Chunk) ValueStats() (n int, min, max, sum float64) {
 	min, max = math.Inf(1), math.Inf(-1)
+	if c.Kind == KindGrid {
+		for _, v := range c.Grid.Vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			n++
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return n, min, max, sum
+	}
 	c.ForEachPoint(func(_ geom.Point, v float64) {
 		if math.IsNaN(v) {
 			return
