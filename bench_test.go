@@ -375,3 +375,13 @@ func BenchmarkF3_EndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- E-F1: degradation under faults --------------------------------------------------
+
+func BenchmarkEF1_Degradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.EF1Degradation(bench.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

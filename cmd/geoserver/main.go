@@ -7,10 +7,15 @@
 //	geoserver [-addr :8080] [-goes] [-subsat -75]
 //	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	          [-sectors 0] [-interval 2s] [-seed 42]
+//	          [-max-queries 0] [-drain-timeout 10s]
 //	          [-log-format text|json] [-log-level info] [-debug]
 //
-// With -sectors 0 the instrument scans forever. -debug mounts
-// net/http/pprof under /debug/pprof/. Try:
+// With -sectors 0 the instrument scans forever. -max-queries caps
+// concurrently registered queries (beyond it POST /queries returns 503
+// with a Retry-After hint). On SIGINT/SIGTERM the server drains
+// gracefully: registration stops, queued chunks flush to their queries,
+// and pipelines get up to -drain-timeout to finish before being
+// cancelled. -debug mounts net/http/pprof under /debug/pprof/. Try:
 //
 //	curl localhost:8080/catalog
 //	curl -s localhost:8080/explain --get --data-urlencode \
@@ -31,6 +36,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"geostreams/internal/dsms"
@@ -67,6 +73,10 @@ func main() {
 	sectors := flag.Int("sectors", 0, "number of scan sectors (0 = unlimited)")
 	interval := flag.Duration("interval", 2*time.Second, "time between scan sectors")
 	seed := flag.Int64("seed", 42, "scene seed")
+	maxQueries := flag.Int("max-queries", 0,
+		"admission limit on concurrently registered queries (0 = unlimited; beyond it POST /queries returns 503)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long graceful shutdown waits for query pipelines to drain before cancelling them")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
@@ -94,12 +104,16 @@ func main() {
 		nSectors = math.MaxInt32 // effectively unlimited
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := dsms.NewServer(ctx)
+	// The server's own lifetime is NOT bounded by the signal context:
+	// shutdown must be graceful (drain, then cancel), so the signal only
+	// triggers Shutdown below rather than hard-cancelling every pipeline.
+	srv := dsms.NewServer(context.Background())
 	srv.SetLogger(logger)
 	srv.SetDebug(*debug)
+	srv.SetMaxQueries(*maxQueries)
 	scene := sat.DefaultScene(*seed)
 	bands := []string{"vis", "nir", "ir"}
 	var im *sat.Imager
@@ -126,11 +140,15 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		<-ctx.Done()
-		logger.Info("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		httpSrv.Shutdown(shutdownCtx) //nolint:errcheck
-		srv.Close()                   //nolint:errcheck
+		// Drain the DSMS first (stop admitting, flush queued chunks, wait
+		// for pipelines), then close the HTTP listener.
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Warn("drain incomplete, pipelines cancelled", "error", err.Error())
+		}
+		httpSrv.Shutdown(drainCtx) //nolint:errcheck
 	}()
 
 	crs := "latlon"

@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"E8", "cascade tree vs baselines for N concurrent queries", E8Cascade},
 		{"E9", "spatio-temporal aggregate: space ∝ window × frame", E9Aggregate},
 		{"F3", "end-to-end DSMS over HTTP (architecture of Fig. 3)", F3EndToEnd},
+		{"E-F1", "delivery degradation under chunk loss and source flaps", EF1Degradation},
 	}
 }
 

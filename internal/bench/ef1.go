@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"geostreams/internal/dsms"
+	"geostreams/internal/faults"
+	"geostreams/internal/stream"
+)
+
+// EF1Degradation measures how delivery quality degrades under injected
+// transport faults — the fault-tolerance companion to F3. For both point
+// organizations (row-by-row and image-by-image) it runs a full-band query
+// against a vis source under: no faults, 1% and 10% data-chunk loss, and
+// a flapping source resurrected by the supervision layer. It reports
+// delivered-frame completeness (frames out of expected sectors), the
+// offered chunk loss, end-to-end freshness p95, and reconnect count.
+//
+// The organizations fail differently by construction: a dropped row-by-row
+// chunk leaves a partial frame (the sector still assembles at its
+// punctuation), while a dropped image-by-image chunk blanks the whole
+// sector. Supervision adds latency but no loss.
+func EF1Degradation(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-F1",
+		Title: "delivery degradation under chunk loss and source flaps",
+		Claim: "frame delivery degrades gracefully: bounded completeness loss under drops, zero loss (added latency only) under supervised source flaps",
+		Columns: []string{"org", "scenario", "frames", "chunk loss",
+			"age p95", "reconnects"},
+	}
+
+	orgs := []struct {
+		name string
+		org  stream.Organization
+	}{
+		{"row-by-row", stream.RowByRow},
+		{"image-by-image", stream.ImageByImage},
+	}
+	scenarios := []struct {
+		key    string
+		name   string
+		policy faults.Policy
+		flap   bool
+	}{
+		{"clean", "no faults", faults.Policy{}, false},
+		{"drop1", "1% drop", faults.Policy{Seed: 1, Drop: 0.01}, false},
+		{"drop10", "10% drop", faults.Policy{Seed: 2, Drop: 0.10}, false},
+		{"flap", "source flaps", faults.Policy{}, true},
+	}
+	for _, o := range orgs {
+		for _, sc := range scenarios {
+			res, err := runEF1(cfg, o.org, sc.policy, sc.flap)
+			if err != nil {
+				return nil, fmt.Errorf("E-F1 %s/%s: %w", o.name, sc.name, err)
+			}
+			t.AddRow(o.name, sc.name,
+				fmt.Sprintf("%d/%d", res.frames, cfg.Sectors),
+				fmt.Sprintf("%.1f%%", res.loss*100),
+				fmtDur(secDur(res.ageP95)),
+				fmtI(res.reconnects))
+			key := fmt.Sprintf("%s_%s_", map[stream.Organization]string{
+				stream.RowByRow: "row", stream.ImageByImage: "image",
+			}[o.org], sc.key)
+			t.SetMetric(key+"completeness", float64(res.frames)/float64(cfg.Sectors))
+			t.SetMetric(key+"chunk_loss", res.loss)
+			t.SetMetric(key+"age_p95_seconds", res.ageP95)
+			t.SetMetric(key+"reconnects", float64(res.reconnects))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"chunk loss is the injector's offered data-chunk drop rate; punctuation always passes, so lossy sectors still assemble (partial for row-by-row, blank for image-by-image)",
+		"the flap scenario splits the stream into supervised reconnecting segments: completeness stays 1.0 and the cost shows up in freshness")
+	return t, nil
+}
+
+type ef1Result struct {
+	frames     int
+	loss       float64
+	ageP95     float64
+	reconnects int64
+}
+
+func runEF1(cfg Config, org stream.Organization, policy faults.Policy, flap bool) (*ef1Result, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := dsms.NewServer(ctx)
+	defer srv.Close() //nolint:errcheck
+
+	var inj *faults.Injector
+	if flap {
+		info, chunks, err := preRender(cfg, org, "vis")
+		if err != nil {
+			return nil, err
+		}
+		segs := splitSectors(chunks, 3)
+		next := 0
+		err = srv.AddSourceSpec(dsms.SourceSpec{
+			Stream: stream.FromChunks(srv.Group(), info, segs[0]),
+			Reconnect: func(context.Context) (*stream.Stream, error) {
+				next++ // supervisor calls sequentially; no lock needed
+				if next >= len(segs) {
+					return nil, errors.New("uplink exhausted")
+				}
+				return stream.FromChunks(srv.Group(), info, segs[next]), nil
+			},
+			Retry: dsms.RetryPolicy{
+				MaxAttempts: 3, Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: 7,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		im, err := newImager(cfg, org, []string{"vis"})
+		if err != nil {
+			return nil, err
+		}
+		streams, err := im.Streams(srv.Group())
+		if err != nil {
+			return nil, err
+		}
+		inj = faults.New(policy)
+		if err := srv.AddSource(inj.Wrap(srv.Group(), streams["vis"])); err != nil {
+			return nil, err
+		}
+	}
+
+	reg, err := srv.Register("vis", dsms.DeliveryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+
+	res := &ef1Result{}
+	for {
+		if _, ok := reg.NextFrame(30 * time.Second); !ok {
+			break
+		}
+		res.frames++
+	}
+	if err := reg.Err(); err != nil {
+		return nil, err
+	}
+	res.ageP95 = reg.DeliveryStats().AgeP95Seconds
+	if inj != nil {
+		offered := inj.Passed.Load() + inj.Dropped.Load()
+		if offered > 0 {
+			res.loss = float64(inj.Dropped.Load()) / float64(offered)
+		}
+	}
+	for _, hs := range srv.HubStats() {
+		res.reconnects += hs.Reconnects
+	}
+	return res, nil
+}
+
+// splitSectors cuts a pre-rendered chunk sequence into up to n contiguous
+// segments, breaking only at end-of-sector punctuation so every segment
+// carries whole sectors.
+func splitSectors(chunks []*stream.Chunk, n int) [][]*stream.Chunk {
+	var sectors [][]*stream.Chunk
+	var cur []*stream.Chunk
+	for _, c := range chunks {
+		cur = append(cur, c)
+		if c.Kind == stream.KindEndOfSector {
+			sectors = append(sectors, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		sectors = append(sectors, cur)
+	}
+	if n > len(sectors) {
+		n = len(sectors)
+	}
+	if n < 1 {
+		n = 1
+	}
+	segs := make([][]*stream.Chunk, 0, n)
+	per := (len(sectors) + n - 1) / n
+	for i := 0; i < len(sectors); i += per {
+		end := i + per
+		if end > len(sectors) {
+			end = len(sectors)
+		}
+		var seg []*stream.Chunk
+		for _, s := range sectors[i:end] {
+			seg = append(seg, s...)
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}

@@ -128,6 +128,36 @@ func (r *Registered) Err() error {
 	}
 }
 
+// QueryStatus is one query's lifecycle entry on GET /stats: whether it is
+// still running and, if not, how it ended. A pipeline terminated by a
+// recovered operator panic reports state "panicked" with the panic value
+// in Error.
+type QueryStatus struct {
+	ID    cascade.QueryID `json:"id"`
+	State string          `json:"state"` // running | finished | failed | panicked
+	Error string          `json:"error,omitempty"`
+}
+
+// Status reports the query's lifecycle state.
+func (r *Registered) Status() QueryStatus {
+	st := QueryStatus{ID: r.ID, State: "running"}
+	select {
+	case <-r.stopped:
+		switch err := r.err; {
+		case err == nil:
+			st.State = "finished"
+		case stream.IsPanic(err):
+			st.State = "panicked"
+			st.Error = err.Error()
+		default:
+			st.State = "failed"
+			st.Error = err.Error()
+		}
+	default:
+	}
+	return st
+}
+
 // OperatorStats snapshots the per-operator counters.
 func (r *Registered) OperatorStats() []OperatorStats {
 	out := make([]OperatorStats, len(r.stats))
@@ -185,6 +215,13 @@ var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // frames and PNG-encoded; point outputs append to the series buffer.
 func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 	asm := raster.NewAssembler()
+	// The frame queue must close on every exit path — encode failures,
+	// assembler errors, cancellation — or clients blocked in NextFrame hang
+	// until their wait expires on a query that is already dead. Likewise
+	// the assembler's partially accumulated sector state is discarded so an
+	// errored pipeline doesn't pin chunk memory.
+	defer r.frames.close()
+	defer asm.Discard()
 	cm, err := raster.ColormapByName(r.opts.Colormap)
 	if err != nil {
 		return err
@@ -225,7 +262,6 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 						return err
 					}
 				}
-				r.frames.close()
 				return nil
 			}
 			if c.IsData() && c.Ingest != 0 {
@@ -252,7 +288,6 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 				}
 			}
 		case <-ctx.Done():
-			r.frames.close()
 			return nil
 		}
 	}
@@ -363,17 +398,21 @@ func (b *seriesBuffer) push(p SeriesPoint) {
 	}
 }
 
-// since returns the points with absolute index >= from and the next index.
+// since returns the points with absolute index >= from and the next index
+// to poll from. The returned cursor is monotonic: it never falls below the
+// caller's from, so a polling client can feed it straight back without
+// ever re-reading points it already saw (even across the truncation
+// boundary, where a stale from past the buffer end must not snap back).
 func (b *seriesBuffer) since(from int) ([]SeriesPoint, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	end := b.base + len(b.buf)
+	if from >= end {
+		return nil, from
+	}
 	if from < b.base {
 		from = b.base
 	}
-	off := from - b.base
-	if off >= len(b.buf) {
-		return nil, b.base + len(b.buf)
-	}
-	out := append([]SeriesPoint(nil), b.buf[off:]...)
-	return out, b.base + len(b.buf)
+	out := append([]SeriesPoint(nil), b.buf[from-b.base:]...)
+	return out, end
 }

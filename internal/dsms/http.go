@@ -81,6 +81,10 @@ type QueryInfo struct {
 	Colormap  string          `json:"colormap"`
 	Operators []OperatorStats `json:"operators,omitempty"`
 	Delivery  *DeliveryStats  `json:"delivery,omitempty"`
+	// State/Error mirror the query's lifecycle entry on /stats: running,
+	// finished, failed, or panicked, with the terminal error when stopped.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
 	// PlanObserved is the plan annotated with live telemetry: predicted vs
 	// observed peak buffer, throughput, and latency percentiles per node.
 	PlanObserved string `json:"plan_observed,omitempty"`
@@ -134,6 +138,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Colormap: req.Colormap, VMin: req.VMin, VMax: req.VMax,
 	})
 	if err != nil {
+		// Admission refusals are load conditions, not client errors: 503
+		// with a Retry-After hint so well-behaved clients back off.
+		if errors.Is(err, ErrTooManyQueries) || errors.Is(err, ErrDraining) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		var syn *query.SyntaxError
 		if errors.As(err, &syn) {
 			writeErr(w, http.StatusBadRequest, err)
@@ -155,6 +166,8 @@ func (s *Server) queryInfo(r *Registered, withStats bool) QueryInfo {
 		qi.Operators = r.OperatorStats()
 		ds := r.DeliveryStats()
 		qi.Delivery = &ds
+		st := r.Status()
+		qi.State, qi.Error = st.State, st.Error
 		if obs, err := query.ExplainObserved(r.Plan, s.Catalog(), r.stats); err == nil {
 			qi.PlanObserved = obs
 		}
@@ -265,12 +278,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, out)
 }
 
-// ServerStats is the JSON form of GET /stats: per-band routing telemetry
-// plus server-level gauges.
+// ServerStats is the JSON form of GET /stats: per-band routing telemetry,
+// per-query lifecycle entries, and server-level gauges including the
+// fault-tolerance counters (recovered query panics, admission rejections,
+// drain state).
 type ServerStats struct {
-	Hubs          []HubStats `json:"hubs"`
-	Queries       int        `json:"queries"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
+	Hubs              []HubStats    `json:"hubs"`
+	Queries           int           `json:"queries"`
+	QueryStatus       []QueryStatus `json:"query_status,omitempty"`
+	QueryPanics       int64         `json:"query_panics"`
+	AdmissionRejected int64         `json:"admission_rejected"`
+	MaxQueries        int           `json:"max_queries,omitempty"`
+	Draining          bool          `json:"draining,omitempty"`
+	UptimeSeconds     float64       `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -24,12 +24,41 @@ import (
 // arriving chunk probes the tree with its bounding box, and only matching
 // subscribers receive the chunk. Punctuation goes to everyone (downstream
 // operators need it to flush state).
+// hubState is the supervision lifecycle of a band hub: live while its
+// source delivers, reconnecting while the supervisor retries a dropped
+// source, dead once the source is gone for good (ended unsupervised, or
+// the retry policy was exhausted).
+type hubState int32
+
+const (
+	hubLive hubState = iota
+	hubReconnecting
+	hubDead
+)
+
+func (st hubState) String() string {
+	switch st {
+	case hubLive:
+		return "live"
+	case hubReconnecting:
+		return "reconnecting"
+	case hubDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
 type hub struct {
 	info stream.Info
 
-	mu    sync.Mutex
-	subs  map[cascade.QueryID]*subscriber
-	index cascade.Index
+	mu     sync.Mutex
+	subs   map[cascade.QueryID]*subscriber
+	index  cascade.Index
+	closed bool // closeAll has run; late subscribers get a closed stream
+
+	// Supervision lifecycle, exported on /stats and /metrics.
+	state      atomic.Int32 // hubState
+	reconnects atomic.Int64
 
 	// Routing telemetry: chunks delivered, data chunks shed because a
 	// subscriber fell behind, total index matches, and data chunks that
@@ -124,10 +153,19 @@ func (s *subscriber) detach() {
 	})
 }
 
-// subscribe attaches a query's interest in this band.
+// subscribe attaches a query's interest in this band. After the hub has
+// closed (source ended for good), there is nothing left to deliver and
+// nobody will ever finish() a new subscriber, so late subscribers get an
+// immediately-closed stream: their pipeline sees a normal end-of-stream
+// and terminates instead of leaking.
 func (h *hub) subscribe(id cascade.QueryID, region geom.Rect) *stream.Stream {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		done := make(chan *stream.Chunk)
+		close(done)
+		return &stream.Stream{Info: h.info, C: done}
+	}
 	s := &subscriber{
 		id: id, region: region,
 		deque: newChunkDeque(h.subBudget(), &h.dropped, func(dropped int64) {
@@ -163,6 +201,7 @@ func (h *hub) unsubscribe(id cascade.QueryID) {
 // normally.
 func (h *hub) closeAll() {
 	h.mu.Lock()
+	h.closed = true
 	subs := make([]*subscriber, 0, len(h.subs))
 	for id, s := range h.subs {
 		delete(h.subs, id)
@@ -170,23 +209,28 @@ func (h *hub) closeAll() {
 		subs = append(subs, s)
 	}
 	h.mu.Unlock()
+	h.state.Store(int32(hubDead))
 	for _, s := range subs {
 		s.finish()
 	}
 }
 
-// run consumes the band stream until it closes, routing chunks.
-func (h *hub) run(ctx context.Context, src *stream.Stream) error {
-	defer h.closeAll()
+// consume routes chunks from src until the source ends or the hub is told
+// to stop. It deliberately does NOT close the subscribers: the supervisor
+// decides whether a source end means "reconnect and resume" or "dead".
+// Returns true when src closed, false when ctx or stop fired.
+func (h *hub) consume(ctx context.Context, stop <-chan struct{}, src *stream.Stream) bool {
 	for {
 		select {
 		case c, ok := <-src.C:
 			if !ok {
-				return nil
+				return true
 			}
 			h.route(c)
+		case <-stop:
+			return false
 		case <-ctx.Done():
-			return nil
+			return false
 		}
 	}
 }
@@ -231,6 +275,8 @@ func (h *hub) route(c *stream.Chunk) {
 // instrument stamping a data chunk and the hub routing it.
 type HubStats struct {
 	Band        string `json:"band"`
+	State       string `json:"state"`
+	Reconnects  int64  `json:"reconnects"`
 	Subscribers int    `json:"subscribers"`
 	Delivered   int64  `json:"delivered_chunks"`
 	Dropped     int64  `json:"dropped_chunks"`
@@ -249,6 +295,8 @@ func (h *hub) stats() HubStats {
 	age := h.age.Snapshot()
 	return HubStats{
 		Band:          h.info.Band,
+		State:         hubState(h.state.Load()).String(),
+		Reconnects:    h.reconnects.Load(),
 		Subscribers:   n,
 		Delivered:     h.delivered.Load(),
 		Dropped:       h.dropped.Load(),

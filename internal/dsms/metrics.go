@@ -40,6 +40,22 @@ func (s *Server) Collect(e *obs.Exposition) {
 	e.Gauge("geostreams_queries",
 		"Number of currently registered continuous queries.",
 		float64(len(queries)))
+	e.Counter("geostreams_query_panics_total",
+		"Query pipelines terminated by a recovered operator panic (the server kept serving).",
+		float64(s.panics.Load()))
+	e.Counter("geostreams_admission_rejected_total",
+		"Query registrations refused by the -max-queries admission limit.",
+		float64(s.rejected.Load()))
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	drainingV := 0.0
+	if draining {
+		drainingV = 1
+	}
+	e.Gauge("geostreams_draining",
+		"1 while the server is draining after Shutdown, else 0.",
+		drainingV)
 
 	for _, h := range hubs {
 		band := obs.L("band", h.info.Band)
@@ -59,6 +75,12 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Counter("geostreams_hub_unrouted_chunks_total",
 			"Data chunks that matched no subscriber region.",
 			float64(hs.Unrouted), band)
+		e.Gauge("geostreams_hub_state",
+			"Supervision state of the band's source: 0 live, 1 reconnecting, 2 dead.",
+			float64(h.state.Load()), band)
+		e.Counter("geostreams_source_reconnects_total",
+			"Successful supervised-source reconnections for this band.",
+			float64(hs.Reconnects), band)
 		e.Histogram("geostreams_hub_chunk_age_seconds",
 			"Seconds from instrument ingest to hub routing, per data chunk.",
 			h.age.Snapshot(), band)

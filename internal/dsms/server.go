@@ -2,9 +2,12 @@ package dsms
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"geostreams/internal/cascade"
@@ -13,6 +16,14 @@ import (
 	"geostreams/internal/query"
 	"geostreams/internal/stream"
 )
+
+// ErrDraining is returned by Register once Shutdown has begun: the server
+// finishes the queries it has but admits no new ones.
+var ErrDraining = errors.New("dsms: server is draining")
+
+// ErrTooManyQueries is returned (wrapped) by Register when the -max-queries
+// admission limit is reached; the HTTP layer maps it to 503 + Retry-After.
+var ErrTooManyQueries = errors.New("dsms: too many queries")
 
 // Server is the DSMS of Fig. 3. Instrument band streams are attached with
 // AddSource; continuous queries register against them, are optimized, and
@@ -24,18 +35,39 @@ type Server struct {
 	cancel context.CancelFunc
 	g      *stream.Group
 
-	mu      sync.Mutex
-	catalog map[string]stream.Info
-	hubs    map[string]*hub
-	queries map[cascade.QueryID]*Registered
-	nextID  cascade.QueryID
-	closed  bool
+	mu       sync.Mutex
+	catalog  map[string]stream.Info
+	hubs     map[string]*hub
+	queries  map[cascade.QueryID]*Registered
+	nextID   cascade.QueryID
+	closed   bool
+	draining bool
+	// maxQueries caps concurrently registered queries (0 = unlimited);
+	// pending counts Register calls past admission but not yet in queries,
+	// so concurrent registrations cannot oversubscribe the cap.
+	maxQueries int
+	pending    int
 
 	// start gates source consumption: hubs do not drain their instrument
 	// streams until Start is called, so initial queries can register
 	// before the first scan sector flows.
 	start     chan struct{}
 	startOnce sync.Once
+
+	// drain tells source supervisors to stop consuming and finish their
+	// hubs so queued chunks flush to subscribers; closed by Shutdown.
+	drain     chan struct{}
+	drainOnce sync.Once
+
+	// Fault-tolerance telemetry: query pipelines terminated by a recovered
+	// operator panic, and registrations rejected by admission control.
+	panics   atomic.Int64
+	rejected atomic.Int64
+
+	// pipelineWrap, when non-nil, interposes on every query pipeline's
+	// output stream inside the query group — the fault-injection seam the
+	// chaos tests use to place a panicking or lossy stage mid-pipeline.
+	pipelineWrap func(g *stream.Group, out *stream.Stream) *stream.Stream
 
 	// Observability: registry backing GET /metrics, lifecycle logger
 	// (nil-safe), pprof gate, and the uptime epoch.
@@ -57,6 +89,7 @@ func NewServer(ctx context.Context) *Server {
 		hubs:    make(map[string]*hub),
 		queries: make(map[cascade.QueryID]*Registered),
 		start:   make(chan struct{}),
+		drain:   make(chan struct{}),
 		started: time.Now(),
 	}
 	s.registry = obs.NewRegistry()
@@ -84,6 +117,15 @@ func (s *Server) SetDebug(on bool) {
 	s.debug = on
 }
 
+// SetMaxQueries caps the number of concurrently registered queries;
+// 0 (the default) means unlimited. Register beyond the cap fails with
+// ErrTooManyQueries, which POST /queries maps to 503 + Retry-After.
+func (s *Server) SetMaxQueries(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxQueries = n
+}
+
 // Registry exposes the server's metric registry so embedders can add their
 // own collectors alongside the built-in ones.
 func (s *Server) Registry() *obs.Registry { return s.registry }
@@ -106,33 +148,176 @@ func (s *Server) Start() {
 // inside it.
 func (s *Server) Group() *stream.Group { return s.g }
 
-// AddSource attaches one band stream; the hub starts routing immediately.
+// RetryPolicy is the supervised-source backoff schedule: exponential from
+// Base to Max with multiplicative jitter, at most MaxAttempts per outage,
+// bounded by MaxOutage of wall time. Zero fields take the defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds reconnection attempts per outage (default 8).
+	MaxAttempts int
+	// Base is the first backoff delay (default 50ms); each attempt doubles
+	// it up to Max (default 5s).
+	Base, Max time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2) so
+	// fleets of sources do not reconnect in lockstep.
+	Jitter float64
+	// MaxOutage caps one outage's total wall time (default: unbounded);
+	// when exceeded the hub is declared dead even with attempts left.
+	MaxOutage time.Duration
+	// Seed makes the jitter sequence deterministic for tests.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// delay computes the backoff before reconnection attempt n (1-based).
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	d := p.Base << uint(n-1)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// SourceSpec attaches a band stream with optional supervision: when the
+// stream ends and Reconnect is non-nil, the server retries the factory
+// under Retry instead of closing the band, so existing subscribers resume
+// delivery on the new connection without re-registering. The hub's state
+// (live → reconnecting → dead) is logged and exported on /stats and
+// /metrics.
+type SourceSpec struct {
+	// Stream is the initial connection (required).
+	Stream *stream.Stream
+	// Reconnect re-opens the band after the current stream ends; nil means
+	// unsupervised (stream end closes the band, the pre-existing AddSource
+	// behaviour).
+	Reconnect func(ctx context.Context) (*stream.Stream, error)
+	// Retry is the backoff policy for Reconnect.
+	Retry RetryPolicy
+}
+
+// AddSource attaches one band stream unsupervised; when the stream ends
+// the band ends with it.
 func (s *Server) AddSource(src *stream.Stream) error {
+	return s.AddSourceSpec(SourceSpec{Stream: src})
+}
+
+// AddSourceSpec attaches one band stream, optionally supervised (see
+// SourceSpec).
+func (s *Server) AddSourceSpec(spec SourceSpec) error {
+	if spec.Stream == nil {
+		return fmt.Errorf("dsms: SourceSpec requires an initial Stream")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("dsms: server is shut down")
 	}
-	band := src.Info.Band
+	band := spec.Stream.Info.Band
 	if _, dup := s.hubs[band]; dup {
 		return fmt.Errorf("dsms: band %q already attached", band)
 	}
-	if err := src.Info.Validate(); err != nil {
+	if err := spec.Stream.Info.Validate(); err != nil {
 		return err
 	}
-	h := newHub(src.Info, s.log)
+	h := newHub(spec.Stream.Info, s.log)
 	s.hubs[band] = h
-	s.catalog[band] = src.Info
-	s.log.Info("source attached", "band", band, "organization", src.Info.Org.String())
+	s.catalog[band] = spec.Stream.Info
+	s.log.Info("source attached", "band", band,
+		"organization", spec.Stream.Info.Org.String(),
+		"supervised", spec.Reconnect != nil)
 	s.g.Go(func(ctx context.Context) error {
 		select {
 		case <-s.start:
+		case <-s.drain:
+			h.closeAll()
+			return nil
 		case <-ctx.Done():
 			return nil
 		}
-		return h.run(ctx, src)
+		return s.supervise(ctx, h, spec)
 	})
 	return nil
+}
+
+// supervise runs one band's source until it is dead: consume the current
+// stream; on stream end, either close the band (unsupervised) or retry the
+// Reconnect factory under the backoff policy, resuming the same hub — and
+// its subscribers — on success.
+func (s *Server) supervise(ctx context.Context, h *hub, spec SourceSpec) error {
+	defer h.closeAll()
+	log := s.logger().With("band", h.info.Band)
+	policy := spec.Retry.withDefaults()
+	rng := rand.New(rand.NewSource(policy.Seed))
+	src := spec.Stream
+	for {
+		if !h.consume(ctx, s.drain, src) {
+			// Server shutdown or drain: not a source fault.
+			return nil
+		}
+		if spec.Reconnect == nil {
+			log.Info("source ended", "state", hubDead.String())
+			return nil
+		}
+		// The source dropped: reconnect with backoff.
+		h.state.Store(int32(hubReconnecting))
+		log.Warn("source dropped, reconnecting", "state", hubReconnecting.String())
+		outageStart := time.Now()
+		reconnected := false
+		for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+			d := policy.delay(attempt, rng)
+			if policy.MaxOutage > 0 && time.Since(outageStart)+d > policy.MaxOutage {
+				log.Error("source outage exceeded cap",
+					"outage", time.Since(outageStart).String(),
+					"cap", policy.MaxOutage.String())
+				break
+			}
+			select {
+			case <-time.After(d):
+			case <-s.drain:
+				return nil
+			case <-ctx.Done():
+				return nil
+			}
+			ns, err := spec.Reconnect(ctx)
+			if err != nil {
+				log.Warn("reconnect attempt failed", "attempt", int64(attempt),
+					"backoff", d.String(), "error", err.Error())
+				continue
+			}
+			src = ns
+			h.reconnects.Add(1)
+			h.state.Store(int32(hubLive))
+			log.Info("source reconnected", "attempt", int64(attempt),
+				"outage", time.Since(outageStart).String(),
+				"reconnects_total", h.reconnects.Load())
+			reconnected = true
+			break
+		}
+		if !reconnected {
+			log.Error("source dead after failed reconnection",
+				"attempts", int64(policy.MaxAttempts),
+				"state", hubDead.String())
+			return nil
+		}
+	}
 }
 
 // Catalog returns a copy of the band metadata.
@@ -184,8 +369,39 @@ func (s *Server) Explain(text string) (string, error) {
 	return "-- parsed plan --\n" + naive + "-- optimized plan --\n" + optimized, nil
 }
 
+// admit reserves an admission slot or reports why registration is refused.
+// The slot is held in s.pending until release runs (after the query landed
+// in s.queries, or registration failed), so racing Register calls cannot
+// oversubscribe -max-queries.
+func (s *Server) admit() (release func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return nil, ErrDraining
+	}
+	if s.maxQueries > 0 && len(s.queries)+s.pending >= s.maxQueries {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d registered (limit %d)",
+			ErrTooManyQueries, len(s.queries)+s.pending, s.maxQueries)
+	}
+	s.pending++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.pending--
+			s.mu.Unlock()
+		})
+	}, nil
+}
+
 // Register parses, validates, optimizes, and launches a continuous query.
 func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	log := s.logger()
 	plan, err := query.Parse(text, s.bandSet())
 	if err != nil {
@@ -210,12 +426,9 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	}
 
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("dsms: server is shut down")
-	}
 	s.nextID++
 	id := s.nextID
+	wrap := s.pipelineWrap
 	s.mu.Unlock()
 
 	// Subscribe to every band the plan reads, registering each band
@@ -247,6 +460,9 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		cleanup()
 		return nil, err
 	}
+	if wrap != nil {
+		out = wrap(qg, out)
+	}
 
 	r := &Registered{
 		ID:      id,
@@ -266,18 +482,27 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	s.mu.Lock()
 	s.queries[id] = r
 	s.mu.Unlock()
+	release()
 	log.Info("query registered", "query", int64(id), "plan", query.Format(opt),
 		"bands", len(subscribed), "operators", len(stats))
 
 	// Delivery stage: assemble, encode, enqueue.
 	qg.Go(func(ctx context.Context) error { return r.deliver(ctx, out) })
 	go func() {
-		r.err = qg.Wait()
-		if r.err != nil {
-			log.Error("query pipeline failed", "query", int64(id), "error", r.err.Error())
+		err := qg.Wait()
+		var pe *stream.PanicError
+		if errors.As(err, &pe) {
+			// Panic isolation: the query died, the server did not. Count it,
+			// log the stack, and surface it as the query's terminal error.
+			s.panics.Add(1)
+			log.Error("query pipeline panicked", "query", int64(id),
+				"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+		} else if err != nil {
+			log.Error("query pipeline failed", "query", int64(id), "error", err.Error())
 		} else {
 			log.Info("query pipeline finished", "query", int64(id))
 		}
+		r.err = err
 		// The pipeline is gone (completed, failed, or cancelled): abort
 		// any still-attached hub subscriptions so their forwarders exit.
 		for _, band := range r.bands {
@@ -349,36 +574,94 @@ func (s *Server) HubStats() []HubStats {
 	return out
 }
 
+// QueryPanics reports how many query pipelines terminated on a recovered
+// operator panic.
+func (s *Server) QueryPanics() int64 { return s.panics.Load() }
+
 // ServerStats snapshots the hub telemetry plus server-level gauges.
 func (s *Server) ServerStats() ServerStats {
 	s.mu.Lock()
 	n := len(s.queries)
 	started := s.started
+	draining := s.draining
+	maxQ := s.maxQueries
 	s.mu.Unlock()
+	qs := s.Queries()
+	status := make([]QueryStatus, len(qs))
+	for i, r := range qs {
+		status[i] = r.Status()
+	}
 	return ServerStats{
-		Hubs:          s.HubStats(),
-		Queries:       n,
-		UptimeSeconds: time.Since(started).Seconds(),
+		Hubs:              s.HubStats(),
+		Queries:           n,
+		QueryStatus:       status,
+		QueryPanics:       s.panics.Load(),
+		AdmissionRejected: s.rejected.Load(),
+		MaxQueries:        maxQ,
+		Draining:          draining,
+		UptimeSeconds:     time.Since(started).Seconds(),
 	}
 }
 
-// Close shuts the server down: cancels sources, stops queries, waits.
-func (s *Server) Close() error {
+// Shutdown drains the server gracefully: no new queries are admitted, the
+// hubs finish so queued chunks flush to their subscribers, and the method
+// waits for every query pipeline to reach a terminal state — up to ctx's
+// deadline, after which everything still running is cancelled. It returns
+// nil when all queries drained, ctx.Err() when the deadline forced a hard
+// cancel.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.g.Wait() //nolint:errcheck
 		return nil
 	}
 	s.closed = true
-	ids := make([]cascade.QueryID, 0, len(s.queries))
-	for id := range s.queries {
-		ids = append(ids, id)
+	s.draining = true
+	queries := make([]*Registered, 0, len(s.queries))
+	for _, r := range s.queries {
+		queries = append(queries, r)
 	}
 	s.mu.Unlock()
-	s.log.Info("server shutting down", "queries", len(ids))
-	for _, id := range ids {
-		s.Deregister(id) //nolint:errcheck
+	s.logger().Info("server draining", "queries", len(queries))
+
+	// Stop admitting and tell every source supervisor to finish its hub:
+	// subscriber deques flush, then the query input streams close, so the
+	// pipelines run to completion and deliver their remaining frames.
+	s.drainOnce.Do(func() { close(s.drain) })
+
+	drained := true
+	for _, r := range queries {
+		select {
+		case <-r.stopped:
+		case <-ctx.Done():
+			drained = false
+		}
+		if !drained {
+			break
+		}
 	}
+
+	// Hard phase: cancel whatever is left (slow pipelines past the
+	// deadline, source generators blocked mid-send) and wait it out.
 	s.cancel()
-	return s.g.Wait()
+	for _, r := range queries {
+		<-r.stopped
+	}
+	s.g.Wait() //nolint:errcheck
+	if !drained {
+		s.logger().Warn("shutdown deadline forced cancellation")
+		return ctx.Err()
+	}
+	s.logger().Info("server drained")
+	return nil
+}
+
+// Close shuts the server down immediately: Shutdown with an already-expired
+// deadline, so queries are cancelled rather than drained.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx) //nolint:errcheck
+	return s.g.Err()
 }

@@ -104,6 +104,14 @@ func (a *Assembler) Add(c *stream.Chunk) ([]*Image, error) {
 	return nil, fmt.Errorf("raster: unknown chunk kind %v", c.Kind)
 }
 
+// Discard drops any partially accumulated sector state without rendering
+// it. Delivery calls it on every exit so an abandoned assembler — a
+// pipeline that errored mid-sector — does not pin chunk memory.
+func (a *Assembler) Discard() {
+	a.pending = make(map[geom.Timestamp][]*stream.Chunk)
+	a.order = nil
+}
+
 // Flush assembles every pending sector (stream end).
 func (a *Assembler) Flush() ([]*Image, error) {
 	var out []*Image

@@ -2,8 +2,39 @@ package stream
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a panic recovered from a pipeline stage, converted into the
+// group's terminal error so one misbehaving operator cannot take down the
+// process. Value is the recovered panic value; Stack is the goroutine stack
+// at the panic site, captured for the query's error report.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("stream: operator panic: %v", p.Value)
+}
+
+// IsPanic reports whether err carries a recovered operator panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// isCancellation reports whether err is (or wraps) a context cancellation
+// or deadline: pipeline stages returning these are unwinding cooperatively,
+// not failing, so they must not become the group error. Operators wrap
+// errors with fmt.Errorf("%s: %w", ...) in Apply/Apply2, hence errors.Is
+// rather than equality.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Group runs the goroutines of one query pipeline and collects the first
 // error. It is a minimal stdlib-only analogue of errgroup.Group: the first
@@ -13,6 +44,7 @@ type Group struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
+	mu     sync.Mutex
 	err    error
 }
 
@@ -26,14 +58,27 @@ func NewGroup(parent context.Context) *Group {
 func (g *Group) Context() context.Context { return g.ctx }
 
 // Go runs fn in a goroutine. A non-nil return becomes the group error
-// (first wins) and cancels the group.
+// (first wins) and cancels the group. A panic inside fn is recovered into a
+// *PanicError carrying the stack: the group fails like any other stage
+// error, but the process — and every other group — keeps running.
 func (g *Group) Go(fn func(ctx context.Context) error) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
-		if err := fn(g.ctx); err != nil && err != context.Canceled {
+		var err error
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					err = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+			}()
+			err = fn(g.ctx)
+		}()
+		if err != nil && !isCancellation(err) {
 			g.once.Do(func() {
+				g.mu.Lock()
 				g.err = err
+				g.mu.Unlock()
 				g.cancel()
 			})
 		}
@@ -45,8 +90,12 @@ func (g *Group) Go(fn func(ctx context.Context) error) {
 func (g *Group) Wait() error {
 	g.wg.Wait()
 	g.cancel()
-	return g.err
+	return g.Err()
 }
 
 // Err returns the first error recorded so far without waiting.
-func (g *Group) Err() error { return g.err }
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

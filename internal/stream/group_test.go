@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Panic isolation: a panicking stage becomes the group's terminal
+// *PanicError instead of killing the process, and unwinds its siblings.
+
+func TestGroupRecoversPanicIntoError(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Go(func(ctx context.Context) error {
+		panic("boom at sector 7")
+	})
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("panic must become the group error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v (%T), want *PanicError", err, err)
+	}
+	if !IsPanic(err) {
+		t.Fatal("IsPanic must recognize the recovered panic")
+	}
+	if fmt.Sprint(pe.Value) != "boom at sector 7" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom at sector 7") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}
+
+func TestGroupPanicCancelsSiblings(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Go(func(ctx context.Context) error {
+		<-ctx.Done() // healthy stage waiting for work
+		return nil
+	})
+	g.Go(func(ctx context.Context) error {
+		panic(errors.New("typed panic value"))
+	})
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case err := <-done:
+		if !IsPanic(err) {
+			t.Fatalf("Wait = %v, want panic error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panic did not cancel the sibling stage")
+	}
+}
+
+// Regression (wrapped cancellations): Apply/Apply2 wrap operator errors
+// with fmt.Errorf("%s: %w", ...), so a stage returning a wrapped
+// context.Canceled used to be recorded as the group error and deregistered
+// queries reported a spurious failure. errors.Is must see through the
+// wrapping for both Canceled and DeadlineExceeded.
+func TestGroupIgnoresWrappedCancellation(t *testing.T) {
+	for _, base := range []error{context.Canceled, context.DeadlineExceeded} {
+		g := NewGroup(context.Background())
+		g.Go(func(ctx context.Context) error {
+			return fmt.Errorf("rselect: %w", base)
+		})
+		if err := g.Wait(); err != nil {
+			t.Fatalf("wrapped %v became group error: %v", base, err)
+		}
+	}
+}
+
+func TestApplyWrappedCancellationNotAGroupError(t *testing.T) {
+	// The end-to-end form of the same bug: cancel the group while an
+	// operator is mid-Send; the operator returns ctx.Err(), Apply wraps it,
+	// and the group must still report success.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	lat := failureLattice(t)
+	src := slowSource(g, testInfo(), lat)
+	out, _, err := Apply(g, doubler{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-out.C
+	cancel()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("cancellation surfaced as failure: %v", err)
+	}
+}
