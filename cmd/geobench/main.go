@@ -38,7 +38,7 @@ type snapshot struct {
 
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick or default")
-	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, E-F1, A1..A3, P1) or 'all'")
+	expList := flag.String("exp", "all", "comma-separated experiment ids (E1..E9, F3, E-F1, E-S1, A1..A3, P1) or 'all'")
 	w := flag.Int("w", 0, "override sector width (points)")
 	h := flag.Int("h", 0, "override sector height (points)")
 	sectors := flag.Int("sectors", 0, "override sector count")

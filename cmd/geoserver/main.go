@@ -7,7 +7,7 @@
 //	geoserver [-addr :8080] [-goes] [-subsat -75]
 //	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	          [-sectors 0] [-interval 2s] [-seed 42]
-//	          [-max-queries 0] [-drain-timeout 10s]
+//	          [-max-queries 0] [-drain-timeout 10s] [-share]
 //	          [-log-format text|json] [-log-level info] [-debug]
 //
 // With -sectors 0 the instrument scans forever. -max-queries caps
@@ -15,7 +15,9 @@
 // with a Retry-After hint). On SIGINT/SIGTERM the server drains
 // gracefully: registration stops, queued chunks flush to their queries,
 // and pipelines get up to -drain-timeout to finish before being
-// cancelled. -debug mounts net/http/pprof under /debug/pprof/. Try:
+// cancelled. -share (default on) runs common subplans of concurrent
+// queries once on shared trunks; -share=false keeps every query fully
+// private. -debug mounts net/http/pprof under /debug/pprof/. Try:
 //
 //	curl localhost:8080/catalog
 //	curl -s localhost:8080/explain --get --data-urlencode \
@@ -80,6 +82,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	shareQueries := flag.Bool("share", true,
+		"shared multi-query execution: common subplans run once on shared trunks")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
 	flag.Parse()
@@ -114,6 +118,7 @@ func main() {
 	srv.SetLogger(logger)
 	srv.SetDebug(*debug)
 	srv.SetMaxQueries(*maxQueries)
+	srv.SetSharing(*shareQueries)
 	scene := sat.DefaultScene(*seed)
 	bands := []string{"vis", "nir", "ir"}
 	var im *sat.Imager

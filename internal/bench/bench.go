@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"E9", "spatio-temporal aggregate: space ∝ window × frame", E9Aggregate},
 		{"F3", "end-to-end DSMS over HTTP (architecture of Fig. 3)", F3EndToEnd},
 		{"E-F1", "delivery degradation under chunk loss and source flaps", EF1Degradation},
+		{"E-S1", "shared multi-query execution: common-subplan dedup", ES1Shared},
 	}
 }
 

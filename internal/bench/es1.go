@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"geostreams/internal/query"
+	"geostreams/internal/share"
+	"geostreams/internal/stream"
+)
+
+// ES1Shared measures shared multi-query execution (PR 4): N concurrent
+// queries whose plans overlap run the common subplans once per chunk on
+// shared trunks instead of once per query. Three workloads:
+//
+//	identical  N copies of the same NDVI query: one trunk serves them all,
+//	           so operator cost is flat in N.
+//	overlap    N NDVI queries with distinct vselect thresholds: the ndvi
+//	           prefix is one trunk, only the thresholds run per query.
+//	disjoint   N NDVI queries over distinct regions: after push-down the
+//	           restricted subplans differ, so only the band sources share.
+//
+// The cost metric is Σ BusyTime over distinct operator Stats (each shared
+// trunk counted once) divided by the number of source chunks replayed —
+// per-chunk operator cost, the quantity the sharing layer is supposed to
+// hold flat. Scalar mode builds N private pipelines over the same
+// pre-rendered chunks for the baseline.
+func ES1Shared(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-S1",
+		Title: "shared multi-query execution: common-subplan dedup",
+		Claim: "N identical queries cost one pipeline, not N; shared per-chunk operator cost stays ~flat in N",
+		Columns: []string{"org", "workload", "N", "trunks",
+			"scalar busy/chunk", "shared busy/chunk", "shared/scalar", "shared wall"},
+	}
+	ns := []int{1, 8, 64}
+	for _, org := range []stream.Organization{stream.RowByRow, stream.ImageByImage} {
+		w, err := newSharedWorkload(cfg, org)
+		if err != nil {
+			return nil, err
+		}
+		workloads := []string{"identical", "overlap", "disjoint"}
+		if org == stream.ImageByImage {
+			// The org axis only changes chunking; one workload suffices.
+			workloads = []string{"identical"}
+		}
+		for _, kind := range workloads {
+			for _, n := range ns {
+				plans, err := w.plans(kind, n)
+				if err != nil {
+					return nil, err
+				}
+				scalarBusy, _, err := runScalarSet(w, plans)
+				if err != nil {
+					return nil, err
+				}
+				sharedBusy, trunks, wall, err := runSharedSet(w, plans)
+				if err != nil {
+					return nil, err
+				}
+				chunks := float64(w.sourceChunks())
+				sc := scalarBusy.Seconds() / chunks
+				sh := sharedBusy.Seconds() / chunks
+				t.AddRow(org.String(), kind, fmtI(int64(n)), fmtI(int64(trunks)),
+					fmtDur(time.Duration(sc*1e9)), fmtDur(time.Duration(sh*1e9)),
+					fmtF(sh/sc), fmtDur(wall))
+				if org == stream.RowByRow {
+					t.SetMetric(fmt.Sprintf("%s_shared_busy_per_chunk_n%d", kind, n), sh)
+					t.SetMetric(fmt.Sprintf("%s_scalar_busy_per_chunk_n%d", kind, n), sc)
+					t.SetMetric(fmt.Sprintf("%s_trunks_n%d", kind, n), float64(trunks))
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"busy/chunk = Σ BusyTime over distinct operator stats ÷ source chunks; shared trunks count once regardless of N",
+		"identical: per-chunk shared cost must stay within 2× of N=1 (acceptance); scalar cost grows ~linearly with N",
+		"disjoint: regions differ, so after push-down only the band sources share — the honest lower bound of sharing")
+	return t, nil
+}
+
+// sharedWorkload is the pre-rendered two-band replay E-S1 runs against:
+// private and shared executions consume the same immutable chunk pointers.
+type sharedWorkload struct {
+	infos   map[string]stream.Info
+	chunks  map[string][]*stream.Chunk
+	catalog map[string]stream.Info
+}
+
+func newSharedWorkload(cfg Config, org stream.Organization) (*sharedWorkload, error) {
+	im, err := newImager(cfg, org, []string{"nir", "vis"})
+	if err != nil {
+		return nil, err
+	}
+	w := &sharedWorkload{
+		infos:  map[string]stream.Info{},
+		chunks: map[string][]*stream.Chunk{},
+		catalog: map[string]stream.Info{
+			"nir": im.Info(im.Bands[0]),
+			"vis": im.Info(im.Bands[1]),
+		},
+	}
+	for _, band := range []string{"nir", "vis"} {
+		chunks, err := replayBand(cfg, org, im.Stamp, band)
+		if err != nil {
+			return nil, err
+		}
+		w.chunks[band] = chunks
+		w.infos[band] = w.catalog[band]
+	}
+	return w, nil
+}
+
+func (w *sharedWorkload) sourceChunks() int {
+	return len(w.chunks["nir"]) + len(w.chunks["vis"])
+}
+
+// plans builds the N query plans of one workload kind, parsed, optimized,
+// and fused exactly as the DSMS registers them.
+func (w *sharedWorkload) plans(kind string, n int) ([]query.Node, error) {
+	bands := map[string]bool{"nir": true, "vis": true}
+	texts := make([]string, n)
+	for i := range texts {
+		switch kind {
+		case "identical":
+			texts[i] = "rselect(ndvi(nir, vis), rect(-121.6, 36.4, -120.4, 37.6))"
+		case "overlap":
+			texts[i] = fmt.Sprintf("vselect(ndvi(nir, vis), above(%g))", 0.1+0.01*float64(i))
+		case "disjoint":
+			x0 := -121.9 + 0.02*float64(i%32)
+			texts[i] = fmt.Sprintf("rselect(ndvi(nir, vis), rect(%g, 36.4, %g, 37.6))", x0, x0+0.9)
+		default:
+			return nil, fmt.Errorf("E-S1: unknown workload %q", kind)
+		}
+	}
+	plans := make([]query.Node, n)
+	for i, text := range texts {
+		p, err := query.Parse(text, bands)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := query.Optimize(p, w.catalog)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = query.Fuse(opt)
+	}
+	return plans, nil
+}
+
+// runScalarSet executes every plan as its own private pipeline — the
+// pre-sharing execution model — and sums operator busy time.
+func runScalarSet(w *sharedWorkload, plans []query.Node) (time.Duration, time.Duration, error) {
+	g := stream.NewGroup(context.Background())
+	var all []*stream.Stats
+	outs := make([]*stream.Stream, len(plans))
+	for i, plan := range plans {
+		sources := map[string]*stream.Stream{
+			"nir": stream.FromChunks(g, w.infos["nir"], w.chunks["nir"]),
+			"vis": stream.FromChunks(g, w.infos["vis"], w.chunks["vis"]),
+		}
+		out, stats, err := query.Build(g, plan, sources)
+		if err != nil {
+			return 0, 0, err
+		}
+		all = append(all, stats...)
+		outs[i] = out
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, out := range outs {
+		wg.Add(1)
+		go func(s *stream.Stream) {
+			defer wg.Done()
+			stream.Drain(context.Background(), s) //nolint:errcheck
+		}(out)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := g.Wait(); err != nil {
+		return 0, 0, err
+	}
+	return sumBusy(all), wall, nil
+}
+
+// runSharedSet mounts every plan onto one share.Manager over a gated chunk
+// replay: all mounts attach before the first chunk flows, so each sees the
+// whole stream. Returns deduped busy time, the trunk count at peak, and the
+// drain wall time.
+func runSharedSet(w *sharedWorkload, plans []query.Node) (time.Duration, int, time.Duration, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	m := share.NewManager(ctx, &replaySubscriber{w: w, gate: gate})
+
+	mounts := make([]*share.Mount, 0, len(plans))
+	release := func() {
+		for _, mt := range mounts {
+			mt.Release()
+		}
+	}
+	var all []*stream.Stats
+	for _, plan := range plans {
+		// E-S1 plans are fully shareable (restrictions, ndvi, vselect), so
+		// the frontier is the whole plan and the mount IS the query.
+		mt, err := m.Acquire(plan)
+		if err != nil {
+			release()
+			return 0, 0, 0, err
+		}
+		mounts = append(mounts, mt)
+		all = append(all, mt.Stats...)
+	}
+	trunks := len(m.Snapshot().Trunks)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, mt := range mounts {
+		wg.Add(1)
+		go func(s *stream.Stream) {
+			defer wg.Done()
+			stream.Drain(context.Background(), s) //nolint:errcheck
+		}(mt.Out)
+	}
+	close(gate)
+	wg.Wait()
+	wall := time.Since(start)
+	release()
+	return sumBusy(all), trunks, wall, nil
+}
+
+// sumBusy totals BusyTime over distinct stats pointers: a trunk mounted by
+// many queries contributes its operators once, matching what actually ran.
+func sumBusy(stats []*stream.Stats) time.Duration {
+	seen := map[*stream.Stats]bool{}
+	var total time.Duration
+	for _, st := range stats {
+		if st == nil || seen[st] {
+			continue
+		}
+		seen[st] = true
+		total += st.BusyTime()
+	}
+	return total
+}
+
+// replaySubscriber feeds trunks from the pre-rendered chunks, holding every
+// stream behind the gate until all mounts are attached.
+type replaySubscriber struct {
+	w    *sharedWorkload
+	gate chan struct{}
+}
+
+func (r *replaySubscriber) Subscribe(band string, g *stream.Group) (*stream.Stream, func(), error) {
+	info, ok := r.w.infos[band]
+	if !ok {
+		return nil, nil, fmt.Errorf("E-S1: unknown band %q", band)
+	}
+	chunks := r.w.chunks[band]
+	gate := r.gate
+	s := stream.Generate(g, info, func(ctx context.Context, emit func(*stream.Chunk) bool) error {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil
+		}
+		for _, c := range chunks {
+			if !emit(c) {
+				return nil
+			}
+		}
+		return nil
+	})
+	return s, func() {}, nil
+}

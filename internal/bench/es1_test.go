@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestES1ShapeSharedCostFlat is the PR 4 acceptance check: with N=64
+// identical NDVI queries mounted on one shared trunk, the per-chunk
+// operator cost stays within 2× of a single query — the trunk runs once per
+// chunk no matter how many queries tap it. The scalar baseline must not
+// enjoy that: it builds 64 private pipelines, so its total busy time grows
+// with N.
+func TestES1ShapeSharedCostFlat(t *testing.T) {
+	tbl, err := ES1Shared(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := tbl.Metrics["identical_shared_busy_per_chunk_n1"]
+	n64 := tbl.Metrics["identical_shared_busy_per_chunk_n64"]
+	if n1 <= 0 || n64 <= 0 {
+		t.Fatalf("missing shared cost metrics: n1=%v n64=%v", n1, n64)
+	}
+	if n64 > 2*n1 {
+		t.Fatalf("shared per-chunk cost at N=64 is %.3gs, more than 2x the N=1 cost %.3gs", n64, n1)
+	}
+	if trunks := tbl.Metrics["identical_trunks_n64"]; trunks != tbl.Metrics["identical_trunks_n1"] {
+		t.Fatalf("identical queries grew the trunk set: n1=%v n64=%v trunks",
+			tbl.Metrics["identical_trunks_n1"], trunks)
+	}
+	// The scalar baseline pays per query: N=64 must cost well over 2× N=1
+	// per chunk, otherwise the comparison above is vacuous.
+	s1 := tbl.Metrics["identical_scalar_busy_per_chunk_n1"]
+	s64 := tbl.Metrics["identical_scalar_busy_per_chunk_n64"]
+	if s64 < 4*s1 {
+		t.Fatalf("scalar baseline barely grew (n1=%.3gs n64=%.3gs); workload too small to exercise sharing", s1, s64)
+	}
+	// Overlapping thresholds share the ndvi prefix: trunk count grows with
+	// N (one vselect trunk each) but stays above 1 shared prefix.
+	if tr := tbl.Metrics["overlap_trunks_n8"]; tr <= 1 {
+		t.Fatalf("overlap workload reports %v trunks at N=8, want >1 (distinct suffixes)", tr)
+	}
+}

@@ -226,7 +226,7 @@ type sectorState struct {
 	// sector; every emitted row carries it.
 	ingest int64
 	plan   *resamplePlan
-	rows [][]float64 // source rows, indexed by sector row; nil = absent/freed
+	rows   [][]float64 // source rows, indexed by sector row; nil = absent/freed
 	// owned marks rows whose storage belongs to this operator; rows
 	// aliased from a chunk's storage must be copied before any merge
 	// write (chunks are immutable by contract).

@@ -61,12 +61,18 @@ type Registered struct {
 	Plan query.Node
 	Info stream.Info
 
-	opts    DeliveryOptions
-	stats   []*stream.Stats
-	deliv   *deliveryStats
-	group   *stream.Group
-	server  *Server
+	opts   DeliveryOptions
+	stats  []*stream.Stats
+	deliv  *deliveryStats
+	group  *stream.Group
+	server *Server
+	// bands are this query's private hub subscriptions (empty under shared
+	// execution, where trunks own the subscriptions); shared lists the
+	// digests of the trunks the query mounts; detach disconnects the query
+	// from the data plane either way (idempotent).
 	bands   []string
+	shared  []string
+	detach  func()
 	frames  *frameQueue
 	series  *seriesBuffer
 	stopped chan struct{}
@@ -107,11 +113,11 @@ type DeliveryStats struct {
 func (r *Registered) DeliveryStats() DeliveryStats {
 	age := r.deliv.age.Snapshot()
 	return DeliveryStats{
-		Frames:       r.deliv.frames.Load(),
-		FrameBytes:   r.deliv.frameBytes.Load(),
-		SeriesPoints: r.deliv.seriesPoints.Load(),
-		ShedFrames:   r.frames.shedCount(),
-		AgeSamples:   age.Count,
+		Frames:        r.deliv.frames.Load(),
+		FrameBytes:    r.deliv.frameBytes.Load(),
+		SeriesPoints:  r.deliv.seriesPoints.Load(),
+		ShedFrames:    r.frames.shedCount(),
+		AgeSamples:    age.Count,
 		AgeP50Seconds: age.Quantile(0.5),
 		AgeP95Seconds: age.Quantile(0.95),
 		AgeP99Seconds: age.Quantile(0.99),
@@ -136,11 +142,14 @@ type QueryStatus struct {
 	ID    cascade.QueryID `json:"id"`
 	State string          `json:"state"` // running | finished | failed | panicked
 	Error string          `json:"error,omitempty"`
+	// SharedTrunks lists the trunk digests this query mounts under shared
+	// execution; empty for private pipelines.
+	SharedTrunks []string `json:"shared_trunks,omitempty"`
 }
 
 // Status reports the query's lifecycle state.
 func (r *Registered) Status() QueryStatus {
-	st := QueryStatus{ID: r.ID, State: "running"}
+	st := QueryStatus{ID: r.ID, State: "running", SharedTrunks: r.shared}
 	select {
 	case <-r.stopped:
 		switch err := r.err; {

@@ -415,11 +415,11 @@ func TestSeriesBufferCursorMonotonic(t *testing.T) {
 		wantN    int
 		wantNext int
 	}{
-		{0, 3, 5},  // truncated prefix: snap forward to base, deliver all
-		{2, 3, 5},  // exactly at base
-		{4, 1, 5},  // mid-buffer
-		{5, 0, 5},  // caught up
-		{7, 0, 7},  // past the end (pre-fix: next = 5 < from → re-reads)
+		{0, 3, 5},   // truncated prefix: snap forward to base, deliver all
+		{2, 3, 5},   // exactly at base
+		{4, 1, 5},   // mid-buffer
+		{5, 0, 5},   // caught up
+		{7, 0, 7},   // past the end (pre-fix: next = 5 < from → re-reads)
 		{99, 0, 99}, // far past the end stays put
 	}
 	for _, tc := range cases {

@@ -11,6 +11,7 @@ import (
 
 	"geostreams/internal/cascade"
 	"geostreams/internal/query"
+	"geostreams/internal/share"
 )
 
 // The HTTP layer of Fig. 3: "user queries, which are converted by the
@@ -283,14 +284,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // fault-tolerance counters (recovered query panics, admission rejections,
 // drain state).
 type ServerStats struct {
-	Hubs              []HubStats    `json:"hubs"`
-	Queries           int           `json:"queries"`
-	QueryStatus       []QueryStatus `json:"query_status,omitempty"`
-	QueryPanics       int64         `json:"query_panics"`
-	AdmissionRejected int64         `json:"admission_rejected"`
-	MaxQueries        int           `json:"max_queries,omitempty"`
-	Draining          bool          `json:"draining,omitempty"`
-	UptimeSeconds     float64       `json:"uptime_seconds"`
+	Hubs              []HubStats      `json:"hubs"`
+	Queries           int             `json:"queries"`
+	QueryStatus       []QueryStatus   `json:"query_status,omitempty"`
+	QueryPanics       int64           `json:"query_panics"`
+	AdmissionRejected int64           `json:"admission_rejected"`
+	MaxQueries        int             `json:"max_queries,omitempty"`
+	Draining          bool            `json:"draining,omitempty"`
+	UptimeSeconds     float64         `json:"uptime_seconds"`
+	Shared            *share.Snapshot `json:"shared,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

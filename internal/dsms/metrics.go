@@ -57,6 +57,38 @@ func (s *Server) Collect(e *obs.Exposition) {
 		"1 while the server is draining after Shutdown, else 0.",
 		drainingV)
 
+	if m := s.sharingManager(); m != nil {
+		snap := m.Snapshot()
+		taps := 0
+		for _, tr := range snap.Trunks {
+			taps += tr.Taps
+		}
+		e.Gauge("geostreams_shared_trunks",
+			"Shared subplan trunks currently running.",
+			float64(len(snap.Trunks)))
+		e.Gauge("geostreams_shared_taps",
+			"Subscriber taps currently attached across all shared trunks.",
+			float64(taps))
+		e.Counter("geostreams_shared_trunks_created_total",
+			"Shared trunks built since the server started.",
+			float64(snap.Created))
+		e.Counter("geostreams_shared_trunk_reuses_total",
+			"Trunk acquisitions satisfied by an already-running trunk instead of a new pipeline.",
+			float64(snap.Reused))
+		e.Counter("geostreams_shared_trunk_panics_total",
+			"Shared trunks torn down by a recovered operator panic (dependents ended cleanly).",
+			float64(snap.Panicked))
+		for _, tr := range snap.Trunks {
+			sig := obs.L("sig", tr.Short)
+			e.Gauge("geostreams_shared_trunk_refs",
+				"References (mounts and parent trunks) held on this trunk.",
+				float64(tr.Refs), sig)
+			e.Counter("geostreams_shared_trunk_delivered_chunks_total",
+				"Chunks fanned out to this trunk's taps.",
+				float64(tr.Delivered), sig)
+		}
+	}
+
 	for _, h := range hubs {
 		band := obs.L("band", h.info.Band)
 		hs := h.stats()

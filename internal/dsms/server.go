@@ -14,6 +14,7 @@ import (
 	"geostreams/internal/exec"
 	"geostreams/internal/obs"
 	"geostreams/internal/query"
+	"geostreams/internal/share"
 	"geostreams/internal/stream"
 )
 
@@ -63,6 +64,11 @@ type Server struct {
 	// operator panic, and registrations rejected by admission control.
 	panics   atomic.Int64
 	rejected atomic.Int64
+
+	// sharing, when non-nil, is the shared-trunk DAG queries mount onto
+	// instead of building private duplicates of common subplans. Enabled
+	// with SetSharing; nil keeps the fully private per-query pipelines.
+	sharing *share.Manager
 
 	// pipelineWrap, when non-nil, interposes on every query pipeline's
 	// output stream inside the query group — the fault-injection seam the
@@ -362,7 +368,13 @@ func (s *Server) Explain(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	optimized, err := query.Explain(fused, catalog)
+	// With sharing enabled, mark the operators that would run on shared
+	// trunks with the digest of the trunk they mount under.
+	var annotate func(query.Node) string
+	if s.sharingManager() != nil {
+		annotate = shareAnnotator(fused)
+	}
+	optimized, err := query.ExplainAnnotated(fused, catalog, annotate)
 	if err != nil {
 		return "", err
 	}
@@ -429,36 +441,58 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	s.nextID++
 	id := s.nextID
 	wrap := s.pipelineWrap
-	s.mu.Unlock()
-
-	// Subscribe to every band the plan reads, registering each band
-	// interest in the hub's cascade tree.
-	interests := query.Interests(opt)
-	sources := make(map[string]*stream.Stream, len(interests))
-	subscribed := make([]string, 0, len(interests))
-	cleanup := func() {
-		for _, band := range subscribed {
-			s.hubs[band].unsubscribe(id)
-		}
-	}
-	s.mu.Lock()
-	for band, rect := range interests {
-		h, ok := s.hubs[band]
-		if !ok {
-			s.mu.Unlock()
-			cleanup()
-			return nil, fmt.Errorf("dsms: no source for band %q", band)
-		}
-		sources[band] = h.subscribe(id, rect)
-		subscribed = append(subscribed, band)
-	}
+	sharing := s.sharing
 	s.mu.Unlock()
 
 	qg := stream.NewGroup(s.ctx)
-	out, stats, err := query.Build(qg, opt, sources)
-	if err != nil {
-		cleanup()
-		return nil, err
+	var (
+		out        *stream.Stream
+		stats      []*stream.Stats
+		detach     func()
+		subscribed []string
+		shared     []string
+	)
+	if sharing != nil {
+		// Shared execution: mount the plan's shareable frontier onto the
+		// trunk DAG and build only the private suffix. Sources feed the
+		// trunks; this query holds no hub subscriptions of its own.
+		out, stats, shared, detach, err = s.buildShared(qg, opt, sharing)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Private execution: subscribe to every band the plan reads,
+		// registering each band interest in the hub's cascade tree.
+		interests := query.Interests(opt)
+		sources := make(map[string]*stream.Stream, len(interests))
+		detach = func() {
+			for _, band := range subscribed {
+				s.mu.Lock()
+				h := s.hubs[band]
+				s.mu.Unlock()
+				if h != nil {
+					h.unsubscribe(id)
+				}
+			}
+		}
+		s.mu.Lock()
+		for band, rect := range interests {
+			h, ok := s.hubs[band]
+			if !ok {
+				s.mu.Unlock()
+				detach()
+				return nil, fmt.Errorf("dsms: no source for band %q", band)
+			}
+			sources[band] = h.subscribe(id, rect)
+			subscribed = append(subscribed, band)
+		}
+		s.mu.Unlock()
+
+		out, stats, err = query.Build(qg, opt, sources)
+		if err != nil {
+			detach()
+			return nil, err
+		}
 	}
 	if wrap != nil {
 		out = wrap(qg, out)
@@ -475,6 +509,8 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		group:   qg,
 		server:  s,
 		bands:   subscribed,
+		shared:  shared,
+		detach:  detach,
 		frames:  newFrameQueue(8),
 		series:  newSeriesBuffer(4096),
 		stopped: make(chan struct{}),
@@ -484,7 +520,8 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	s.mu.Unlock()
 	release()
 	log.Info("query registered", "query", int64(id), "plan", query.Format(opt),
-		"bands", len(subscribed), "operators", len(stats))
+		"bands", len(subscribed), "operators", len(stats),
+		"shared_trunks", len(shared))
 
 	// Delivery stage: assemble, encode, enqueue.
 	qg.Go(func(ctx context.Context) error { return r.deliver(ctx, out) })
@@ -503,16 +540,10 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 			log.Info("query pipeline finished", "query", int64(id))
 		}
 		r.err = err
-		// The pipeline is gone (completed, failed, or cancelled): abort
-		// any still-attached hub subscriptions so their forwarders exit.
-		for _, band := range r.bands {
-			s.mu.Lock()
-			h := s.hubs[band]
-			s.mu.Unlock()
-			if h != nil {
-				h.unsubscribe(r.ID)
-			}
-		}
+		// The pipeline is gone (completed, failed, or cancelled): detach
+		// from the data plane — abort still-attached hub subscriptions, or
+		// release the shared-trunk mounts — so nothing feeds a dead query.
+		r.detach()
 		close(r.stopped)
 	}()
 	return r, nil
@@ -530,14 +561,9 @@ func (s *Server) Deregister(id cascade.QueryID) error {
 		return fmt.Errorf("dsms: no query %d", id)
 	}
 	s.logger().Info("query deregistered", "query", int64(id))
-	for _, band := range r.bands {
-		s.mu.Lock()
-		h := s.hubs[band]
-		s.mu.Unlock()
-		if h != nil {
-			h.unsubscribe(id)
-		}
-	}
+	// Detaching closes the query's input streams (hub subscriptions or
+	// shared-trunk taps), so the pipeline ends and the wait below returns.
+	r.detach()
 	<-r.stopped
 	return nil
 }
@@ -591,7 +617,7 @@ func (s *Server) ServerStats() ServerStats {
 	for i, r := range qs {
 		status[i] = r.Status()
 	}
-	return ServerStats{
+	st := ServerStats{
 		Hubs:              s.HubStats(),
 		Queries:           n,
 		QueryStatus:       status,
@@ -601,6 +627,11 @@ func (s *Server) ServerStats() ServerStats {
 		Draining:          draining,
 		UptimeSeconds:     time.Since(started).Seconds(),
 	}
+	if m := s.sharingManager(); m != nil {
+		snap := m.Snapshot()
+		st.Shared = &snap
+	}
+	return st
 }
 
 // Shutdown drains the server gracefully: no new queries are admitted, the

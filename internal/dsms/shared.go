@@ -1,0 +1,157 @@
+package dsms
+
+import (
+	"fmt"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/query"
+	"geostreams/internal/share"
+	"geostreams/internal/stream"
+)
+
+// SetSharing toggles shared multi-query execution. With sharing on, every
+// registered query's plan is canonicalized after Optimize+Fuse and its
+// shareable frontier subtrees mount onto the server's shared-trunk DAG:
+// queries with a common prefix (identical operators and parameters, after
+// commutative normalization) run that prefix once per chunk instead of per
+// query. Off (the default for directly constructed servers; geoserver turns
+// it on) every query builds its private pipeline, the pre-sharing behavior.
+//
+// Toggling affects queries registered afterwards; running queries keep the
+// execution mode they were built with.
+func (s *Server) SetSharing(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on && s.sharing == nil {
+		s.sharing = share.NewManager(s.ctx, hubSubscriber{s})
+	} else if !on {
+		s.sharing = nil
+	}
+}
+
+func (s *Server) sharingManager() *share.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharing
+}
+
+// hubSubscriber adapts the ingest hubs to share.Subscriber: each band trunk
+// subscribes once, with a world-rect interest. The interest is deliberately
+// conservative — one trunk feeds every query sharing it, and their union of
+// regions changes as queries come and go — while exactness is preserved by
+// the trunk's own operators: any rselect in a shared prefix filters
+// bit-exactly, it just filters after routing instead of before.
+type hubSubscriber struct{ s *Server }
+
+func (hs hubSubscriber) Subscribe(band string, _ *stream.Group) (*stream.Stream, func(), error) {
+	s := hs.s
+	s.mu.Lock()
+	h, ok := s.hubs[band]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("dsms: no source for band %q", band)
+	}
+	s.nextID++
+	id := s.nextID
+	st := h.subscribe(id, geom.WorldRect())
+	s.mu.Unlock()
+	return st, func() { h.unsubscribe(id) }, nil
+}
+
+// buildShared wires one query the shared way: acquire a mount per shareable
+// frontier subtree, then build only the private suffix operators on top of
+// the mounted streams. Every band source lies inside some frontier subtree
+// (sources are shareable leaves), so the query makes no private hub
+// subscriptions at all. Returns the output stream, the merged stats, the
+// mounted trunk digests, and the detach that releases every mount.
+func (s *Server) buildShared(qg *stream.Group, plan query.Node, m *share.Manager) (*stream.Stream, []*stream.Stats, []string, func(), error) {
+	roots := query.ShareFrontier(plan)
+	mounts := make(map[query.Node]*share.Mount, len(roots))
+	release := func() {
+		for _, mt := range mounts {
+			mt.Release()
+		}
+		// Releasing a mount detaches its tap but leaves the tap channel open
+		// (the trunk keeps feeding its other subscribers), so the private
+		// suffix and delivery stage reading it would block forever. Cancel
+		// the query group to unwind them; a no-op when the group already
+		// finished (the post-Wait detach).
+		qg.Cancel()
+	}
+	sigs := make([]string, 0, len(roots))
+	pre := make(map[query.Node]*stream.Stream, len(roots))
+	for _, root := range roots {
+		mt, err := m.Acquire(root)
+		if err != nil {
+			release()
+			return nil, nil, nil, nil, err
+		}
+		mounts[root] = mt
+		sigs = append(sigs, mt.Short)
+		pre[root] = mt.Out
+	}
+	out, suffix, err := query.BuildPartial(qg, plan, nil, pre)
+	if err != nil {
+		release()
+		return nil, nil, nil, nil, err
+	}
+	return out, mergeShareStats(plan, mounts, suffix), sigs, release, nil
+}
+
+// mergeShareStats interleaves trunk stats and private-suffix stats into the
+// post-order query.Build would have produced for a fully private pipeline,
+// so ExplainObserved's node pairing keeps working on shared queries. Mount
+// stats follow the trunk's node graph, which dedups structurally equal
+// subtrees the plan holds as distinct pointers; in that rare shape the
+// pairing degrades gracefully (trailing operators lose their observed
+// columns) rather than misreporting.
+func mergeShareStats(plan query.Node, mounts map[query.Node]*share.Mount, suffix []*stream.Stats) []*stream.Stats {
+	var out []*stream.Stats
+	seen := map[query.Node]bool{}
+	si := 0
+	var walk func(n query.Node)
+	walk = func(n query.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if mt, ok := mounts[n]; ok {
+			out = append(out, mt.Stats...)
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+		if _, isSource := n.(*query.Source); isSource {
+			return
+		}
+		if si < len(suffix) {
+			out = append(out, suffix[si])
+			si++
+		}
+	}
+	walk(plan)
+	return out
+}
+
+// shareAnnotator returns the ExplainAnnotated hook marking every operator
+// that would run on (or below) a shared trunk with the digest of the trunk
+// it mounts under.
+func shareAnnotator(plan query.Node) func(query.Node) string {
+	tags := map[query.Node]string{}
+	for _, root := range query.ShareFrontier(plan) {
+		short := query.ShortSig(root)
+		var mark func(query.Node)
+		mark = func(n query.Node) {
+			if _, ok := tags[n]; ok {
+				return
+			}
+			tags[n] = "[shared " + short + "]"
+			for _, c := range n.Children() {
+				mark(c)
+			}
+		}
+		mark(root)
+	}
+	return func(n query.Node) string { return tags[n] }
+}

@@ -1,0 +1,248 @@
+package dsms
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geostreams/internal/faults"
+	"geostreams/internal/stream"
+)
+
+// startSharedServer is startServer with shared multi-query execution on.
+func startSharedServer(t *testing.T, sectors int) (*Server, func()) {
+	t.Helper()
+	s, stop := startServer(t, sectors)
+	s.SetSharing(true)
+	return s, stop
+}
+
+// TestSharedIdenticalQueriesShareTrunkAndSource: two identical queries run
+// one trunk, and the band hub carries one subscription (the trunk's), not
+// one per query.
+func TestSharedIdenticalQueriesShareTrunkAndSource(t *testing.T) {
+	s, stop := startSharedServer(t, 3)
+	defer stop()
+	const q = "rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))"
+
+	r1, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Status().SharedTrunks) == 0 || len(r2.Status().SharedTrunks) == 0 {
+		t.Fatal("shared queries report no shared trunks")
+	}
+	if r1.Status().SharedTrunks[0] != r2.Status().SharedTrunks[0] {
+		t.Fatalf("identical queries mounted different trunks: %v vs %v",
+			r1.Status().SharedTrunks, r2.Status().SharedTrunks)
+	}
+	st := s.ServerStats()
+	if st.Shared == nil {
+		t.Fatal("ServerStats.Shared is nil with sharing enabled")
+	}
+	if st.Shared.Reused == 0 {
+		t.Fatalf("second identical query did not reuse the trunk: %+v", *st.Shared)
+	}
+	for _, h := range st.Hubs {
+		if h.Band == "vis" && h.Subscribers != 1 {
+			t.Fatalf("vis hub has %d subscribers, want 1 (the shared trunk)", h.Subscribers)
+		}
+	}
+
+	// Both queries still deliver full frame sequences.
+	s.Start()
+	for _, r := range []*Registered{r1, r2} {
+		got := 0
+		for {
+			if _, ok := r.NextFrame(5 * time.Second); !ok {
+				break
+			}
+			got++
+		}
+		if got != 3 {
+			t.Fatalf("query %d received %d frames, want 3", r.ID, got)
+		}
+		if r.Err() != nil {
+			t.Fatalf("query %d error: %v", r.ID, r.Err())
+		}
+	}
+}
+
+// TestSharedCommutativeTrunks: A+B and B+A share one trunk; A−B and B−A
+// must not.
+func TestSharedCommutativeTrunks(t *testing.T) {
+	s, stop := startSharedServer(t, 2)
+	defer stop()
+
+	add1, err := s.Register("(nir + vis)", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add2, err := s.Register("(vis + nir)", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := add1.Status().SharedTrunks, add2.Status().SharedTrunks; a[0] != b[0] {
+		t.Fatalf("A+B and B+A mounted different trunks: %v vs %v", a, b)
+	}
+	sub1, err := s.Register("(nir - vis)", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := s.Register("(vis - nir)", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := sub1.Status().SharedTrunks, sub2.Status().SharedTrunks; a[0] == b[0] {
+		t.Fatalf("A-B and B-A mounted the same trunk %v", a)
+	}
+}
+
+// TestSharedSuffixPanicIsolation: a panic in one query's private stage
+// kills that query only — its co-mounted twin keeps its trunk and delivers
+// every frame, and no shared trunk dies.
+func TestSharedSuffixPanicIsolation(t *testing.T) {
+	s, stop := startSharedServer(t, 3)
+	defer stop()
+	const q = "rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))"
+
+	victim, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm the fault-injection seam for the next registration only: its
+	// private delivery feed panics on the second chunk.
+	var armed atomic.Bool
+	armed.Store(true)
+	s.mu.Lock()
+	s.pipelineWrap = func(g *stream.Group, out *stream.Stream) *stream.Stream {
+		if !armed.Swap(false) {
+			return out
+		}
+		return faults.Wrap(g, out, faults.Policy{PanicAfter: 2})
+	}
+	s.mu.Unlock()
+	_ = victim
+
+	doomed, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor := victim
+	s.Start()
+
+	got := 0
+	for {
+		if _, ok := survivor.NextFrame(5 * time.Second); !ok {
+			break
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("survivor received %d frames, want 3", got)
+	}
+	if survivor.Err() != nil {
+		t.Fatalf("survivor failed: %v", survivor.Err())
+	}
+
+	<-doomed.stopped
+	if doomed.Err() == nil || !stream.IsPanic(doomed.Err()) {
+		t.Fatalf("doomed query error = %v, want panic", doomed.Err())
+	}
+	st := s.ServerStats()
+	if st.Shared.Panicked != 0 {
+		t.Fatalf("a shared trunk died (%d); the panic was in a private suffix", st.Shared.Panicked)
+	}
+	if st.QueryPanics != 1 {
+		t.Fatalf("QueryPanics = %d, want 1", st.QueryPanics)
+	}
+}
+
+// TestSharedDeregisterReleasesTrunks: deregistering every query tears the
+// trunk DAG down to empty, including the hub subscriptions the trunks held.
+func TestSharedDeregisterReleasesTrunks(t *testing.T) {
+	s, stop := startSharedServer(t, 2)
+	defer stop()
+	const q = "vselect(ndvi(nir, vis), above(0.2))"
+
+	r1, err := s.Register(q, DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Register(q, DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.ServerStats().Shared.Trunks); n == 0 {
+		t.Fatal("no trunks running before deregistration")
+	}
+	if err := s.Deregister(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.ServerStats().Shared.Trunks); n == 0 {
+		t.Fatal("trunks torn down while a query still references them")
+	}
+	if err := s.Deregister(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.ServerStats().Shared.Trunks); n != 0 {
+		t.Fatalf("%d trunks still running after all queries deregistered", n)
+	}
+	for _, h := range s.ServerStats().Hubs {
+		if h.Subscribers != 0 {
+			t.Fatalf("band %s still has %d subscribers after trunk teardown", h.Band, h.Subscribers)
+		}
+	}
+}
+
+// TestSharedStretchStaysPrivate: the stretch stage must not appear on a
+// trunk — only the subtree below it is shared — and the query still
+// delivers frames.
+func TestSharedStretchStaysPrivate(t *testing.T) {
+	s, stop := startSharedServer(t, 2)
+	defer stop()
+
+	r, err := s.Register(
+		"stretch(rselect(ndvi(nir, vis), rect(-121.6, 36.4, -120.4, 37.6)), linear, 0, 255)",
+		DeliveryOptions{Colormap: "ndvi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.Status().SharedTrunks); n != 1 {
+		t.Fatalf("stretch query mounts %d trunks, want 1 (the subtree below stretch)", n)
+	}
+	for _, tr := range s.ServerStats().Shared.Trunks {
+		if strings.HasPrefix(tr.Label, "stretch") {
+			t.Fatalf("a stretch operator is running on a shared trunk: %s", tr.Label)
+		}
+	}
+	s.Start()
+	got := 0
+	for {
+		if _, ok := r.NextFrame(5 * time.Second); !ok {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("received %d frames, want 2", got)
+	}
+}
+
+// TestSharedExplainAnnotates: EXPLAIN marks trunk-mounted operators.
+func TestSharedExplainAnnotates(t *testing.T) {
+	s, stop := startSharedServer(t, 2)
+	defer stop()
+	out, err := s.Explain("vselect(ndvi(nir, vis), above(0.2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[shared ") {
+		t.Fatalf("EXPLAIN output has no shared annotations:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+// runFingerprint executes a plan (optionally rewritten) over the standard
+// deterministic workload and returns its bit-exact output fingerprint.
+func runFingerprint(t *testing.T, plan Node, rewrite func(Node, map[string]stream.Info) (Node, error)) (Fingerprint, error) {
+	t.Helper()
+	g := stream.NewGroup(context.Background())
+	scene := sat.DefaultScene(99)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 20, 14, scene,
+		[]string{"nir", "vis"}, stream.RowByRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources, err := im.Streams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]stream.Info{
+		"nir": im.Info(im.Bands[0]),
+		"vis": im.Info(im.Bands[1]),
+	}
+	if rewrite != nil {
+		if plan, err = rewrite(plan, catalog); err != nil {
+			return Fingerprint{}, err
+		}
+	}
+	if err := Validate(plan, catalog); err != nil {
+		return Fingerprint{}, err
+	}
+	used := Bands(plan)
+	for band, s := range sources {
+		if used[band] == 0 {
+			go stream.Drain(context.Background(), s) //nolint:errcheck
+		}
+	}
+	out, _, err := Build(g, plan, sources)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	chunks, err := stream.Collect(context.Background(), out)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	if err := g.Wait(); err != nil {
+		return Fingerprint{}, err
+	}
+	return FingerprintChunks(chunks), nil
+}
+
+// TestRewriteEquivalenceBitExact is the algebraic half of the equivalence
+// harness: for random plans, the full rewrite chain (Optimize then Fuse)
+// produces the bit-identical fingerprint of the naive plan — same points,
+// same value bits, same punctuation. Unlike the tolerance-based optimizer
+// property test, this admits no epsilon: the §3.4 rewrites and point-wise
+// fusion reorder operators, never arithmetic.
+func TestRewriteEquivalenceBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(20060328))
+	trials := 60
+	if testing.Short() {
+		trials = 8
+	}
+	full := func(n Node, catalog map[string]stream.Info) (Node, error) {
+		opt, err := Optimize(n, catalog)
+		if err != nil {
+			return nil, err
+		}
+		return Fuse(opt), nil
+	}
+	for i := 0; i < trials; i++ {
+		q := RandPlanText(rng, false)
+		naive, err := runFingerprint(t, mustParse(t, q), nil)
+		if err != nil {
+			t.Fatalf("trial %d: naive run of %q: %v", i, q, err)
+		}
+		rewritten, err := runFingerprint(t, mustParse(t, q), full)
+		if err != nil {
+			t.Fatalf("trial %d: rewritten run of %q: %v", i, q, err)
+		}
+		if d := naive.Diff(rewritten, "naive", "optimized+fused"); d != "" {
+			t.Fatalf("trial %d: %q\n%s", i, q, d)
+		}
+	}
+}
+
+// TestSignatureEqualPlansBitExact: plans the signature normalizer deems
+// equal (commutative operand swaps, at any nesting level) really do produce
+// bit-identical output — the safety condition for mounting both on one
+// shared trunk.
+func TestSignatureEqualPlansBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	swaps := [][2]string{
+		{"nir + vis", "vis + nir"},
+		{"nir * vis", "vis * nir"},
+		{"sup(nir, vis)", "sup(vis, nir)"},
+		{"inf(nir, vis)", "inf(vis, nir)"},
+		{"scale((nir + vis) * (nir - vis), 2, 1)", "scale((nir - vis) * (nir + vis), 2, 1)"},
+	}
+	// Plus generated pairs: wrap a commutative composition both ways in the
+	// same random unary pipeline.
+	for i := 0; i < 10; i++ {
+		suffix := RandPlanText(rng, false)
+		ab := strings.Replace(suffix, "nir", "(nir + vis)", 1)
+		ba := strings.Replace(suffix, "nir", "(vis + nir)", 1)
+		if ab != ba { // suffix contained "nir"; otherwise skip
+			swaps = append(swaps, [2]string{ab, ba})
+		}
+	}
+	for i, pair := range swaps {
+		a, b := mustParse(t, pair[0]), mustParse(t, pair[1])
+		if Signature(a) != Signature(b) {
+			t.Fatalf("pair %d: %q and %q should have equal signatures", i, pair[0], pair[1])
+		}
+		fa, err := runFingerprint(t, a, nil)
+		if err != nil {
+			t.Fatalf("pair %d: %q: %v", i, pair[0], err)
+		}
+		fb, err := runFingerprint(t, b, nil)
+		if err != nil {
+			t.Fatalf("pair %d: %q: %v", i, pair[1], err)
+		}
+		if d := fa.Diff(fb, pair[0], pair[1]); d != "" {
+			t.Fatalf("pair %d: signature-equal plans diverge:\n%s", i, d)
+		}
+	}
+}

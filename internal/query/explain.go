@@ -138,6 +138,14 @@ func Validate(n Node, catalog map[string]stream.Info) error {
 // the §3 cost model: the operator, its output stream type, its space
 // complexity class, and the predicted peak buffer.
 func Explain(n Node, catalog map[string]stream.Info) (string, error) {
+	return ExplainAnnotated(n, catalog, nil)
+}
+
+// ExplainAnnotated is Explain with a per-node annotation hook: whatever
+// `annotate` returns for a node is appended to that node's line. The DSMS
+// uses it to mark operators mounted on shared trunks with their signature
+// digest. A nil annotate renders plain Explain output.
+func ExplainAnnotated(n Node, catalog map[string]stream.Info, annotate func(Node) string) (string, error) {
 	var b strings.Builder
 	var walk func(n Node, depth int) error
 	walk = func(n Node, depth int) error {
@@ -151,6 +159,12 @@ func Explain(n Node, catalog map[string]stream.Info) (string, error) {
 			fmt.Fprintf(&b, "  space=%s", est.Class)
 			if est.BufferPoints > 0 {
 				fmt.Fprintf(&b, " (~%d pts)", est.BufferPoints)
+			}
+		}
+		if annotate != nil {
+			if a := annotate(n); a != "" {
+				b.WriteString("  ")
+				b.WriteString(a)
 			}
 		}
 		b.WriteByte('\n')

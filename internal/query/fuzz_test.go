@@ -1,0 +1,66 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse asserts two invariants over arbitrary query text:
+//
+//  1. The parser never panics — it returns a plan or a *SyntaxError, even
+//     for adversarial input (deep nesting, truncated calls, weird floats).
+//  2. Accepted plans round-trip: Render(Parse(q)) reparses to a plan with
+//     the same structure. Plans the surface language cannot express
+//     (non-finite folded constants, for instance) return ErrNotRenderable
+//     and are exempt from the round trip, never from the no-panic rule.
+//
+// Seed corpus lives in testdata/fuzz/FuzzParse, drawn from the examples.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"ndvi(nir, vis)",
+		"rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))",
+		"stretch(rselect(ndvi(nir, vis), rect(-121.6, 36.4, -120.4, 37.6)), linear, 0, 255)",
+		"vselect(ndvi(nir, vis), above(0.4))",
+		"agg_r(ndvi(nir, vis), mean, rect(-121.5, 36.5, -120.5, 37.5))",
+		"zoomin(rselect(vis, rect(-121.2, 36.8, -120.8, 37.2)), 2)",
+		"zoomout(vis, 4)",
+		"stretch(ir, linear, 0, 255)",
+		"agg_t(tselect(nir, interval(0, 100)), max, 4)",
+		"gaussfilter(boxfilter(vis, 3), 5, 1.5)",
+		"sup(nir, inf(vis, ir))",
+		"reproject(gradient(vis), \"utm:10n\", bilinear)",
+		"rotate(rselect(vis, world()), 45)",
+		"vselect(scale(nir, 2, 1) / clamp(vis, 0, 1), range(0, 500))",
+		"tselect(vis, recurring(0, 10, 100))",
+		"tselect(vis, instants(1, 2, 3))",
+		"rselect(vis, polygon(0, 0, 1, 0, 1, 1))",
+		"threshold(gammac(vis, 2.2, 0, 255), 0.5, 0, 1)",
+		"(nir - vis) / (nir + vis)",
+		"((1 / 0) + vis)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	bands := map[string]bool{"nir": true, "vis": true, "ir": true}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src, bands)
+		if err != nil {
+			return
+		}
+		txt, err := Render(n)
+		if errors.Is(err, ErrNotRenderable) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("Render(%q): %v", src, err)
+		}
+		n2, err := Parse(txt, bands)
+		if err != nil {
+			t.Fatalf("rendered text does not reparse:\n  src:      %q\n  rendered: %q\n  err: %v", src, txt, err)
+		}
+		if Format(n) != Format(n2) {
+			t.Fatalf("round trip changed the plan:\n  src:      %q\n  rendered: %q\n  before:\n%s\n  after:\n%s",
+				src, txt, Format(n), Format(n2))
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Explain golden files")
+
+// goldenCatalog is a fixed, fully deterministic catalog: the Explain output
+// embeds the stream Info rendering, so any drift in it shows up in the diff.
+func goldenCatalog(t *testing.T) map[string]stream.Info {
+	t.Helper()
+	scene := sat.DefaultScene(42)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 24, 20, scene,
+		[]string{"vis", "nir"}, stream.RowByRow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]stream.Info{
+		"vis": im.Info(im.Bands[0]),
+		"nir": im.Info(im.Bands[1]),
+	}
+}
+
+// TestExplainGolden locks the Explain rendering — naive, optimized, fused,
+// and shared-annotated — against golden files. Regenerate intentionally with
+//
+//	go test ./internal/query/ -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	catalog := goldenCatalog(t)
+	const src = "rselect(stretch(ndvi(nir, vis), linear, 0, 255), rect(-121.6, 36.4, -120.4, 37.6))"
+	plan := mustParse(t, src)
+
+	opt, err := Optimize(plan, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(opt)
+
+	// Shared annotation: every operator inside a shareable frontier subtree
+	// is tagged with the digest of the trunk node it would mount on.
+	inTrunk := map[Node]string{}
+	for _, root := range ShareFrontier(fused) {
+		var mark func(Node)
+		mark = func(n Node) {
+			if _, ok := inTrunk[n]; ok {
+				return
+			}
+			inTrunk[n] = "[shared " + ShortSig(n) + "]"
+			for _, c := range n.Children() {
+				mark(c)
+			}
+		}
+		mark(root)
+	}
+
+	cases := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"naive", func() (string, error) { return Explain(plan, catalog) }},
+		{"optimized", func() (string, error) { return Explain(opt, catalog) }},
+		{"fused", func() (string, error) { return Explain(fused, catalog) }},
+		{"shared", func() (string, error) {
+			return ExplainAnnotated(fused, catalog, func(n Node) string { return inTrunk[n] })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("Explain %s drifted from golden file:\n--- got ---\n%s--- want ---\n%s(run with -update to accept)",
+					tc.name, got, want)
+			}
+		})
+	}
+}

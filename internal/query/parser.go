@@ -120,8 +120,14 @@ func (v argVal) asString(pos int) (string, error) {
 type parser struct {
 	toks  []token
 	i     int
+	depth int
 	bands map[string]bool
 }
+
+// maxParseDepth bounds expression nesting so adversarial input (deep paren
+// or unary-minus towers) errors out instead of exhausting the goroutine
+// stack. Real queries nest a handful of levels.
+const maxParseDepth = 200
 
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) prev() token { return p.toks[max(0, p.i-1)] }
@@ -208,6 +214,11 @@ func composeVals(l, r argVal, g valueset.Gamma, pos int) (argVal, error) {
 
 // parseFactor handles literals, identifiers, calls, parens, and unary minus.
 func (p *parser) parseFactor() (argVal, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return argVal{}, &SyntaxError{Pos: p.cur().pos, Msg: "expression nested too deeply"}
+	}
 	t := p.cur()
 	switch t.kind {
 	case tokNumber:

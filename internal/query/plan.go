@@ -17,20 +17,36 @@ import (
 // It returns the output stream and the Stats instance of every operator in
 // the pipeline, for the experiment harness and the DSMS status endpoint.
 func Build(g *stream.Group, plan Node, sources map[string]*stream.Stream) (*stream.Stream, []*stream.Stats, error) {
+	return BuildPartial(g, plan, sources, nil)
+}
+
+// BuildPartial is Build for a plan whose lower subtrees are already
+// running elsewhere: `premounted` maps plan nodes to live streams (shared
+// trunk taps), and the planner wires only the operators above them. It
+// never descends below a premounted node — neither to build operators nor
+// to demand band sources — so a query fully covered by premounted frontier
+// roots passes sources == nil. The stats slice covers only the operators
+// built here, in construction (post-)order.
+func BuildPartial(g *stream.Group, plan Node, sources map[string]*stream.Stream, premounted map[Node]*stream.Stream) (*stream.Stream, []*stream.Stats, error) {
 	p := &planner{
 		g:     g,
 		refs:  map[Node]int{},
 		built: map[Node]*outlet{},
+		pre:   premounted,
 	}
 	p.countRefs(plan, map[Node]bool{})
 	p.refs[plan]++
 
 	// Tee every band by the number of distinct Source nodes that read it:
 	// a *shared* Source node is constructed once and teed at node level,
-	// so it consumes only one copy regardless of its refcount.
+	// so it consumes only one copy regardless of its refcount. Sources
+	// under premounted subtrees were never ref-counted and need nothing.
 	p.sources = map[string]*outlet{}
 	needs := map[string]int{}
 	for n := range p.refs {
+		if _, ok := p.pre[n]; ok {
+			continue
+		}
 		if s, ok := n.(*Source); ok {
 			needs[s.Band]++
 		}
@@ -74,15 +90,20 @@ type planner struct {
 	refs    map[Node]int
 	built   map[Node]*outlet
 	sources map[string]*outlet
+	pre     map[Node]*stream.Stream
 	stats   []*stream.Stats
 }
 
-// countRefs counts how many parents each unique node has.
+// countRefs counts how many parents each unique node has. It does not
+// descend below premounted nodes: their subtrees run elsewhere.
 func (p *planner) countRefs(n Node, seen map[Node]bool) {
 	if seen[n] {
 		return
 	}
 	seen[n] = true
+	if _, ok := p.pre[n]; ok {
+		return
+	}
 	for _, c := range n.Children() {
 		p.refs[c]++
 		p.countRefs(c, seen)
@@ -107,9 +128,30 @@ func (p *planner) take(n Node) (*stream.Stream, error) {
 	return o.take()
 }
 
-// apply wires a unary operator and records its stats.
-func (p *planner) apply(op stream.Operator, in *stream.Stream) (*stream.Stream, error) {
-	out, st, err := stream.Apply(p.g, op, in)
+// construct builds the physical operator for one plan node: premounted
+// nodes hand back their live stream, sources draw from the band outlets,
+// and everything else goes through BuildOp over its built inputs.
+func (p *planner) construct(n Node) (*stream.Stream, error) {
+	if s, ok := p.pre[n]; ok {
+		return s, nil
+	}
+	if t, ok := n.(*Source); ok {
+		o, ok := p.sources[t.Band]
+		if !ok {
+			return nil, fmt.Errorf("query: no source stream for band %q", t.Band)
+		}
+		return o.take()
+	}
+	kids := n.Children()
+	ins := make([]*stream.Stream, len(kids))
+	for i, c := range kids {
+		in, err := p.take(c)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = in
+	}
+	out, st, err := BuildOp(p.g, n, ins)
 	if err != nil {
 		return nil, err
 	}
@@ -117,128 +159,71 @@ func (p *planner) apply(op stream.Operator, in *stream.Stream) (*stream.Stream, 
 	return out, nil
 }
 
-// construct builds the physical operator for one plan node.
-func (p *planner) construct(n Node) (*stream.Stream, error) {
+// BuildOp wires the physical operator of a single non-source plan node
+// onto already-built input streams (one per child, in Children() order),
+// returning the output stream and the operator's stats. It is the shared
+// construction kernel of the planner and of the shared-trunk DAG in
+// internal/share.
+func BuildOp(g *stream.Group, n Node, ins []*stream.Stream) (*stream.Stream, *stream.Stats, error) {
+	want := len(n.Children())
+	if len(ins) != want {
+		return nil, nil, fmt.Errorf("query: %s needs %d input stream(s), got %d", n.Label(), want, len(ins))
+	}
 	switch t := n.(type) {
 	case *Source:
-		o, ok := p.sources[t.Band]
-		if !ok {
-			return nil, fmt.Errorf("query: no source stream for band %q", t.Band)
-		}
-		return o.take()
+		return nil, nil, fmt.Errorf("query: BuildOp cannot build a source node (band %q)", t.Band)
 	case *RestrictS:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(core.SpatialRestrict{Region: t.Region}, in)
+		return stream.Apply(g, core.SpatialRestrict{Region: t.Region}, ins[0])
 	case *RestrictT:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(core.TemporalRestrict{Times: t.Times}, in)
+		return stream.Apply(g, core.TemporalRestrict{Times: t.Times}, ins[0])
 	case *RestrictV:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(core.ValueRestrict{Values: t.Set}, in)
+		return stream.Apply(g, core.ValueRestrict{Values: t.Set}, ins[0])
 	case *MapFn:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(t.Op, in)
+		return stream.Apply(g, t.Op, ins[0])
 	case *Fused:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
 		op, err := fusedOp(t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exec.CountFusion(len(t.Stages))
-		return p.apply(op, in)
+		return stream.Apply(g, op, ins[0])
 	case *StretchFn:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}, in)
+		return stream.Apply(g, core.Stretch{Kind: t.Kind, OutMin: t.Min, OutMax: t.Max}, ins[0])
 	case *Zoom:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
 		if t.Out {
-			return p.apply(core.ZoomOut{K: t.K}, in)
+			return stream.Apply(g, core.ZoomOut{K: t.K}, ins[0])
 		}
-		return p.apply(core.ZoomIn{K: t.K}, in)
+		return stream.Apply(g, core.ZoomIn{K: t.K}, ins[0])
 	case *Reproject:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
 		// Progressive emission whenever the stream carries the §3.2
 		// sector metadata; otherwise the operator must block per sector.
-		op := core.NewReproject(in.Info.CRS, t.To, t.Interp, in.Info.HasSectorMeta)
-		return p.apply(op, in)
+		op := core.NewReproject(ins[0].Info.CRS, t.To, t.Interp, ins[0].Info.HasSectorMeta)
+		return stream.Apply(g, op, ins[0])
 	case *Rotate:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
+		if !ins[0].Info.HasSectorMeta {
+			return nil, nil, fmt.Errorf("query: rotate needs sector metadata to locate the sector center")
 		}
-		if !in.Info.HasSectorMeta {
-			return nil, fmt.Errorf("query: rotate needs sector metadata to locate the sector center")
-		}
-		center := in.Info.SectorGeom.Bounds().Center()
+		center := ins[0].Info.SectorGeom.Bounds().Center()
 		aff, err := core.NewAffineTransform(
-			core.Rotation(t.Degrees*degToRad, center), in.Info.CRS, t.Interp(), true)
+			core.Rotation(t.Degrees*degToRad, center), ins[0].Info.CRS, t.Interp(), true)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return p.apply(aff, in)
+		return stream.Apply(g, aff, ins[0])
 	case *Filter:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
 		op, err := filterOp(t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return p.apply(op, in)
+		return stream.Apply(g, op, ins[0])
 	case *ComposeOp:
-		l, err := p.take(t.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.take(t.R)
-		if err != nil {
-			return nil, err
-		}
-		out, st, err := stream.Apply2(p.g, core.Compose{Gamma: t.Gamma}, l, r)
-		if err != nil {
-			return nil, err
-		}
-		p.stats = append(p.stats, st)
-		return out, nil
+		return stream.Apply2(g, core.Compose{Gamma: t.Gamma}, ins[0], ins[1])
 	case *AggT:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(&core.TemporalAggregate{Fn: t.Fn, Window: t.Window}, in)
+		return stream.Apply(g, &core.TemporalAggregate{Fn: t.Fn, Window: t.Window}, ins[0])
 	case *AggR:
-		in, err := p.take(t.In)
-		if err != nil {
-			return nil, err
-		}
-		return p.apply(core.RegionalAggregate{Fn: t.Fn, Region: t.Region}, in)
+		return stream.Apply(g, core.RegionalAggregate{Fn: t.Fn, Region: t.Region}, ins[0])
 	}
-	return nil, fmt.Errorf("query: cannot build plan node %T", n)
+	return nil, nil, fmt.Errorf("query: cannot build plan node %T", n)
 }
 
 // filterOp instantiates the physical operator of a Filter node.

@@ -1,0 +1,257 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/valueset"
+)
+
+// ErrNotRenderable marks a plan with no surface-syntax rendering: nodes
+// only the optimizer or fusion pass produces (Fused, FuncRegion-restricted
+// plans, merged value sets), regions whose constructor is lossy (disk
+// lowers to a polynomial constraint), or non-finite numeric parameters the
+// language has no literal for.
+var ErrNotRenderable = errors.New("query: plan has no surface-syntax rendering")
+
+// Render emits canonical query-language text for a parser-producible plan:
+// Parse(Render(Parse(q))) yields a plan structurally equal to Parse(q)
+// (compare with Format; pointer sharing inside the AST is not preserved).
+// The fuzz harness relies on this round trip.
+func Render(n Node) (string, error) {
+	switch t := n.(type) {
+	case *Source:
+		return t.Band, nil
+	case *RestrictS:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		r, err := regionText(t.Region)
+		if err != nil {
+			return "", err
+		}
+		return "rselect(" + in + ", " + r + ")", nil
+	case *RestrictT:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		ts, err := timesText(t.Times)
+		if err != nil {
+			return "", err
+		}
+		return "tselect(" + in + ", " + ts + ")", nil
+	case *RestrictV:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		vs, err := vsetText(t.Set)
+		if err != nil {
+			return "", err
+		}
+		return "vselect(" + in + ", " + vs + ")", nil
+	case *MapFn:
+		// Desc is "name(args...)"; splice the input as the first argument.
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		i := strings.IndexByte(t.Desc, '(')
+		if i < 0 || !strings.HasSuffix(t.Desc, ")") {
+			return "", fmt.Errorf("%w: map desc %q", ErrNotRenderable, t.Desc)
+		}
+		args := t.Desc[i+1 : len(t.Desc)-1]
+		if args == "" {
+			return t.Desc[:i+1] + in + ")", nil
+		}
+		return t.Desc[:i+1] + in + ", " + args + ")", nil
+	case *StretchFn:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		lo, err := num(t.Min)
+		if err != nil {
+			return "", err
+		}
+		hi, err := num(t.Max)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("stretch(%s, %s, %s, %s)", in, t.Kind, lo, hi), nil
+	case *Zoom:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		name := "zoomin"
+		if t.Out {
+			name = "zoomout"
+		}
+		return fmt.Sprintf("%s(%s, %d)", name, in, t.K), nil
+	case *Reproject:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("reproject(%s, %q, %s)", in, t.To.Name(), t.Interp), nil
+	case *Rotate:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		deg, err := num(t.Degrees)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("rotate(%s, %s)", in, deg), nil
+	case *Filter:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		switch t.Kind {
+		case "box":
+			return fmt.Sprintf("boxfilter(%s, %d)", in, t.N), nil
+		case "gauss":
+			sig, err := num(t.Sigma)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("gaussfilter(%s, %d, %s)", in, t.N, sig), nil
+		case "gradient":
+			return fmt.Sprintf("gradient(%s)", in), nil
+		}
+		return "", fmt.Errorf("%w: filter kind %q", ErrNotRenderable, t.Kind)
+	case *ComposeOp:
+		l, err := Render(t.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := Render(t.R)
+		if err != nil {
+			return "", err
+		}
+		switch t.Gamma {
+		case valueset.Add:
+			return "(" + l + " + " + r + ")", nil
+		case valueset.Sub:
+			return "(" + l + " - " + r + ")", nil
+		case valueset.Mul:
+			return "(" + l + " * " + r + ")", nil
+		case valueset.Div:
+			return "(" + l + " / " + r + ")", nil
+		case valueset.Sup:
+			return "sup(" + l + ", " + r + ")", nil
+		case valueset.Inf:
+			return "inf(" + l + ", " + r + ")", nil
+		}
+		return "", fmt.Errorf("%w: composition %v", ErrNotRenderable, t.Gamma)
+	case *AggT:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("agg_t(%s, %s, %d)", in, t.Fn, t.Window), nil
+	case *AggR:
+		in, err := Render(t.In)
+		if err != nil {
+			return "", err
+		}
+		r, err := regionText(t.Region)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("agg_r(%s, %s, %s)", in, t.Fn, r), nil
+	}
+	return "", fmt.Errorf("%w: %T", ErrNotRenderable, n)
+}
+
+// num renders a float as a lexer-accepted literal; the language has no
+// literal for NaN or infinities.
+func num(v float64) (string, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "", fmt.Errorf("%w: non-finite number %g", ErrNotRenderable, v)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64), nil
+}
+
+func nums(vs ...float64) ([]string, error) {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		s, err := num(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func regionText(r geom.Region) (string, error) {
+	switch t := r.(type) {
+	case geom.RectRegion:
+		parts, err := nums(t.Rect.MinX, t.Rect.MinY, t.Rect.MaxX, t.Rect.MaxY)
+		if err != nil {
+			return "", err
+		}
+		return "rect(" + strings.Join(parts, ", ") + ")", nil
+	case geom.WorldRegion:
+		return "world()", nil
+	case *geom.PolygonRegion:
+		// The polygon's own String prints space-separated pairs; the
+		// parser wants a flat comma-separated coordinate list.
+		verts := t.Vertices()
+		parts := make([]string, 0, 2*len(verts))
+		for _, v := range verts {
+			p, err := nums(v.X, v.Y)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, p...)
+		}
+		return "polygon(" + strings.Join(parts, ", ") + ")", nil
+	}
+	return "", fmt.Errorf("%w: region %s", ErrNotRenderable, r)
+}
+
+func timesText(ts geom.TimeSet) (string, error) {
+	switch ts.(type) {
+	case geom.Interval, *geom.Instants, geom.Recurring, geom.AllTime:
+		// Their String forms are exactly the constructor syntax.
+		return ts.String(), nil
+	}
+	return "", fmt.Errorf("%w: time set %s", ErrNotRenderable, ts)
+}
+
+func vsetText(vs valueset.Set) (string, error) {
+	switch t := vs.(type) {
+	case valueset.Range:
+		parts, err := nums(t.Min, t.Max)
+		if err != nil {
+			return "", err
+		}
+		return "range(" + strings.Join(parts, ", ") + ")", nil
+	case valueset.Above:
+		s, err := num(t.Threshold)
+		if err != nil {
+			return "", err
+		}
+		return "above(" + s + ")", nil
+	case valueset.Below:
+		s, err := num(t.Threshold)
+		if err != nil {
+			return "", err
+		}
+		return "below(" + s + ")", nil
+	case valueset.Finite:
+		return "finite()", nil
+	}
+	return "", fmt.Errorf("%w: value set %s", ErrNotRenderable, vs)
+}

@@ -334,11 +334,24 @@ func (rw *rewriter) pushSpatialUncached(r geom.Region, n Node) (Node, error) {
 		}
 		return &RestrictV{In: in, Set: t.Set}, nil
 	case *Zoom:
+		if t.Out {
+			// zoomout aggregates k×k blocks phased from the first point it
+			// sees: cropping its input shifts the block grid, moving output
+			// points (and their values) at the region boundary. Not
+			// restriction-compatible bit for bit — stop here. (The
+			// equivalence harness caught exactly this: zoomout over a
+			// widened crop produced a shifted lattice.)
+			return &RestrictS{In: n, Region: r}, nil
+		}
 		res := resOf(t.In, rw.catalog)
 		if res == 0 {
 			// Unknown source resolution: cannot widen safely, stop here.
 			return &RestrictS{In: n, Region: r}, nil
 		}
+		// zoomin interpolates on the sub-lattice of its input origin, and
+		// cropping removes whole cells, so the output lattice phase is
+		// preserved; the margin keeps every surviving point's interpolation
+		// neighborhood inside the widened crop.
 		margin := float64(t.K+1) * res
 		box := r.Bounds().Expand(margin)
 		widened := geom.FuncRegion{

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestSignatureCommutativeNormalization(t *testing.T) {
+	same := [][2]string{
+		{"nir + vis", "vis + nir"},
+		{"nir * vis", "vis * nir"},
+		{"sup(nir, vis)", "sup(vis, nir)"},
+		{"inf(nir, vis)", "inf(vis, nir)"},
+		{"scale(nir + vis, 2, 0)", "scale(vis + nir, 2, 0)"},
+		// Nested: the normalization applies at every level.
+		{"(nir + vis) * (vis + nir)", "(vis + nir) * (nir + vis)"},
+	}
+	for _, pair := range same {
+		a, b := mustParse(t, pair[0]), mustParse(t, pair[1])
+		if Signature(a) != Signature(b) {
+			t.Errorf("Signature(%q) != Signature(%q):\n%s\nvs\n%s",
+				pair[0], pair[1], Signature(a), Signature(b))
+		}
+	}
+	diff := [][2]string{
+		{"nir - vis", "vis - nir"},
+		{"nir / vis", "vis / nir"},
+		{"nir + vis", "nir - vis"},
+		{"rselect(nir, rect(0, 0, 1, 1))", "rselect(nir, rect(0, 0, 1, 2))"},
+		{"scale(nir, 2, 0)", "scale(nir, 3, 0)"},
+	}
+	for _, pair := range diff {
+		a, b := mustParse(t, pair[0]), mustParse(t, pair[1])
+		if Signature(a) == Signature(b) {
+			t.Errorf("Signature(%q) == Signature(%q) = %s; want distinct",
+				pair[0], pair[1], Signature(a))
+		}
+	}
+}
+
+func TestSignatureStableAcrossReparse(t *testing.T) {
+	qs := []string{
+		"rselect(stretch(ndvi(nir, vis), linear, 0, 255), rect(-121.6, 36.4, -120.4, 37.6))",
+		"boxfilter(zoomout(vis, 2), 3)",
+		"vselect(scale(nir, 2, 1), range(0, 500))",
+	}
+	for _, q := range qs {
+		a, b := mustParse(t, q), mustParse(t, q)
+		if Signature(a) != Signature(b) {
+			t.Errorf("Signature of %q not stable across reparse", q)
+		}
+		if ShortSig(a) != ShortSig(b) {
+			t.Errorf("ShortSig of %q not stable across reparse", q)
+		}
+	}
+}
+
+func TestShareFrontierStopsAtStretchAndAggregates(t *testing.T) {
+	// stretch is private: the frontier must be the subtree below it.
+	n := mustParse(t, "stretch(ndvi(nir, vis), linear, 0, 255)")
+	fr := ShareFrontier(n)
+	if len(fr) != 1 {
+		t.Fatalf("frontier of stretch(ndvi) has %d roots, want 1", len(fr))
+	}
+	if _, ok := fr[0].(*ComposeOp); !ok {
+		t.Fatalf("frontier root below stretch is %T, want *ComposeOp", fr[0])
+	}
+	// A fully shareable plan is its own single frontier root.
+	n2 := mustParse(t, "rselect(ndvi(nir, vis), rect(0, 0, 1, 1))")
+	fr2 := ShareFrontier(n2)
+	if len(fr2) != 1 || fr2[0] != n2 {
+		t.Fatalf("fully shareable plan: frontier = %v, want the root itself", fr2)
+	}
+	// Aggregates are private; their inputs are shared.
+	n3 := mustParse(t, "agg_r(vselect(nir, above(100)), mean, rect(0, 0, 1, 1))")
+	fr3 := ShareFrontier(n3)
+	if len(fr3) != 1 {
+		t.Fatalf("frontier of agg_r has %d roots, want 1", len(fr3))
+	}
+	if _, ok := fr3[0].(*RestrictV); !ok {
+		t.Fatalf("frontier root below agg_r is %T, want *RestrictV", fr3[0])
+	}
+	// Every source must be covered by some frontier subtree.
+	for _, plan := range []Node{n, n2, n3} {
+		covered := map[string]bool{}
+		for _, root := range ShareFrontier(plan) {
+			for band := range Bands(root) {
+				covered[band] = true
+			}
+		}
+		for band := range Bands(plan) {
+			if !covered[band] {
+				t.Errorf("band %q not covered by any frontier subtree", band)
+			}
+		}
+	}
+}

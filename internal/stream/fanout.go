@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout broadcasts one input stream to a dynamic set of taps — the
+// multi-reader primitive behind shared query execution. Unlike Tee, whose
+// consumer count is fixed at wiring time, taps attach (AddTap) and detach
+// (Tap.Close) while the stream flows, so queries can mount onto and leave
+// a running shared trunk.
+//
+// Semantics:
+//
+//   - Every chunk pointer is shared across taps; chunks are immutable by
+//     contract.
+//   - Delivery is per-tap blocking (each tap has a DefaultBuffer channel):
+//     a slow tap exerts backpressure on the trunk, exactly like a slow
+//     consumer of a private pipeline. A tap that detaches while the
+//     broadcaster is blocked on it unblocks the trunk immediately.
+//   - Broadcast holds the first data chunk until the first tap has
+//     attached, so a trunk assembled bottom-up (operators wired, then
+//     tapped) observes a consistent stream start instead of dropping a
+//     prefix. After that, a tap attaching mid-stream sees chunks from its
+//     attach point on — the same contract a late hub subscriber gets.
+//   - When the input closes (or the group is cancelled) every attached
+//     tap's channel is closed; AddTap afterwards returns an already-ended
+//     tap.
+type Fanout struct {
+	info Info
+
+	mu     sync.Mutex
+	taps   []*Tap
+	closed bool
+
+	// armed is closed when the first tap attaches; broadcast waits on it
+	// so no chunk is dropped while a mount is being assembled.
+	armed     chan struct{}
+	armedOnce sync.Once
+
+	delivered atomic.Int64
+}
+
+// Tap is one attached reader of a Fanout.
+type Tap struct {
+	f    *Fanout
+	s    *Stream
+	c    chan *Chunk
+	done chan struct{}
+	once sync.Once
+}
+
+// NewFanout starts broadcasting `in` inside the group. The broadcaster
+// goroutine exits when the input closes or the group context ends; either
+// way all attached taps are closed.
+func NewFanout(g *Group, in *Stream) *Fanout {
+	f := &Fanout{info: in.Info, armed: make(chan struct{})}
+	inC := in.C
+	g.Go(func(ctx context.Context) error {
+		defer f.finish()
+		for {
+			select {
+			case c, ok := <-inC:
+				if !ok {
+					return nil
+				}
+				if !f.broadcast(ctx, c) {
+					return nil
+				}
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	})
+	return f
+}
+
+// Info returns the stream metadata taps inherit.
+func (f *Fanout) Info() Info { return f.info }
+
+// Delivered returns the total chunk deliveries across all taps.
+func (f *Fanout) Delivered() int64 { return f.delivered.Load() }
+
+// TapCount returns the number of currently attached taps.
+func (f *Fanout) TapCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.taps)
+}
+
+// AddTap attaches a new reader. If the fanout has already finished the
+// returned tap's stream is closed immediately.
+func (f *Fanout) AddTap() *Tap {
+	t := &Tap{f: f, done: make(chan struct{}), c: make(chan *Chunk, DefaultBuffer)}
+	t.s = &Stream{Info: f.info, C: t.c}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(t.c)
+		return t
+	}
+	f.taps = append(f.taps, t)
+	f.mu.Unlock()
+	f.armedOnce.Do(func() { close(f.armed) })
+	return t
+}
+
+// Stream returns the tap's readable stream.
+func (t *Tap) Stream() *Stream { return t.s }
+
+// Close detaches the tap from the fanout. The tap's channel is not closed
+// (the broadcaster may be mid-send); the detaching consumer simply stops
+// reading. Close is idempotent and unblocks a broadcaster currently
+// blocked on this tap.
+func (t *Tap) Close() {
+	t.once.Do(func() {
+		close(t.done)
+		f := t.f
+		f.mu.Lock()
+		for i, x := range f.taps {
+			if x == t {
+				f.taps = append(f.taps[:i], f.taps[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+	})
+}
+
+// broadcast delivers one chunk to every attached tap; it reports false
+// when the group context ended mid-delivery.
+func (f *Fanout) broadcast(ctx context.Context, c *Chunk) bool {
+	select {
+	case <-f.armed:
+	case <-ctx.Done():
+		return false
+	}
+	for _, t := range f.snapshot() {
+		select {
+		case t.c <- c:
+			f.delivered.Add(1)
+		case <-t.done:
+			// Tap detached while we were blocked on it; skip it.
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Fanout) snapshot() []*Tap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Tap(nil), f.taps...)
+}
+
+// finish marks the fanout ended and closes every still-attached tap.
+func (f *Fanout) finish() {
+	f.mu.Lock()
+	taps := f.taps
+	f.taps = nil
+	f.closed = true
+	f.mu.Unlock()
+	for _, t := range taps {
+		close(t.c)
+	}
+}

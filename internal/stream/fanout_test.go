@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+)
+
+func fanGrid(t *testing.T, ts int) *Chunk {
+	t.Helper()
+	lat := testLattice(t, 4, 1)
+	vals := make([]float64, 4)
+	for i := range vals {
+		vals[i] = float64(ts*10 + i)
+	}
+	c, err := NewGridChunk(geom.Timestamp(ts), lat, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fanoutChunks(t *testing.T, n int) []*Chunk {
+	t.Helper()
+	out := make([]*Chunk, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, fanGrid(t, i))
+	}
+	out = append(out, NewEndOfSector(0, testLattice(t, 4, 1)))
+	return out
+}
+
+func TestFanoutBroadcastsToAllTaps(t *testing.T) {
+	g := NewGroup(context.Background())
+	chunks := fanoutChunks(t, 8)
+	f := NewFanout(g, FromChunks(g, testInfo(), chunks))
+	t1 := f.AddTap()
+	t2 := f.AddTap()
+
+	got1c := make(chan []*Chunk, 1)
+	go func() {
+		got, _ := Collect(context.Background(), t1.Stream())
+		got1c <- got
+	}()
+	got2, err := Collect(context.Background(), t2.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1 := <-got1c
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != len(chunks) || len(got2) != len(chunks) {
+		t.Fatalf("taps saw %d and %d chunks, want %d", len(got1), len(got2), len(chunks))
+	}
+	for i := range chunks {
+		if got1[i] != chunks[i] || got2[i] != chunks[i] {
+			t.Fatalf("chunk %d: taps did not receive the shared chunk pointer", i)
+		}
+	}
+	if f.Delivered() != int64(2*len(chunks)) {
+		t.Fatalf("Delivered() = %d, want %d", f.Delivered(), 2*len(chunks))
+	}
+}
+
+func TestFanoutDetachUnblocksTrunk(t *testing.T) {
+	g := NewGroup(context.Background())
+	chunks := fanoutChunks(t, 64)
+	f := NewFanout(g, FromChunks(g, testInfo(), chunks))
+	stuck := f.AddTap() // never read: fills its buffer and blocks the trunk
+	live := f.AddTap()
+
+	done := make(chan []*Chunk, 1)
+	go func() {
+		got, _ := Collect(context.Background(), live.Stream())
+		done <- got
+	}()
+	// Give the broadcaster time to wedge against the unread tap, then
+	// detach it: the live tap must still receive the full stream.
+	time.Sleep(20 * time.Millisecond)
+	stuck.Close()
+	got := <-done
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The live tap sees every chunk: detaching the stuck tap only skips
+	// deliveries to the detached channel.
+	if len(got) != len(chunks) {
+		t.Fatalf("live tap saw %d chunks, want %d", len(got), len(chunks))
+	}
+	if n := f.TapCount(); n != 0 {
+		t.Fatalf("TapCount() after finish = %d, want 0", n)
+	}
+}
+
+func TestFanoutAddTapAfterEndIsClosed(t *testing.T) {
+	g := NewGroup(context.Background())
+	f := NewFanout(g, FromChunks(g, testInfo(), fanoutChunks(t, 1)))
+	first := f.AddTap()
+	if _, err := Collect(context.Background(), first.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	late := f.AddTap()
+	select {
+	case _, ok := <-late.Stream().C:
+		if ok {
+			t.Fatal("late tap received a chunk from an ended fanout")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("late tap's stream was not closed")
+	}
+}
+
+func TestFanoutCancelClosesTaps(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	// An endless source: only cancellation can end this fanout.
+	src := Generate(g, testInfo(), func(ctx context.Context, emit func(*Chunk) bool) error {
+		i := 0
+		for {
+			if !emit(fanGrid(t, i)) {
+				return nil
+			}
+			i++
+		}
+	})
+	f := NewFanout(g, src)
+	tap := f.AddTap()
+	// Read a few chunks, then cancel the group: the tap must end.
+	for i := 0; i < 3; i++ {
+		if _, ok := <-tap.Stream().C; !ok {
+			t.Fatal("tap closed before cancellation")
+		}
+	}
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-tap.Stream().C:
+			if !ok {
+				if err := g.Wait(); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("tap was not closed after group cancellation")
+		}
+	}
+}
+
+func TestFanoutHoldsFirstChunkUntilArmed(t *testing.T) {
+	g := NewGroup(context.Background())
+	chunks := fanoutChunks(t, 4)
+	f := NewFanout(g, FromChunks(g, testInfo(), chunks))
+	// No tap yet: the broadcaster must hold, not drop. Attach after a
+	// delay and verify nothing was lost.
+	time.Sleep(20 * time.Millisecond)
+	tap := f.AddTap()
+	got, err := Collect(context.Background(), tap.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(chunks) {
+		t.Fatalf("first tap saw %d chunks, want %d (prefix dropped before arming?)", len(got), len(chunks))
+	}
+}

@@ -85,6 +85,13 @@ func (g *Group) Go(fn func(ctx context.Context) error) {
 	}()
 }
 
+// Cancel unwinds the group's context without recording an error: stages
+// return cooperative cancellation errors, which never become the group
+// error. It detaches a pipeline whose input cannot be closed from outside —
+// a shared-trunk tap stays open for the trunk's other subscribers, so the
+// reader must be told to stop instead.
+func (g *Group) Cancel() { g.cancel() }
+
 // Wait blocks until every stage has returned, cancels the context, and
 // returns the first error.
 func (g *Group) Wait() error {
