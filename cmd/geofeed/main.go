@@ -1,0 +1,176 @@
+// Command geofeed streams a simulated instrument to a geoserver's GSP
+// ingest listener (geoserver -ingest). Each band of the instrument
+// becomes one wire connection, framed and CRC-protected by the GSP
+// protocol (package wire); a dropped connection is redialled with
+// backoff and the in-flight chunk resent, so the server's supervised
+// source sees a network flap, not data loss.
+//
+// Usage:
+//
+//	geofeed -server localhost:9090
+//	        [-mode latlon|goes|lidar] [-subsat -75]
+//	        [-region "-122,36,-120,38"] [-w 256] [-h 192]
+//	        [-bands vis,nir,ir] [-org row|image]
+//	        [-sectors 0] [-interval 2s] [-seed 42]
+//	        [-points 64] [-chunks 0]
+//	        [-log-format text|json] [-log-level info]
+//
+// With -sectors 0 (or -chunks 0 for lidar) the instrument runs until
+// interrupted. Try:
+//
+//	geoserver -addr :8080 -ingest :9090 -local=false &
+//	geofeed -server localhost:9090 -interval 100ms
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/obs"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+	"geostreams/internal/wire"
+)
+
+func parseRegion(s string) (geom.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("region needs 4 comma-separated numbers, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &v[i]); err != nil {
+			return geom.Rect{}, fmt.Errorf("bad region component %q: %v", p, err)
+		}
+	}
+	return geom.R(v[0], v[1], v[2], v[3]), nil
+}
+
+func main() {
+	server := flag.String("server", "localhost:9090", "geoserver GSP ingest address (host:port)")
+	mode := flag.String("mode", "latlon", "instrument simulator: latlon, goes, or lidar")
+	subsat := flag.Float64("subsat", -75, "sub-satellite longitude for -mode goes")
+	regionStr := flag.String("region", "-122,36,-120,38", "scan region lon0,lat0,lon1,lat1")
+	w := flag.Int("w", 256, "sector width (points)")
+	h := flag.Int("h", 192, "sector height (points)")
+	bandsStr := flag.String("bands", "vis,nir,ir", "comma-separated band names")
+	orgStr := flag.String("org", "row", "stream organization for -mode latlon: row or image")
+	sectors := flag.Int("sectors", 0, "number of scan sectors (0 = unlimited)")
+	interval := flag.Duration("interval", 2*time.Second, "time between scan sectors")
+	seed := flag.Int64("seed", 42, "scene seed")
+	points := flag.Int("points", 64, "points per chunk for -mode lidar")
+	chunks := flag.Int("chunks", 0, "chunks per band for -mode lidar (0 = unlimited)")
+	heartbeat := flag.Duration("heartbeat", wire.DefaultHeartbeat, "keep-alive interval while idle")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	logger := obs.NewCLILogger(*logFormat, *logLevel).With("component", "geofeed")
+	fatal := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+
+	region, err := parseRegion(*regionStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	bands := strings.Split(*bandsStr, ",")
+	for i := range bands {
+		bands[i] = strings.TrimSpace(bands[i])
+	}
+	nSectors := *sectors
+	if nSectors <= 0 {
+		nSectors = math.MaxInt32
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	g := stream.NewGroup(ctx)
+
+	var streams map[string]*stream.Stream
+	switch *mode {
+	case "latlon", "goes":
+		scene := sat.DefaultScene(*seed)
+		var im *sat.Imager
+		if *mode == "goes" {
+			im, err = sat.NewGOESImager(*subsat, region, *w, *h, scene, bands, nSectors)
+		} else {
+			org := stream.RowByRow
+			if *orgStr == "image" {
+				org = stream.ImageByImage
+			}
+			im, err = sat.NewLatLonImager(region, *w, *h, scene, bands, org, nSectors)
+		}
+		if err != nil {
+			fatal("instrument: %v", err)
+		}
+		im.Interval = *interval
+		streams, err = im.Streams(g)
+	case "lidar":
+		nChunks := *chunks
+		if nChunks <= 0 {
+			nChunks = math.MaxInt32
+		}
+		bs := make([]sat.Band, len(bands))
+		scene := sat.DefaultScene(*seed)
+		for i, name := range bands {
+			bs[i] = sat.Band{Name: name, Field: scene.BandField(name)}
+		}
+		l := &sat.LIDARScanner{
+			Name: "geofeed-lidar", Region: region, Bands: bs,
+			PointsPerChunk: *points, NumChunks: nChunks, Seed: *seed,
+		}
+		streams, err = l.Streams(g)
+	default:
+		fatal("unknown -mode %q (want latlon, goes, or lidar)", *mode)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	opts := wire.FeedOptions{Heartbeat: *heartbeat}
+	stats := make(map[string]*wire.FeedStats, len(bands))
+	for _, band := range bands {
+		src, ok := streams[band]
+		if !ok {
+			fatal("instrument produced no stream for band %q", band)
+		}
+		st := &wire.FeedStats{}
+		stats[band] = st
+		log := logger.With("band", band)
+		g.Go(func(ctx context.Context) error {
+			log.Info("feeding", "server", *server)
+			err := wire.FeedStream(ctx, *server, src, opts, st)
+			if err != nil && ctx.Err() == nil {
+				log.Error("feed failed", "error", err.Error(),
+					"chunks", st.Chunks.Load(), "redials", st.Redials.Load())
+				return err
+			}
+			log.Info("feed finished",
+				"chunks", st.Chunks.Load(), "redials", st.Redials.Load())
+			return nil
+		})
+	}
+
+	logger.Info("instrument configured", "mode", *mode,
+		"bands", fmt.Sprintf("%v", bands), "region", region.String(),
+		"interval", interval.String())
+	if err := g.Wait(); err != nil {
+		fatal("%v", err)
+	}
+	total := int64(0)
+	for _, st := range stats {
+		total += st.Chunks.Load()
+	}
+	logger.Info("done", "chunks", total)
+}

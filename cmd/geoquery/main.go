@@ -9,6 +9,7 @@
 //	geoquery register -q 'stretch(ndvi(nir, vis), linear, 0, 255)' -colormap ndvi
 //	geoquery frames -id 1 -n 5 -out ./frames
 //	geoquery series -id 2 -n 10
+//	geoquery subscribe -id 1 -n 5 -out ./frames [-window 64]
 //	geoquery stats
 //	geoquery metrics
 //	geoquery list
@@ -16,17 +17,21 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"time"
 
 	"geostreams/internal/dsms"
+	"geostreams/internal/raster"
+	"geostreams/internal/stream"
 )
 
-const usage = "usage: geoquery catalog|explain|register|frames|series|stats|metrics|list|drop [flags]"
+const usage = "usage: geoquery catalog|explain|register|frames|series|subscribe|stats|metrics|list|drop [flags]"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -43,10 +48,12 @@ func main() {
 	n := fs.Int("n", 3, "how many frames / series polls to fetch")
 	out := fs.String("out", ".", "output directory for frames")
 	wait := fs.Duration("wait", 10*time.Second, "per-frame wait")
+	window := fs.Int("window", 0, "credit window in chunks for subscribe (0 = server default)")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
+	// Unary calls get the client's per-request deadline; NextFrame derives
+	// its own from -wait, so no client-wide timeout gymnastics are needed.
 	c := dsms.NewClient(*server)
-	c.HTTP.Timeout = *wait + 10*time.Second
 
 	switch cmd {
 	case "catalog":
@@ -95,6 +102,9 @@ func main() {
 				time.Sleep(500 * time.Millisecond)
 			}
 		}
+	case "subscribe":
+		requireID(*id)
+		fatal(subscribe(c, *id, *n, *window, *out, *colormap))
 	case "stats":
 		st, err := c.Stats()
 		fatal(err)
@@ -126,6 +136,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "geoquery: unknown command %q\n%s\n", cmd, usage)
 		os.Exit(2)
 	}
+}
+
+// subscribe attaches a GSP push subscription to the query and renders
+// what arrives: grid output is assembled into sector PNGs client-side
+// (the same raster path the server's frame delivery uses), point output
+// prints as series lines. It stops after n sectors (grid) or n chunks
+// (points), or when the server says bye.
+func subscribe(c *dsms.Client, id int64, n, window int, out, colormap string) error {
+	sub, err := c.Subscribe(id, window)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	fmt.Printf("subscribed to query %d (out band %s, window %d)\n", id, sub.Info.Band, window)
+
+	cm, err := raster.ColormapByName(colormap)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	asm := raster.NewAssembler()
+	defer asm.Discard()
+	got := 0
+	for got < n {
+		ch, err := sub.Next()
+		if err == io.EOF {
+			fmt.Println("server ended the stream")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if ch.Kind == stream.KindPoints {
+			for _, pv := range ch.Points {
+				fmt.Printf("t=%d  (%.4f, %.4f)  value=%g\n", pv.P.T, pv.P.S.X, pv.P.S.Y, pv.V)
+			}
+			got++
+			continue
+		}
+		imgs, err := asm.Add(ch)
+		if err != nil {
+			return err
+		}
+		for _, img := range imgs {
+			var buf bytes.Buffer
+			if err := img.EncodePNG(&buf, cm, sub.Info.VMin, sub.Info.VMax); err != nil {
+				return err
+			}
+			name := filepath.Join(out, fmt.Sprintf("q%d_sector%d.png", id, img.T))
+			if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%dx%d, %d bytes)\n", name, img.Lat.W, img.Lat.H, buf.Len())
+			img.Recycle()
+			got++
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

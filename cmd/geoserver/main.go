@@ -8,9 +8,14 @@
 //	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	          [-sectors 0] [-interval 2s] [-seed 42]
 //	          [-max-queries 0] [-drain-timeout 10s] [-share]
+//	          [-ingest :9090] [-local=false]
 //	          [-log-format text|json] [-log-level info] [-debug]
 //
-// With -sectors 0 the instrument scans forever. -max-queries caps
+// With -sectors 0 the instrument scans forever. -ingest opens a GSP
+// listener for remote instrument feeds (cmd/geofeed): each remote band
+// mounts as a supervised source, so a network flap shows up as a
+// reconnecting hub, not a dead band. -local=false skips the built-in
+// simulated imager and serves only wire-fed bands. -max-queries caps
 // concurrently registered queries (beyond it POST /queries returns 503
 // with a Retry-After hint). On SIGINT/SIGTERM the server drains
 // gracefully: registration stops, queued chunks flush to their queries,
@@ -33,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -86,6 +92,10 @@ func main() {
 		"shared multi-query execution: common subplans run once on shared trunks")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
+	ingest := flag.String("ingest", "",
+		"GSP ingest listen address for remote instrument feeds (empty = disabled)")
+	local := flag.Bool("local", true,
+		"run the built-in simulated imager (disable to serve only wire-fed bands)")
 	flag.Parse()
 
 	if *parallelism > 0 {
@@ -119,26 +129,41 @@ func main() {
 	srv.SetDebug(*debug)
 	srv.SetMaxQueries(*maxQueries)
 	srv.SetSharing(*shareQueries)
-	scene := sat.DefaultScene(*seed)
 	bands := []string{"vis", "nir", "ir"}
-	var im *sat.Imager
-	if *useGOES {
-		im, err = sat.NewGOESImager(*subsat, region, *w, *h, scene, bands, nSectors)
-	} else {
-		im, err = sat.NewLatLonImager(region, *w, *h, scene, bands, stream.RowByRow, nSectors)
-	}
-	if err != nil {
-		fatal("instrument: %v", err)
-	}
-	im.Interval = *interval
-	streams, err := im.Streams(srv.Group())
-	if err != nil {
-		fatal("%v", err)
-	}
-	for _, band := range bands {
-		if err := srv.AddSource(streams[band]); err != nil {
+	if *local {
+		scene := sat.DefaultScene(*seed)
+		var im *sat.Imager
+		if *useGOES {
+			im, err = sat.NewGOESImager(*subsat, region, *w, *h, scene, bands, nSectors)
+		} else {
+			im, err = sat.NewLatLonImager(region, *w, *h, scene, bands, stream.RowByRow, nSectors)
+		}
+		if err != nil {
+			fatal("instrument: %v", err)
+		}
+		im.Interval = *interval
+		streams, err := im.Streams(srv.Group())
+		if err != nil {
 			fatal("%v", err)
 		}
+		for _, band := range bands {
+			if err := srv.AddSource(streams[band]); err != nil {
+				fatal("%v", err)
+			}
+		}
+	} else if *ingest == "" {
+		fatal("-local=false needs -ingest: the server would have no sources at all")
+	}
+	if *ingest != "" {
+		ln, err := net.Listen("tcp", *ingest)
+		if err != nil {
+			fatal("ingest listener: %v", err)
+		}
+		go func() {
+			if err := srv.ServeIngest(ln); err != nil {
+				logger.Error("ingest listener failed", "error", err.Error())
+			}
+		}()
 	}
 	srv.Start()
 
@@ -160,10 +185,12 @@ func main() {
 	if *useGOES {
 		crs = fmt.Sprintf("geos:%g", *subsat)
 	}
-	logger.Info("instrument configured",
-		"bands", fmt.Sprintf("%v", bands), "region", region.String(), "crs", crs,
-		"sector_w", *w, "sector_h", *h, "interval", interval.String())
-	logger.Info("listening", "addr", *addr, "pprof", *debug)
+	if *local {
+		logger.Info("instrument configured",
+			"bands", fmt.Sprintf("%v", bands), "region", region.String(), "crs", crs,
+			"sector_w", *w, "sector_h", *h, "interval", interval.String())
+	}
+	logger.Info("listening", "addr", *addr, "ingest", *ingest, "pprof", *debug)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal("%v", err)
 	}

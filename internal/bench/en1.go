@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"geostreams/internal/dsms"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+	"geostreams/internal/wire"
+)
+
+// EN1Networked measures the cost of moving the DSMS edges onto the GSP
+// wire protocol: the same NDVI query runs over an in-process imager and
+// over geofeed-style senders streaming both bands through the ingest
+// listener, for both point organizations. The networked run must deliver
+// byte-identical PNG frames (the codec round-trips float64 bits exactly);
+// the table reports completeness, bit-identity, end-to-end freshness,
+// and wire-level chunk counts. A third row per organization subscribes a
+// slow push consumer (window 1, never reads) to show credit-based
+// backpressure: chunks are dropped for that subscriber and counted while
+// frame delivery stays complete.
+func EN1Networked(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-N1",
+		Title: "networked GSP ingest/egress vs in-process execution",
+		Claim: "the wire protocol preserves results bit-exactly, and a slow push subscriber degrades by dropped chunks, never by blocking the pipeline",
+		Columns: []string{"org", "path", "frames", "bit-identical",
+			"age p95", "wire chunks in", "egress dropped"},
+	}
+	orgs := []struct {
+		key  string
+		name string
+		org  stream.Organization
+	}{
+		{"row", "row-by-row", stream.RowByRow},
+		{"image", "image-by-image", stream.ImageByImage},
+	}
+	for _, o := range orgs {
+		base, err := runEN1Local(cfg, o.org)
+		if err != nil {
+			return nil, fmt.Errorf("E-N1 %s/in-process: %w", o.name, err)
+		}
+		t.AddRow(o.name, "in-process",
+			fmt.Sprintf("%d/%d", len(base.frames), cfg.Sectors),
+			"(baseline)", fmtDur(secDur(base.ageP95)), "-", "-")
+		t.SetMetric(o.key+"_local_completeness", float64(len(base.frames))/float64(cfg.Sectors))
+		t.SetMetric(o.key+"_local_age_p95_seconds", base.ageP95)
+
+		for _, slow := range []bool{false, true} {
+			res, err := runEN1Wire(cfg, o.org, slow)
+			if err != nil {
+				return nil, fmt.Errorf("E-N1 %s/wire slow=%v: %w", o.name, slow, err)
+			}
+			identical := len(res.frames) == len(base.frames)
+			for sector, png := range base.frames {
+				if !bytes.Equal(res.frames[sector], png) {
+					identical = false
+				}
+			}
+			path, key := "gsp wire", o.key+"_wire_"
+			if slow {
+				path, key = "gsp wire, slow subscriber", o.key+"_wire_slow_"
+			}
+			ident := "yes"
+			if !identical {
+				ident = "NO"
+			}
+			t.AddRow(o.name, path,
+				fmt.Sprintf("%d/%d", len(res.frames), cfg.Sectors),
+				ident, fmtDur(secDur(res.ageP95)),
+				fmtI(res.ingestChunks), fmtI(res.dropped))
+			t.SetMetric(key+"completeness", float64(len(res.frames))/float64(cfg.Sectors))
+			t.SetMetric(key+"bit_identical", b2f(identical))
+			t.SetMetric(key+"age_p95_seconds", res.ageP95)
+			t.SetMetric(key+"ingest_chunks", float64(res.ingestChunks))
+			t.SetMetric(key+"egress_dropped", float64(res.dropped))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"bit-identical compares every delivered PNG byte-for-byte against the in-process baseline (the GSP chunk codec carries raw float64 bits)",
+		"the slow subscriber grants a 1-chunk credit window and never reads: its drops are the visible face of backpressure while frame completeness stays 1.0")
+	return t, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// en1Query is the NDVI product both paths run.
+const en1Query = "stretch(rselect(ndvi(nir, vis), rect(-121.7, 36.3, -120.3, 37.7)), linear, 0, 255)"
+
+type en1Result struct {
+	frames       map[geom.Timestamp][]byte
+	ageP95       float64
+	ingestChunks int64
+	dropped      int64
+}
+
+// runEN1Local runs the query against an in-process imager: the baseline.
+func runEN1Local(cfg Config, org stream.Organization) (*en1Result, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := dsms.NewServer(ctx)
+	defer srv.Close() //nolint:errcheck
+	im, err := newImager(cfg, org, []string{"vis", "nir"})
+	if err != nil {
+		return nil, err
+	}
+	streams, err := im.Streams(srv.Group())
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []string{"vis", "nir"} {
+		if err := srv.AddSource(streams[b]); err != nil {
+			return nil, err
+		}
+	}
+	reg, err := srv.Register(en1Query, dsms.DeliveryOptions{Colormap: "ndvi"})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	res := &en1Result{frames: map[geom.Timestamp][]byte{}}
+	for {
+		f, ok := reg.NextFrame(30 * time.Second)
+		if !ok {
+			break
+		}
+		res.frames[f.Sector] = f.PNG
+	}
+	if err := reg.Err(); err != nil {
+		return nil, err
+	}
+	res.ageP95 = reg.DeliveryStats().AgeP95Seconds
+	return res, nil
+}
+
+// runEN1Wire runs the query with both bands streamed through the GSP
+// ingest listener and a push subscriber attached over the HTTP upgrade —
+// prompt (draining, full window) or slow (window 1, never reads).
+func runEN1Wire(cfg Config, org stream.Organization, slow bool) (*en1Result, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := dsms.NewServer(ctx)
+	defer srv.Close() //nolint:errcheck
+
+	ingest, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.ServeIngest(ingest) //nolint:errcheck // returns on shutdown
+
+	// The senders: one geofeed-style connection per band, own group.
+	feeds := stream.NewGroup(ctx)
+	im, err := newImager(cfg, org, []string{"vis", "nir"})
+	if err != nil {
+		return nil, err
+	}
+	streams, err := im.Streams(feeds)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []string{"vis", "nir"} {
+		src := streams[b]
+		feeds.Go(func(ctx context.Context) error {
+			err := wire.FeedStream(ctx, ingest.Addr().String(), src, wire.FeedOptions{}, nil)
+			if errors.Is(err, context.Canceled) {
+				return nil
+			}
+			return err
+		})
+	}
+	if err := en1WaitBands(srv, "vis", "nir"); err != nil {
+		return nil, err
+	}
+
+	reg, err := srv.Register(en1Query, dsms.DeliveryOptions{Colormap: "ndvi"})
+	if err != nil {
+		return nil, err
+	}
+
+	api, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer api.Close()
+	go http.Serve(api, srv.Handler()) //nolint:errcheck // lives until listener closes
+	// The prompt subscriber asks for the server's maximum window: chunk
+	// production is local-loopback fast, so a small window would drop on
+	// credit round-trip latency rather than actual consumer slowness.
+	window := 4096
+	if slow {
+		window = 1
+	}
+	sub, err := dsms.NewClient("http://"+api.Addr().String()).Subscribe(int64(reg.ID), window)
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Close() //nolint:errcheck
+	subDone := make(chan struct{})
+	if slow {
+		close(subDone) // never reads: backpressure by credit exhaustion
+	} else {
+		go func() {
+			defer close(subDone)
+			for {
+				if _, err := sub.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// Let the attach and initial credit grant land before data flows.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.WireStats().ActiveSubscribers == 0 {
+		if time.Now().After(deadline) {
+			return nil, errors.New("push subscriber never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	srv.Start()
+
+	res := &en1Result{frames: map[geom.Timestamp][]byte{}}
+	for {
+		f, ok := reg.NextFrame(30 * time.Second)
+		if !ok {
+			break
+		}
+		res.frames[f.Sector] = f.PNG
+	}
+	if err := reg.Err(); err != nil {
+		return nil, err
+	}
+	if err := feeds.Wait(); err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	if !slow {
+		select {
+		case <-subDone:
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("push subscription never ended")
+		}
+	}
+	res.ageP95 = reg.DeliveryStats().AgeP95Seconds
+	res.ingestChunks = srv.IngestStats().Chunks
+	ws := reg.WireStats()
+	res.dropped = ws.DroppedChunks
+	if slow && res.dropped == 0 {
+		return nil, errors.New("slow subscriber recorded no backpressure drops")
+	}
+	if !slow && res.dropped != 0 {
+		return nil, fmt.Errorf("prompt subscriber dropped %d chunks", res.dropped)
+	}
+	return res, nil
+}
+
+// en1WaitBands polls the catalog until the wire feeds have mounted every
+// band.
+func en1WaitBands(srv *dsms.Server, bands ...string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cat := srv.Catalog()
+		ok := true
+		for _, b := range bands {
+			if _, have := cat[b]; !have {
+				ok = false
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bands %v never attached over the wire", bands)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

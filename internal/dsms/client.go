@@ -1,14 +1,19 @@
 package dsms
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
+
+	"geostreams/internal/wire"
 )
 
 // Client is the Go client for the DSMS HTTP API — what the paper's
@@ -16,18 +21,61 @@ import (
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Timeout bounds each unary request (catalog, register, stats, ...)
+	// via a per-request context; DefaultTimeout if zero. Long-polls and
+	// streaming reads are NOT subject to it — NextFrame derives its own
+	// deadline from the wait it was asked for, and Subscribe hands the
+	// connection to the wire layer's idle-timeout handling.
+	Timeout time.Duration
 }
 
+// DefaultTimeout bounds a unary client request when Client.Timeout is
+// unset.
+const DefaultTimeout = 30 * time.Second
+
 // NewClient builds a client for a server base URL (no trailing slash).
+// The underlying http.Client carries no blanket timeout: per-request
+// deadlines come from Client.Timeout, so a long frame poll can outlive
+// a unary deadline instead of being cut mid-wait.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{}}
+}
+
+// reqCtx returns a context bounding one request; d <= 0 takes the
+// client's unary timeout.
+func (c *Client) reqCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		if d = c.Timeout; d <= 0 {
+			d = DefaultTimeout
+		}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// doGet issues one GET with the given per-request deadline (0 = unary
+// default). The cancel func must be held until the response body has
+// been consumed.
+func (c *Client) doGet(path string, d time.Duration) (*http.Response, context.CancelFunc, error) {
+	ctx, cancel := c.reqCtx(d)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+	resp, cancel, err := c.doGet(path, 0)
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return decodeErr(resp)
@@ -59,7 +107,14 @@ func (c *Client) Register(query, colormap string) (QueryInfo, error) {
 	if err != nil {
 		return QueryInfo{}, err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/queries", "application/json", bytes.NewReader(body))
+	ctx, cancel := c.reqCtx(0)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/queries", bytes.NewReader(body))
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return QueryInfo{}, err
 	}
@@ -87,13 +142,16 @@ type ClientFrame struct {
 }
 
 // NextFrame long-polls for the next frame of a query; ok is false on 204
-// (no frame within the wait window).
+// (no frame within the wait window). The request deadline is the server
+// wait plus a grace period, not the unary timeout, so arbitrarily long
+// polls work without a client-wide timeout hack.
 func (c *Client) NextFrame(id int64, wait time.Duration) (*ClientFrame, bool, error) {
-	u := fmt.Sprintf("%s/queries/%d/frame?wait=%d", c.BaseURL, id, wait.Milliseconds())
-	resp, err := c.HTTP.Get(u)
+	path := fmt.Sprintf("/queries/%d/frame?wait=%d", id, wait.Milliseconds())
+	resp, cancel, err := c.doGet(path, wait+10*time.Second)
 	if err != nil {
 		return nil, false, err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNoContent:
@@ -123,12 +181,69 @@ func (c *Client) Series(id int64, from int) ([]SeriesPoint, int, error) {
 	return out.Points, out.Next, err
 }
 
+// Subscribe upgrades GET /queries/{id}/stream to a GSP push
+// subscription: the server streams the query's output chunks under
+// credit-based flow control (see package wire). window is the credit
+// window in chunks (wire.DefaultWindow if <= 0). The subscription owns
+// a dedicated TCP connection; the unary timeout does not apply.
+func (c *Client) Subscribe(id int64, window int) (*wire.Subscription, error) {
+	u, err := url.Parse(c.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+	host := u.Host
+	if u.Port() == "" {
+		switch u.Scheme {
+		case "http":
+			host = net.JoinHostPort(u.Hostname(), "80")
+		default:
+			return nil, fmt.Errorf("dsms: subscribe needs an http base URL with a port, got %q", c.BaseURL)
+		}
+	}
+	if window <= 0 {
+		window = wire.DefaultWindow
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	path := fmt.Sprintf("%s/queries/%d/stream?window=%d", u.Path, id, window)
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	req.Host = u.Host
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", "gsp")
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if err := req.Write(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	resp, err := http.ReadResponse(br, req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		defer conn.Close()
+		defer resp.Body.Close()
+		return nil, decodeErr(resp)
+	}
+	return wire.NewSubscription(conn, br, window)
+}
+
 // Explain fetches the server's plan rendering for a query string.
 func (c *Client) Explain(query string) (string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/explain?q=" + url.QueryEscape(query))
+	resp, cancel, err := c.doGet("/explain?q="+url.QueryEscape(query), 0)
 	if err != nil {
 		return "", err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return "", decodeErr(resp)
@@ -139,7 +254,10 @@ func (c *Client) Explain(query string) (string, error) {
 
 // Deregister removes a query.
 func (c *Client) Deregister(id int64) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/queries/%d", c.BaseURL, id), nil)
+	ctx, cancel := c.reqCtx(0)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/queries/%d", c.BaseURL, id), nil)
 	if err != nil {
 		return err
 	}
@@ -164,10 +282,11 @@ func (c *Client) Stats() (ServerStats, error) {
 
 // Metrics fetches the raw Prometheus text exposition from GET /metrics.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	resp, cancel, err := c.doGet("/metrics", 0)
 	if err != nil {
 		return "", err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return "", decodeErr(resp)

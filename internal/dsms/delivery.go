@@ -70,9 +70,12 @@ type Registered struct {
 	// execution, where trunks own the subscriptions); shared lists the
 	// digests of the trunks the query mounts; detach disconnects the query
 	// from the data plane either way (idempotent).
-	bands   []string
-	shared  []string
-	detach  func()
+	bands  []string
+	shared []string
+	detach func()
+	// taps feeds the wire push subscribers (GET /queries/{id}/stream);
+	// the delivery stage reads the tap set's pass-through.
+	taps    *stream.TapSet
 	frames  *frameQueue
 	series  *seriesBuffer
 	stopped chan struct{}

@@ -1,0 +1,164 @@
+package dsms
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"geostreams/internal/wire"
+)
+
+// The egress edge of the DSMS: GET /queries/{id}/stream upgrades the
+// HTTP connection to GSP and pushes the query's output chunks under
+// credit-based flow control. The client grants N-chunk credits (an
+// initial window on connect, top-ups as it consumes); the server never
+// buffers more than the credit window per subscriber — a chunk arriving
+// with the subscriber's credit exhausted is dropped and counted
+// (geostreams_wire_backpressure_dropped_total), never queued and never
+// allowed to block the hub or the delivery stage.
+
+// maxEgressWindow caps the per-subscriber tap buffer a client may ask
+// for with ?window=.
+const maxEgressWindow = 4096
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	window := wire.DefaultWindow
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v < 1 || v > maxEgressWindow {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("bad window %q (want 1..%d)", ws, maxEgressWindow))
+			return
+		}
+		window = v
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError,
+			errors.New("connection does not support upgrade"))
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	go s.serveSubscription(reg, conn, bufrw, window)
+}
+
+// serveSubscription runs one push subscriber: 101 upgrade, hello, then
+// chunks as credit allows, with heartbeats while idle. The read half
+// carries the client's credit grants and its bye.
+func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.ReadWriter, window int) {
+	log := s.logger().With("query", int64(reg.ID), "remote", conn.RemoteAddr().String())
+	tap := reg.taps.Attach(window)
+	defer tap.Close()
+	defer conn.Close()
+
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := bufrw.WriteString("HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: gsp\r\nConnection: Upgrade\r\n\r\n"); err != nil {
+		return
+	}
+	if err := bufrw.Flush(); err != nil {
+		return
+	}
+	wr := wire.NewWriter(conn)
+	if err := wr.Hello(reg.Info); err != nil {
+		return
+	}
+	log.Info("subscriber attached", "window", window)
+
+	// Read half: credit grants and the client's bye. Closing conn (from
+	// the write half's defer) unblocks the read and ends this goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rd := wire.NewReader(bufrw.Reader)
+		for {
+			conn.SetReadDeadline(time.Now().Add(wire.DefaultIdleTimeout)) //nolint:errcheck
+			f, err := rd.Next()
+			if err != nil {
+				return
+			}
+			switch f.Type {
+			case wire.FrameCredit:
+				n, err := wire.DecodeCredit(f.Payload)
+				if err != nil {
+					return
+				}
+				tap.Grant(int(n))
+			case wire.FrameHeartbeat:
+			case wire.FrameBye:
+				return
+			default:
+				return
+			}
+		}
+	}()
+
+	hb := time.NewTicker(wire.DefaultHeartbeat)
+	defer hb.Stop()
+	write := func(send func(*wire.Writer) error) bool {
+		conn.SetWriteDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+		return send(wr) == nil
+	}
+	for {
+		select {
+		case c, ok := <-tap.C():
+			if !ok {
+				// Query finished or was deregistered: a clean end.
+				write(func(w *wire.Writer) error { return w.Bye() })
+				log.Info("subscriber stream ended",
+					"delivered", tap.Delivered(), "dropped", tap.Dropped())
+				return
+			}
+			if !write(func(w *wire.Writer) error { return w.Chunk(c) }) {
+				log.Info("subscriber connection lost",
+					"delivered", tap.Delivered(), "dropped", tap.Dropped())
+				return
+			}
+		case <-hb.C:
+			if !write(func(w *wire.Writer) error { return w.Heartbeat() }) {
+				return
+			}
+		case <-done:
+			log.Info("subscriber detached",
+				"delivered", tap.Delivered(), "dropped", tap.Dropped())
+			return
+		case <-s.ctx.Done():
+			write(func(w *wire.Writer) error { return w.Bye() })
+			return
+		}
+	}
+}
+
+// WireStats is the JSON form of one query's push-subscription telemetry.
+type WireStats struct {
+	SubscribersTotal  int64 `json:"subscribers_total"`
+	ActiveSubscribers int   `json:"active_subscribers"`
+	DeliveredChunks   int64 `json:"delivered_chunks"`
+	// DroppedChunks counts data chunks not enqueued to a subscriber
+	// because its credit was exhausted or its buffer full — the visible
+	// face of backpressure on a slow consumer.
+	DroppedChunks int64 `json:"dropped_chunks"`
+}
+
+// WireStats snapshots the query's push-subscription counters.
+func (r *Registered) WireStats() WireStats {
+	attached, active, delivered, dropped := r.taps.Stats()
+	return WireStats{
+		SubscribersTotal:  attached,
+		ActiveSubscribers: active,
+		DeliveredChunks:   delivered,
+		DroppedChunks:     dropped,
+	}
+}

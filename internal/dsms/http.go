@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 //	DELETE /queries/{id}            deregister
 //	GET    /queries/{id}/frame      next PNG frame (?wait=ms, default 5000; 204 if none)
 //	GET    /queries/{id}/series     time-series points (?from=index)
+//	GET    /queries/{id}/stream     upgrade to a GSP push subscription (?window=chunks)
 //	GET    /explain?q=...           plan + optimized plan with cost annotations
 //	GET    /stats                   server stats: hub routing telemetry, query count, uptime
 //	GET    /metrics                 Prometheus text exposition (operator/hub/delivery telemetry)
@@ -40,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDelete)
 	mux.HandleFunc("GET /queries/{id}/frame", s.handleFrame)
 	mux.HandleFunc("GET /queries/{id}/series", s.handleSeries)
+	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.registry.Handler())
@@ -82,6 +85,9 @@ type QueryInfo struct {
 	Colormap  string          `json:"colormap"`
 	Operators []OperatorStats `json:"operators,omitempty"`
 	Delivery  *DeliveryStats  `json:"delivery,omitempty"`
+	// Wire carries the push-subscription counters (subscribers, chunks
+	// delivered over GSP, chunks dropped on exhausted credit).
+	Wire *WireStats `json:"wire,omitempty"`
 	// State/Error mirror the query's lifecycle entry on /stats: running,
 	// finished, failed, or panicked, with the terminal error when stopped.
 	State string `json:"state,omitempty"`
@@ -125,10 +131,31 @@ type registerRequest struct {
 	VMax     float64 `json:"vmax"`
 }
 
+// maxRegisterBody caps a POST /queries body: a query string plus render
+// options fits in well under a megabyte, and an unbounded read would let
+// one client exhaust server memory.
+const maxRegisterBody = 1 << 20
+
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, maxRegisterBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// A valid JSON object followed by trailing garbage is a malformed
+	// request, not two requests; json.Decoder would silently ignore it.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("bad request body: trailing data after JSON object"))
 		return
 	}
 	if req.Query == "" {
@@ -167,6 +194,8 @@ func (s *Server) queryInfo(r *Registered, withStats bool) QueryInfo {
 		qi.Operators = r.OperatorStats()
 		ds := r.DeliveryStats()
 		qi.Delivery = &ds
+		ws := r.WireStats()
+		qi.Wire = &ws
 		st := r.Status()
 		qi.State, qi.Error = st.State, st.Error
 		if obs, err := query.ExplainObserved(r.Plan, s.Catalog(), r.stats); err == nil {
@@ -293,6 +322,9 @@ type ServerStats struct {
 	Draining          bool            `json:"draining,omitempty"`
 	UptimeSeconds     float64         `json:"uptime_seconds"`
 	Shared            *share.Snapshot `json:"shared,omitempty"`
+	// Ingest reports the GSP feed listener's telemetry; present only
+	// when the server is serving wire ingest.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

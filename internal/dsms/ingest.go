@@ -1,0 +1,396 @@
+package dsms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geostreams/internal/stream"
+	"geostreams/internal/wire"
+)
+
+// The ingest edge of the DSMS: a GSP listener that accepts remote
+// instrument feeds (cmd/geofeed, or any conforming sender) and mounts
+// each band through AddSourceSpec, so the PR-3 supervision machinery —
+// reconnect with backoff, live → reconnecting → dead states, /stats and
+// /metrics exposure — covers network flaps exactly as it covers local
+// stream ends. A feed's first frame must be a hello announcing the
+// band's stream.Info; subsequent connections for a band whose source
+// dropped are handed to the waiting reconnect factory, while a second
+// connection for a band that is still live is rejected with an error
+// frame (split-brain instruments do not interleave).
+
+// wireIngest is the server's GSP listener state and telemetry.
+type wireIngest struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	waiters  map[string]chan *feedHandoff
+	finished map[string]chan struct{}
+
+	connsTotal atomic.Int64
+	active     atomic.Int64
+	rejected   atomic.Int64
+	chunks     atomic.Int64
+	crcErrors  atomic.Int64
+	resyncs    atomic.Int64
+}
+
+// feedHandoff carries an accepted, hello-validated connection to the
+// band's reconnect factory.
+type feedHandoff struct {
+	conn net.Conn
+	rd   *wire.Reader
+	info stream.Info
+}
+
+// IngestStats is the JSON form of the wire-ingest telemetry on /stats.
+type IngestStats struct {
+	Listening         bool   `json:"listening"`
+	ConnectionsTotal  int64  `json:"connections_total"`
+	ActiveConnections int64  `json:"active_connections"`
+	Rejected          int64  `json:"rejected_total"`
+	Chunks            int64  `json:"chunks_total"`
+	CRCErrors         int64  `json:"crc_errors_total"`
+	Resyncs           int64  `json:"resyncs_total"`
+	Addr              string `json:"addr,omitempty"`
+}
+
+// IngestStats snapshots the wire-ingest telemetry; Listening is false
+// when ServeIngest was never called.
+func (s *Server) IngestStats() IngestStats {
+	wi := &s.wire
+	wi.mu.Lock()
+	ln := wi.ln
+	wi.mu.Unlock()
+	st := IngestStats{
+		Listening:         ln != nil,
+		ConnectionsTotal:  wi.connsTotal.Load(),
+		ActiveConnections: wi.active.Load(),
+		Rejected:          wi.rejected.Load(),
+		Chunks:            wi.chunks.Load(),
+		CRCErrors:         wi.crcErrors.Load(),
+		Resyncs:           wi.resyncs.Load(),
+	}
+	if ln != nil {
+		st.Addr = ln.Addr().String()
+	}
+	return st
+}
+
+// ServeIngest accepts GSP feed connections on ln until the server shuts
+// down (which closes ln and every live feed). It blocks like
+// http.Serve; run it in its own goroutine.
+func (s *Server) ServeIngest(ln net.Listener) error {
+	wi := &s.wire
+	wi.mu.Lock()
+	if wi.ln != nil {
+		wi.mu.Unlock()
+		return errors.New("dsms: ingest listener already serving")
+	}
+	wi.ln = ln
+	wi.conns = make(map[net.Conn]struct{})
+	wi.waiters = make(map[string]chan *feedHandoff)
+	wi.mu.Unlock()
+	s.logger().Info("wire ingest listening", "addr", ln.Addr().String())
+
+	closed := make(chan struct{})
+	defer close(closed)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+		case <-s.drain:
+		case <-closed:
+		}
+		ln.Close()
+		wi.mu.Lock()
+		for c := range wi.conns {
+			c.Close()
+		}
+		wi.mu.Unlock()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return nil
+			case <-s.drain:
+				return nil
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		wi.mu.Lock()
+		wi.conns[conn] = struct{}{}
+		wi.mu.Unlock()
+		wi.connsTotal.Add(1)
+		wi.active.Add(1)
+		go s.handleFeed(conn)
+	}
+}
+
+// untrackFeed removes conn from the live set (decrementing the active
+// gauge exactly once) and closes it; safe to call from both the
+// handshake path and the pump goroutine.
+func (s *Server) untrackFeed(conn net.Conn) {
+	wi := &s.wire
+	wi.mu.Lock()
+	_, present := wi.conns[conn]
+	delete(wi.conns, conn)
+	wi.mu.Unlock()
+	if present {
+		wi.active.Add(-1)
+	}
+	conn.Close()
+}
+
+// finishedChan returns (creating if needed) the channel that is closed
+// when the band's feed ends cleanly with a bye frame.
+func (wi *wireIngest) finishedChan(band string) chan struct{} {
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	if wi.finished == nil {
+		wi.finished = make(map[string]chan struct{})
+	}
+	f := wi.finished[band]
+	if f == nil {
+		f = make(chan struct{})
+		wi.finished[band] = f
+	}
+	return f
+}
+
+// markFinished records a clean bye for the band (idempotent).
+func (wi *wireIngest) markFinished(band string) {
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	if wi.finished == nil {
+		wi.finished = make(map[string]chan struct{})
+	}
+	f := wi.finished[band]
+	if f == nil {
+		f = make(chan struct{})
+		wi.finished[band] = f
+	}
+	select {
+	case <-f:
+	default:
+		close(f)
+	}
+}
+
+// handleFeed runs the server half of one feed connection: read and
+// validate the hello, then either attach the band as a new supervised
+// source or hand the connection to the band's waiting reconnect factory.
+func (s *Server) handleFeed(conn net.Conn) {
+	wi := &s.wire
+	log := s.logger().With("remote", conn.RemoteAddr().String())
+	reject := func(msg string) {
+		wi.rejected.Add(1)
+		log.Warn("feed rejected", "reason", msg)
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		wire.NewWriter(conn).Error(msg)                        //nolint:errcheck // best-effort
+		s.untrackFeed(conn)
+	}
+
+	rd := wire.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	f, err := rd.Next()
+	if err != nil {
+		log.Warn("feed dropped before hello", "error", err.Error())
+		s.untrackFeed(conn)
+		return
+	}
+	if f.Type != wire.FrameHello {
+		reject(fmt.Sprintf("first frame is %s, want hello", wire.FrameTypeName(f.Type)))
+		return
+	}
+	info, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	band := info.Band
+	log = log.With("band", band)
+
+	s.mu.Lock()
+	h, attached := s.hubs[band]
+	s.mu.Unlock()
+
+	if !attached {
+		// First connection for this band: attach a supervised source whose
+		// reconnect factory waits for the next incoming feed connection.
+		src := s.pumpFeed(info, conn, rd)
+		err := s.AddSourceSpec(SourceSpec{
+			Stream:    src,
+			Reconnect: s.wireReconnect(band),
+			Retry:     wireRetryPolicy,
+		})
+		if err != nil {
+			// Lost the attach race, or the server is closed. The pump
+			// goroutine owns conn now, so reject and close; the feeder's
+			// redial will land on the handoff path.
+			reject(err.Error())
+			return
+		}
+		log.Info("feed attached", "organization", info.Org.String())
+		return
+	}
+
+	// The band exists. Reject metadata drift and live duplicates; offer
+	// everything else to the reconnect waiter.
+	if err := infoCompatible(h.info, info); err != nil {
+		reject(err.Error())
+		return
+	}
+	if hubState(h.state.Load()) == hubLive {
+		reject(fmt.Sprintf("band %q already live", band))
+		return
+	}
+	select {
+	case <-wi.finishedChan(band):
+		reject(fmt.Sprintf("band %q already ended cleanly", band))
+		return
+	default:
+	}
+	wi.mu.Lock()
+	w := wi.waiters[band]
+	if w == nil {
+		w = make(chan *feedHandoff, 1)
+		wi.waiters[band] = w
+	}
+	wi.mu.Unlock()
+	select {
+	case w <- &feedHandoff{conn: conn, rd: rd, info: info}:
+		log.Info("feed queued for reconnect")
+	default:
+		reject(fmt.Sprintf("band %q already has a pending reconnect feed", band))
+	}
+}
+
+// infoCompatible rejects a reconnecting feed whose announced metadata
+// drifted from the attached band's: the hub's subscribers were planned
+// against the original Info, so a silent change would corrupt them.
+func infoCompatible(have, got stream.Info) error {
+	switch {
+	case have.CRS.Name() != got.CRS.Name():
+		return fmt.Errorf("band %q reconnected with CRS %s, want %s", got.Band, got.CRS.Name(), have.CRS.Name())
+	case have.Org != got.Org:
+		return fmt.Errorf("band %q reconnected with organization %s, want %s", got.Band, got.Org.String(), have.Org.String())
+	case have.Stamp != got.Stamp:
+		return fmt.Errorf("band %q reconnected with stamping %s, want %s", got.Band, got.Stamp.String(), have.Stamp.String())
+	}
+	return nil
+}
+
+// wireRetryPolicy is the supervision schedule for wire-fed bands: fast,
+// patient retries sized for network flaps (the factory itself blocks up
+// to wireReconnectWait per attempt waiting for the instrument to dial
+// back in).
+var wireRetryPolicy = RetryPolicy{MaxAttempts: 20, Base: 100 * time.Millisecond, Max: time.Second}
+
+// wireReconnectWait bounds one reconnect attempt's wait for an incoming
+// feed connection.
+const wireReconnectWait = 3 * time.Second
+
+// wireReconnect builds the SourceSpec.Reconnect factory for a wire-fed
+// band: each attempt waits for handleFeed to deliver the next validated
+// connection for the band.
+func (s *Server) wireReconnect(band string) func(ctx context.Context) (*stream.Stream, error) {
+	wi := &s.wire
+	wi.mu.Lock()
+	w := wi.waiters[band]
+	if w == nil {
+		w = make(chan *feedHandoff, 1)
+		wi.waiters[band] = w
+	}
+	wi.mu.Unlock()
+	return func(ctx context.Context) (*stream.Stream, error) {
+		select {
+		case h := <-w:
+			return s.pumpFeed(h.info, h.conn, h.rd), nil
+		case <-wi.finishedChan(band):
+			// The feed said bye: the instrument is done, not flapping.
+			return nil, ErrSourceFinished
+		case <-time.After(wireReconnectWait):
+			return nil, fmt.Errorf("dsms: no incoming feed for band %q", band)
+		case <-s.drain:
+			return nil, ErrDraining
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pumpFeed turns a validated feed connection into a band stream: a
+// goroutine decodes chunk frames into the channel until the feed says
+// bye, the connection breaks, or it goes idle past the heartbeat
+// deadline. The stream just ends on any of those — the supervisor
+// decides whether that means reconnect or dead.
+func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader) *stream.Stream {
+	wi := &s.wire
+	ch := make(chan *stream.Chunk, stream.DefaultBuffer)
+	log := s.logger().With("band", info.Band, "remote", conn.RemoteAddr().String())
+	go func() {
+		defer close(ch)
+		defer s.untrackFeed(conn)
+		var lastCRC, lastResync int64
+		for {
+			conn.SetReadDeadline(time.Now().Add(wire.DefaultIdleTimeout)) //nolint:errcheck
+			f, err := rd.Next()
+			// Corruption telemetry accumulates on the reader; mirror the
+			// deltas into the server-wide counters as they happen.
+			if c := rd.CRCErrors(); c != lastCRC {
+				wi.crcErrors.Add(c - lastCRC)
+				lastCRC = c
+			}
+			if r := rd.Resyncs(); r != lastResync {
+				wi.resyncs.Add(r - lastResync)
+				lastResync = r
+			}
+			if err != nil {
+				log.Warn("feed connection ended", "error", err.Error())
+				return
+			}
+			switch f.Type {
+			case wire.FrameHeartbeat:
+				continue
+			case wire.FrameBye:
+				log.Info("feed said bye")
+				wi.markFinished(info.Band)
+				return
+			case wire.FrameChunk:
+				c, err := wire.DecodeChunk(f.Payload)
+				if err != nil {
+					// The frame's CRC verified but the payload is not a
+					// chunk: a protocol bug on the sender, not line noise.
+					// Drop the connection rather than guess.
+					log.Warn("feed sent undecodable chunk", "error", err.Error())
+					return
+				}
+				wi.chunks.Add(1)
+				select {
+				case ch <- c:
+				case <-s.drain:
+					return
+				case <-s.ctx.Done():
+					return
+				}
+			default:
+				log.Warn("feed sent unexpected frame", "type", wire.FrameTypeName(f.Type))
+				return
+			}
+		}
+	}()
+	return &stream.Stream{Info: info, C: ch}
+}

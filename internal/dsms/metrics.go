@@ -21,6 +21,10 @@ import (
 //	geostreams_operator_chunk_age_seconds{...}          ingest→operator age
 //	geostreams_delivery_*{query=...}                    delivery stage
 //	geostreams_delivery_chunk_age_seconds{query=...}    end-to-end freshness
+//	geostreams_wire_ingest_*                            GSP feed listener
+//	geostreams_wire_subscribers{query=...}              live push subscriptions
+//	geostreams_wire_egress_chunks_total{query=...}      chunks pushed over GSP
+//	geostreams_wire_backpressure_dropped_total{query=}  credit-exhausted drops
 func (s *Server) Collect(e *obs.Exposition) {
 	s.mu.Lock()
 	hubs := make([]*hub, 0, len(s.hubs))
@@ -166,6 +170,20 @@ func (s *Server) Collect(e *obs.Exposition) {
 				st.AgeSnapshot(), lbl...)
 		}
 
+		ws := r.WireStats()
+		e.Gauge("geostreams_wire_subscribers",
+			"Push subscriptions currently attached to this query.",
+			float64(ws.ActiveSubscribers), q)
+		e.Counter("geostreams_wire_subscribers_total",
+			"Push subscriptions ever attached to this query.",
+			float64(ws.SubscribersTotal), q)
+		e.Counter("geostreams_wire_egress_chunks_total",
+			"Chunks enqueued to this query's push subscribers.",
+			float64(ws.DeliveredChunks), q)
+		e.Counter("geostreams_wire_backpressure_dropped_total",
+			"Data chunks dropped because a push subscriber's credit was exhausted or its buffer full.",
+			float64(ws.DroppedChunks), q)
+
 		ds := r.DeliveryStats()
 		e.Counter("geostreams_delivery_frames_total",
 			"PNG frames assembled and queued for the client.",
@@ -182,5 +200,26 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Histogram("geostreams_delivery_chunk_age_seconds",
 			"End-to-end seconds from instrument ingest to the delivery stage.",
 			r.deliv.age.Snapshot(), q)
+	}
+
+	if is := s.IngestStats(); is.Listening {
+		e.Counter("geostreams_wire_ingest_connections_total",
+			"GSP feed connections accepted by the ingest listener.",
+			float64(is.ConnectionsTotal))
+		e.Gauge("geostreams_wire_ingest_active_connections",
+			"GSP feed connections currently open.",
+			float64(is.ActiveConnections))
+		e.Counter("geostreams_wire_ingest_rejected_total",
+			"GSP feed connections rejected (bad hello, metadata drift, duplicate live band).",
+			float64(is.Rejected))
+		e.Counter("geostreams_wire_ingest_chunks_total",
+			"Chunks decoded from GSP feed connections.",
+			float64(is.Chunks))
+		e.Counter("geostreams_wire_ingest_crc_errors_total",
+			"GSP frames discarded for CRC mismatch across feed connections.",
+			float64(is.CRCErrors))
+		e.Counter("geostreams_wire_ingest_resyncs_total",
+			"Times a feed reader scanned for the magic word after losing frame alignment.",
+			float64(is.Resyncs))
 	}
 }

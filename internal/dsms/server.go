@@ -26,6 +26,14 @@ var ErrDraining = errors.New("dsms: server is draining")
 // admission limit is reached; the HTTP layer maps it to 503 + Retry-After.
 var ErrTooManyQueries = errors.New("dsms: too many queries")
 
+// ErrSourceFinished is returned (possibly wrapped) by a
+// SourceSpec.Reconnect factory to signal that the source ended cleanly
+// and will never come back — the supervisor declares the band dead at
+// once instead of burning the retry budget. The wire ingest layer uses
+// it when a feed says bye (a finished instrument) rather than dropping
+// the connection (a flap).
+var ErrSourceFinished = errors.New("dsms: source finished")
+
 // Server is the DSMS of Fig. 3. Instrument band streams are attached with
 // AddSource; continuous queries register against them, are optimized, and
 // run until deregistered; results are delivered through per-query frame
@@ -81,6 +89,10 @@ type Server struct {
 	log      *obs.Logger
 	debug    bool
 	started  time.Time
+
+	// wire is the GSP ingest listener state (see ingest.go); zero until
+	// ServeIngest runs.
+	wire wireIngest
 }
 
 // NewServer creates a DSMS whose lifetime is bounded by ctx. Attach
@@ -303,6 +315,10 @@ func (s *Server) supervise(ctx context.Context, h *hub, spec SourceSpec) error {
 				return nil
 			}
 			ns, err := spec.Reconnect(ctx)
+			if errors.Is(err, ErrSourceFinished) {
+				log.Info("source finished cleanly", "state", hubDead.String())
+				return nil
+			}
 			if err != nil {
 				log.Warn("reconnect attempt failed", "attempt", int64(attempt),
 					"backoff", d.String(), "error", err.Error())
@@ -497,6 +513,10 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	if wrap != nil {
 		out = wrap(qg, out)
 	}
+	// Tap adapter for push subscribers: the delivery stage keeps its
+	// blocking semantics on the pass-through; wire egress attaches
+	// credit-bounded taps that shed instead of stalling the pipeline.
+	out, taps := stream.NewTapSet(qg, out)
 
 	r := &Registered{
 		ID:      id,
@@ -511,6 +531,7 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		bands:   subscribed,
 		shared:  shared,
 		detach:  detach,
+		taps:    taps,
 		frames:  newFrameQueue(8),
 		series:  newSeriesBuffer(4096),
 		stopped: make(chan struct{}),
@@ -630,6 +651,9 @@ func (s *Server) ServerStats() ServerStats {
 	if m := s.sharingManager(); m != nil {
 		snap := m.Snapshot()
 		st.Shared = &snap
+	}
+	if is := s.IngestStats(); is.Listening {
+		st.Ingest = &is
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package dsms
 
 import (
+	"context"
 	"fmt"
 
 	"geostreams/internal/geom"
@@ -88,7 +89,7 @@ func (s *Server) buildShared(qg *stream.Group, plan query.Node, m *share.Manager
 		}
 		mounts[root] = mt
 		sigs = append(sigs, mt.Short)
-		pre[root] = mt.Out
+		pre[root] = guardMount(qg, mt.Out)
 	}
 	out, suffix, err := query.BuildPartial(qg, plan, nil, pre)
 	if err != nil {
@@ -96,6 +97,37 @@ func (s *Server) buildShared(qg *stream.Group, plan query.Node, m *share.Manager
 		return nil, nil, nil, nil, err
 	}
 	return out, mergeShareStats(plan, mounts, suffix), sigs, release, nil
+}
+
+// guardMount interposes a cancellation-aware pass-through between a trunk
+// tap and the private suffix. A private pipeline's operators may block in
+// a bare receive on their input because cancellation always closes the
+// channel chain from the source down; a released mount breaks that
+// invariant — its tap detaches but the channel stays open (the trunk
+// keeps feeding other subscribers), so a suffix operator reading it
+// directly would hang past Deregister on a live source. The guard closes
+// its downstream channel when the query group cancels, restoring the
+// invariant.
+func guardMount(qg *stream.Group, in *stream.Stream) *stream.Stream {
+	out := make(chan *stream.Chunk, stream.DefaultBuffer)
+	inC := in.C
+	qg.Go(func(ctx context.Context) error {
+		defer close(out)
+		for {
+			select {
+			case c, ok := <-inC:
+				if !ok {
+					return nil
+				}
+				if err := stream.Send(ctx, out, c); err != nil {
+					return nil
+				}
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	})
+	return &stream.Stream{Info: in.Info, C: out}
 }
 
 // mergeShareStats interleaves trunk stats and private-suffix stats into the

@@ -1,12 +1,14 @@
 package dsms
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"geostreams/internal/faults"
+	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
 
@@ -244,5 +246,61 @@ func TestSharedExplainAnnotates(t *testing.T) {
 	}
 	if !strings.Contains(out, "[shared ") {
 		t.Fatalf("EXPLAIN output has no shared annotations:\n%s", out)
+	}
+}
+
+// TestDeregisterUnblocksSharedSuffixOnLiveSource pins the teardown
+// contract for shared queries with a private suffix. Releasing a trunk
+// mount detaches its tap but leaves the tap channel open (the trunk
+// keeps feeding other subscribers), so a suffix operator blocked in a
+// bare receive on it — stretch, here — would hang Deregister forever on
+// a source that never ends. guardMount must unwind it promptly.
+func TestDeregisterUnblocksSharedSuffixOnLiveSource(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewServer(ctx)
+	defer s.Close() //nolint:errcheck
+	s.SetSharing(true)
+	info := wireTestInfo(t, "vis")
+	src := make(chan *stream.Chunk, 64)
+	if err := s.AddSource(&stream.Stream{Info: info, C: src}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Register("stretch(vis, linear, 0, 255)", DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	// One full sector, then the channel stays open: a live feed.
+	full := info.SectorGeom
+	for row := 0; row < full.H; row++ {
+		rl, err := geom.NewLattice(full.X0, full.Y0+float64(row)*full.DY,
+			full.DX, full.DY, full.W, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, full.W)
+		for i := range vals {
+			vals[i] = float64(row*10 + i)
+		}
+		c, err := stream.NewGridChunk(1, rl, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src <- c
+	}
+	src <- stream.NewEndOfSector(1, full)
+	if _, ok := r.NextFrame(5 * time.Second); !ok {
+		t.Fatal("no frame delivered before deregister")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Deregister(r.ID) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deregister hung: shared suffix never unwound on a live source")
 	}
 }

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Byte-level fault injectors for the wire layer: where the chunk-level
+// Injector models a lossy transport above the codec, these corrupt the
+// byte stream below it, exercising the GSP reader's CRC rejection and
+// resynchronization. Deterministic from their seed, like everything in
+// this package.
+
+// ByteMangler wraps a reader and flips bits in the bytes passing
+// through, each byte independently with probability FlipProb.
+type ByteMangler struct {
+	r   io.Reader
+	rng *rand.Rand
+	// FlipProb is the per-byte probability of XOR-ing in one random bit.
+	FlipProb float64
+	// Flipped counts corrupted bytes.
+	Flipped atomic.Int64
+}
+
+// NewByteMangler builds a mangler over r; prob is the per-byte
+// corruption probability.
+func NewByteMangler(r io.Reader, seed int64, prob float64) *ByteMangler {
+	return &ByteMangler{r: r, rng: rand.New(rand.NewSource(seed)), FlipProb: prob}
+}
+
+// Read reads from the wrapped reader and corrupts the result in place.
+func (m *ByteMangler) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	for i := 0; i < n; i++ {
+		if m.rng.Float64() < m.FlipProb {
+			p[i] ^= 1 << uint(m.rng.Intn(8))
+			m.Flipped.Add(1)
+		}
+	}
+	return n, err
+}
+
+// CutWriter wraps a writer and cuts the connection mid-write after N
+// bytes: everything up to the cut is written through, the rest of that
+// write and every later write fail with the given error — a partial
+// frame on the wire, as a TCP reset mid-send would leave it.
+type CutWriter struct {
+	w         io.Writer
+	remain    int
+	err       error
+	cut       bool
+	Written   atomic.Int64
+	Truncated atomic.Int64
+}
+
+// NewCutWriter builds a writer that fails with err after passing
+// through cutAfter bytes.
+func NewCutWriter(w io.Writer, cutAfter int, err error) *CutWriter {
+	if err == nil {
+		err = io.ErrClosedPipe
+	}
+	return &CutWriter{w: w, remain: cutAfter, err: err}
+}
+
+// Cut reports whether the cut has happened.
+func (c *CutWriter) Cut() bool { return c.cut }
+
+func (c *CutWriter) Write(p []byte) (int, error) {
+	if c.cut {
+		return 0, c.err
+	}
+	if len(p) <= c.remain {
+		n, err := c.w.Write(p)
+		c.remain -= n
+		c.Written.Add(int64(n))
+		return n, err
+	}
+	// The cut lands inside this write: emit the prefix, then fail.
+	n, _ := c.w.Write(p[:c.remain])
+	c.Written.Add(int64(n))
+	c.Truncated.Add(int64(len(p) - n))
+	c.cut = true
+	return n, c.err
+}

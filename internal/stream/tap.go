@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// TapSet interposes on a stream for push delivery: the primary consumer
+// (the DSMS delivery stage) sees every chunk with unchanged blocking
+// semantics, while wire subscribers attach credit-bounded taps that are
+// strictly best-effort — a tap with exhausted credit or a full buffer
+// drops the chunk (and counts it) instead of blocking the pipeline. This
+// is the egress mirror of the hub's slow-consumer shedding: one stalled
+// network client can never stall the hub or the delivery stage.
+//
+// Credit accounting: each data chunk enqueued to a tap consumes one unit
+// of the credit its consumer granted; punctuation rides free (downstream
+// assembly needs sector boundaries) but still bounded by the tap's
+// buffer. Taps attach and detach while the stream flows; when the input
+// closes, every tap's channel closes after the queued chunks drain.
+type TapSet struct {
+	mu     sync.Mutex
+	taps   []*CreditTap
+	closed bool
+
+	// Cumulative across attached and since-detached taps, for /stats and
+	// /metrics: taps ever attached, chunks enqueued, and data chunks
+	// dropped on exhausted credit or a full tap buffer.
+	attached  atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// CreditTap is one credit-bounded reader of a TapSet.
+type CreditTap struct {
+	ts     *TapSet
+	c      chan *Chunk
+	credit atomic.Int64
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+
+	detached bool // guarded by ts.mu; closed channel must not be sent to
+	once     sync.Once
+}
+
+// NewTapSet wires the tap adapter onto in inside the group, returning the
+// primary pass-through stream and the tap set.
+func NewTapSet(g *Group, in *Stream) (*Stream, *TapSet) {
+	ts := &TapSet{}
+	out := make(chan *Chunk, DefaultBuffer)
+	inC := in.C
+	g.Go(func(ctx context.Context) error {
+		defer ts.finish()
+		defer close(out)
+		for {
+			select {
+			case c, ok := <-inC:
+				if !ok {
+					return nil
+				}
+				ts.offer(c)
+				if err := Send(ctx, out, c); err != nil {
+					return nil
+				}
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	})
+	return &Stream{Info: in.Info, C: out}, ts
+}
+
+// Attach adds a tap whose buffer holds at most window chunks. If the
+// stream has already ended the returned tap's channel is closed
+// immediately, so the subscriber sees a normal end of stream.
+func (ts *TapSet) Attach(window int) *CreditTap {
+	if window < 1 {
+		window = 1
+	}
+	t := &CreditTap{ts: ts, c: make(chan *Chunk, window)}
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		close(t.c)
+		return t
+	}
+	ts.taps = append(ts.taps, t)
+	ts.mu.Unlock()
+	ts.attached.Add(1)
+	return t
+}
+
+// Stats reports the tap set's cumulative counters: taps ever attached,
+// taps currently attached, chunks enqueued, and data chunks dropped for
+// exhausted credit or a full tap buffer.
+func (ts *TapSet) Stats() (attached int64, active int, delivered, dropped int64) {
+	ts.mu.Lock()
+	active = len(ts.taps)
+	ts.mu.Unlock()
+	return ts.attached.Load(), active, ts.delivered.Load(), ts.dropped.Load()
+}
+
+// offer enqueues c to every attached tap without ever blocking: a data
+// chunk needs one unit of credit and a buffer slot, punctuation needs
+// only the slot. The set lock is held across the (non-blocking) sends so
+// a concurrent Close cannot close a channel mid-send.
+func (ts *TapSet) offer(c *Chunk) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, t := range ts.taps {
+		if c.IsData() {
+			if t.credit.Load() <= 0 {
+				t.dropped.Add(1)
+				ts.dropped.Add(1)
+				continue
+			}
+			select {
+			case t.c <- c:
+				t.credit.Add(-1)
+				t.delivered.Add(1)
+				ts.delivered.Add(1)
+			default:
+				t.dropped.Add(1)
+				ts.dropped.Add(1)
+			}
+			continue
+		}
+		select {
+		case t.c <- c:
+			t.delivered.Add(1)
+			ts.delivered.Add(1)
+		default:
+			t.dropped.Add(1)
+			ts.dropped.Add(1)
+		}
+	}
+}
+
+// finish closes every still-attached tap's channel; queued chunks remain
+// readable until drained. Which side closes a tap's channel (finish or
+// Close) is decided under the set lock via the detached flag, so the two
+// can race safely.
+func (ts *TapSet) finish() {
+	ts.mu.Lock()
+	var toClose []*CreditTap
+	for _, t := range ts.taps {
+		if !t.detached {
+			t.detached = true
+			toClose = append(toClose, t)
+		}
+	}
+	ts.taps = nil
+	ts.closed = true
+	ts.mu.Unlock()
+	for _, t := range toClose {
+		close(t.c)
+	}
+}
+
+// C returns the tap's receive channel; it closes when the stream ends or
+// the tap is detached.
+func (t *CreditTap) C() <-chan *Chunk { return t.c }
+
+// Grant extends the tap's credit by n data chunks.
+func (t *CreditTap) Grant(n int) {
+	if n > 0 {
+		t.credit.Add(int64(n))
+	}
+}
+
+// Credit returns the currently unconsumed credit.
+func (t *CreditTap) Credit() int64 { return t.credit.Load() }
+
+// Delivered returns how many chunks were enqueued to this tap.
+func (t *CreditTap) Delivered() int64 { return t.delivered.Load() }
+
+// Dropped returns how many data chunks were dropped for exhausted credit
+// or a full buffer.
+func (t *CreditTap) Dropped() int64 { return t.dropped.Load() }
+
+// Close detaches the tap and closes its channel. Idempotent; safe to
+// race with the forwarder (the set lock orders detach against offers)
+// and with the stream ending.
+func (t *CreditTap) Close() {
+	t.once.Do(func() {
+		t.ts.mu.Lock()
+		shouldClose := !t.detached
+		t.detached = true
+		for i, x := range t.ts.taps {
+			if x == t {
+				t.ts.taps = append(t.ts.taps[:i], t.ts.taps[i+1:]...)
+				break
+			}
+		}
+		t.ts.mu.Unlock()
+		if shouldClose {
+			close(t.c)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+)
+
+func tapChunk(t geom.Timestamp) *Chunk {
+	return &Chunk{
+		Kind: KindGrid, T: t,
+		Grid: &GridPatch{
+			Lat:  geom.Lattice{X0: 0, Y0: 0, DX: 1, DY: 1, W: 1, H: 1},
+			Vals: []float64{float64(t)},
+		},
+	}
+}
+
+// feedTapSet pushes n data chunks plus one end-of-sector through a tap
+// set and drains the primary, returning the tap set.
+func runTapSet(t *testing.T, n int, attach func(*TapSet)) *TapSet {
+	t.Helper()
+	g := NewGroup(context.Background())
+	in := make(chan *Chunk)
+	out, ts := NewTapSet(g, &Stream{C: in})
+	attach(ts)
+	done := make(chan int)
+	go func() {
+		got := 0
+		for range out.C {
+			got++
+		}
+		done <- got
+	}()
+	for i := 0; i < n; i++ {
+		in <- tapChunk(geom.Timestamp(i))
+	}
+	in <- NewEndOfSector(geom.Timestamp(n), geom.Lattice{X0: 0, Y0: 0, DX: 1, DY: 1, W: 1, H: 1})
+	close(in)
+	if got := <-done; got != n+1 {
+		t.Fatalf("primary saw %d chunks, want %d", got, n+1)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestTapSetPrimaryUnaffectedByStarvedTap(t *testing.T) {
+	var tap *CreditTap
+	ts := runTapSet(t, 10, func(ts *TapSet) {
+		tap = ts.Attach(4) // no credit granted: every data chunk drops
+	})
+	if got := tap.Dropped(); got != 10 {
+		t.Fatalf("starved tap dropped %d, want 10", got)
+	}
+	// Punctuation rides free: it must be in the tap's channel.
+	var kinds []Kind
+	for c := range tap.C() {
+		kinds = append(kinds, c.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != KindEndOfSector {
+		t.Fatalf("starved tap received %v, want one end-of-sector", kinds)
+	}
+	_, _, delivered, dropped := ts.Stats()
+	if delivered != 1 || dropped != 10 {
+		t.Fatalf("set stats delivered=%d dropped=%d", delivered, dropped)
+	}
+}
+
+func TestTapSetCreditBoundsDelivery(t *testing.T) {
+	var tap *CreditTap
+	runTapSet(t, 10, func(ts *TapSet) {
+		tap = ts.Attach(16)
+		tap.Grant(3)
+	})
+	data, punct := 0, 0
+	for c := range tap.C() {
+		if c.IsData() {
+			data++
+		} else {
+			punct++
+		}
+	}
+	if data != 3 || punct != 1 {
+		t.Fatalf("tap got %d data + %d punctuation, want 3 + 1", data, punct)
+	}
+	if tap.Dropped() != 7 {
+		t.Fatalf("dropped %d, want 7", tap.Dropped())
+	}
+	if tap.Credit() != 0 {
+		t.Fatalf("credit %d, want 0", tap.Credit())
+	}
+}
+
+func TestTapSetFullBufferDropsEvenWithCredit(t *testing.T) {
+	var tap *CreditTap
+	runTapSet(t, 10, func(ts *TapSet) {
+		tap = ts.Attach(2) // room for 2 chunks total
+		tap.Grant(1000)    // credit is not the constraint
+	})
+	if tap.Delivered() != 2 {
+		t.Fatalf("delivered %d, want 2 (buffer size)", tap.Delivered())
+	}
+	if tap.Dropped() != 9 {
+		// 8 data chunks past the full buffer + the punctuation that found
+		// no slot either.
+		t.Fatalf("dropped %d, want 9", tap.Dropped())
+	}
+}
+
+func TestTapSetAttachAfterCloseYieldsClosedTap(t *testing.T) {
+	ts := runTapSet(t, 1, func(*TapSet) {})
+	tap := ts.Attach(4)
+	select {
+	case _, ok := <-tap.C():
+		if ok {
+			t.Fatal("late tap received a chunk")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("late tap's channel not closed")
+	}
+}
+
+func TestTapSetCloseDetaches(t *testing.T) {
+	g := NewGroup(context.Background())
+	in := make(chan *Chunk)
+	out, ts := NewTapSet(g, &Stream{C: in})
+	go func() {
+		for range out.C {
+		}
+	}()
+	tap := ts.Attach(4)
+	tap.Grant(100)
+	in <- tapChunk(1)
+	if c := <-tap.C(); c.T != 1 {
+		t.Fatalf("tap got T=%d", c.T)
+	}
+	tap.Close()
+	tap.Close()       // idempotent
+	in <- tapChunk(2) // must not panic on a closed tap channel
+	close(in)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, active, _, _ := ts.Stats(); active != 0 {
+		t.Fatalf("%d taps active after close", active)
+	}
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"geostreams/internal/stream"
+)
+
+// FeedOptions tune a FeedStream connection.
+type FeedOptions struct {
+	// Heartbeat is the idle keep-alive interval (DefaultHeartbeat if zero).
+	Heartbeat time.Duration
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RedialAttempts bounds consecutive failed reconnections before the
+	// feed gives up (default 30). A successful reconnect resets the count.
+	RedialAttempts int
+	// RedialBackoff is the pause between reconnection attempts
+	// (default 500ms).
+	RedialBackoff time.Duration
+	// WriteTimeout bounds one frame write (default 30s).
+	WriteTimeout time.Duration
+}
+
+func (o FeedOptions) withDefaults() FeedOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 30
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 500 * time.Millisecond
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// FeedStats counts what one FeedStream did.
+type FeedStats struct {
+	Chunks  atomic.Int64
+	Redials atomic.Int64
+}
+
+// feedConn is one live connection of a feed.
+type feedConn struct {
+	conn net.Conn
+	wr   *Writer
+}
+
+// FeedStream pumps every chunk of src over GSP to the ingest listener at
+// addr: dial, hello, then one chunk frame per chunk with heartbeats while
+// idle, and a clean bye when src ends. A connection failure mid-frame
+// redials with backoff and resends the failed chunk on the new connection
+// (src is paced by this sender, so nothing is lost while disconnected —
+// the instrument simply backs up). It returns nil when src closed and the
+// bye was sent, ctx.Err() on cancellation, or the dial error once the
+// redial budget is exhausted.
+func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedOptions, st *FeedStats) error {
+	opts = opts.withDefaults()
+	if st == nil {
+		st = &FeedStats{}
+	}
+	fc, err := dialFeed(ctx, addr, src.Info, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if fc != nil {
+			fc.conn.Close()
+		}
+	}()
+
+	hb := time.NewTicker(opts.Heartbeat)
+	defer hb.Stop()
+
+	// write sends one frame, redialling (and re-sending hello) on failure.
+	write := func(send func(*Writer) error) error {
+		for {
+			fc.conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)) //nolint:errcheck
+			err := send(fc.wr)
+			if err == nil {
+				return nil
+			}
+			fc.conn.Close()
+			fc = nil
+			for attempt := 1; ; attempt++ {
+				if attempt > opts.RedialAttempts {
+					return fmt.Errorf("wire: feed %s: gave up after %d redial attempts: %w",
+						addr, opts.RedialAttempts, err)
+				}
+				select {
+				case <-time.After(opts.RedialBackoff):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				nc, derr := dialFeed(ctx, addr, src.Info, opts)
+				if derr != nil {
+					err = derr
+					continue
+				}
+				st.Redials.Add(1)
+				fc = nc
+				break
+			}
+		}
+	}
+
+	for {
+		select {
+		case c, ok := <-src.C:
+			if !ok {
+				return write(func(w *Writer) error { return w.Bye() })
+			}
+			if err := write(func(w *Writer) error { return w.Chunk(c) }); err != nil {
+				return err
+			}
+			st.Chunks.Add(1)
+		case <-hb.C:
+			if err := write(func(w *Writer) error { return w.Heartbeat() }); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func dialFeed(ctx context.Context, addr string, info stream.Info, opts FeedOptions) (*feedConn, error) {
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	wr := NewWriter(conn)
+	conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)) //nolint:errcheck
+	if err := wr.Hello(info); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: feed hello: %w", err)
+	}
+	return &feedConn{conn: conn, wr: wr}, nil
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"geostreams/internal/stream"
+)
+
+// Subscription is the client half of a GSP egress connection: it reads
+// chunk frames and manages the credit window, granting the server more
+// credit as chunks are consumed so a prompt reader never starves the
+// sender while a slow reader naturally throttles it.
+type Subscription struct {
+	conn   net.Conn
+	rd     *Reader
+	wr     *Writer
+	window int
+	// consumed counts data chunks delivered to the caller since the last
+	// grant; the window is topped up once half of it has been used.
+	consumed int
+	// Info is the query output stream's metadata from the server's hello.
+	Info stream.Info
+	// IdleTimeout bounds the wait for any frame (heartbeats included);
+	// DefaultIdleTimeout if zero.
+	IdleTimeout time.Duration
+	closed      bool
+}
+
+// ErrServer is wrapped by Next when the server terminated the
+// subscription with an error frame.
+var ErrServer = errors.New("wire: server error")
+
+// NewSubscription speaks the egress protocol on an established
+// connection (the HTTP upgrade has already happened): it reads the
+// server's hello and grants the initial credit window. br carries any
+// bytes already buffered during the handshake; pass nil to read straight
+// from conn.
+func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription, error) {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	var src io.Reader = conn
+	if br != nil {
+		src = br
+	}
+	s := &Subscription{conn: conn, rd: NewReader(src), wr: NewWriter(conn), window: window}
+	conn.SetReadDeadline(time.Now().Add(DefaultIdleTimeout)) //nolint:errcheck
+	f, err := s.rd.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: subscribe: %w", err)
+	}
+	if f.Type != FrameHello {
+		conn.Close()
+		return nil, fmt.Errorf("wire: subscribe: first frame is %s, want hello", FrameTypeName(f.Type))
+	}
+	info, err := DecodeHello(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.Info = info
+	if err := s.wr.Credit(uint32(window)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: subscribe: initial credit: %w", err)
+	}
+	return s, nil
+}
+
+// Next returns the next chunk. It returns io.EOF after the server's bye
+// frame (clean end: the query finished or was deregistered), and a
+// wrapped ErrServer if the server sent an error frame.
+func (s *Subscription) Next() (*stream.Chunk, error) {
+	idle := s.IdleTimeout
+	if idle <= 0 {
+		idle = DefaultIdleTimeout
+	}
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck
+		f, err := s.rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f.Type {
+		case FrameHeartbeat:
+			continue
+		case FrameBye:
+			return nil, io.EOF
+		case FrameError:
+			return nil, fmt.Errorf("%w: %s", ErrServer, f.Payload)
+		case FrameChunk:
+			c, err := DecodeChunk(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if c.IsData() {
+				// Top up the window once half of it is consumed, so the
+				// server is never starved by grant latency.
+				s.consumed++
+				if s.consumed >= s.window/2 || s.window == 1 {
+					if err := s.wr.Credit(uint32(s.consumed)); err != nil {
+						return nil, fmt.Errorf("wire: credit grant: %w", err)
+					}
+					s.consumed = 0
+				}
+			}
+			return c, nil
+		default:
+			return nil, fmt.Errorf("wire: unexpected %s frame on subscription", FrameTypeName(f.Type))
+		}
+	}
+}
+
+// Grant extends the server's credit window ahead of consumption, on top
+// of the automatic half-window top-ups Next performs. A consumer that
+// simply stops calling Next stops granting — that is the slow-consumer
+// degradation the server's backpressure metrics measure.
+func (s *Subscription) Grant(n int) error {
+	return s.wr.Credit(uint32(n))
+}
+
+// Close ends the subscription: a best-effort bye, then the connection
+// closes. Safe to call twice.
+func (s *Subscription) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	s.wr.Bye()                                               //nolint:errcheck // best-effort
+	return s.conn.Close()
+}

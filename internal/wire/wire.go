@@ -1,0 +1,101 @@
+// Package wire implements GSP, the GeoStreams Stream Protocol: the
+// length-prefixed binary framing that carries stream.Chunks and
+// punctuation over a network connection on both edges of the DSMS —
+// instrument feeds into the server (ingest) and push subscriptions out to
+// clients (egress).
+//
+// The paper's prototype (§4) assumes instruments deliver point streams to
+// the DSMS over a network and that clients receive continuous results;
+// GSP is that wire. A GSP connection is a unidirectional chunk stream
+// plus a thin control channel in the opposite direction (credit grants,
+// heartbeats).
+//
+// # Frame format
+//
+// Every frame is:
+//
+//	+-------------+------+----------+-----------------+-------+
+//	| magic "GSP1"| type | length   | payload         | crc32 |
+//	|   4 bytes   | 1 B  | 4 B (BE) | length bytes    | 4 B   |
+//	+-------------+------+----------+-----------------+-------+
+//
+// The CRC-32 (IEEE) covers the type byte, the length field, and the
+// payload. All integers are big-endian. A reader that observes a bad
+// magic, an oversized length, or a CRC mismatch discards bytes until the
+// next magic word and counts a resync — a corrupted frame is therefore
+// detected and skipped, never delivered as a wrong chunk.
+//
+// # Frame types
+//
+//	hello      sender → receiver   JSON stream metadata (band, CRS, ...)
+//	chunk      sender → receiver   one binary stream.Chunk
+//	heartbeat  both directions     empty; keeps idle connections alive
+//	credit     receiver → sender   uint32 grant of N further chunk frames
+//	bye        sender → receiver   clean end of stream
+//	error      either direction    UTF-8 message; the connection is dead
+//
+// # Credit-based flow control
+//
+// On an egress connection the server only sends data-chunk frames while
+// it holds client credit: the client grants N-chunk credits with credit
+// frames, each data chunk sent consumes one, and when credit is exhausted
+// the server drops that subscriber's chunks (counting them in the
+// geostreams_wire_backpressure metrics) instead of buffering or blocking
+// the hub. Punctuation rides free so sector boundaries always reach the
+// client. Ingest connections do not use credit: the feed is paced by TCP
+// and the hub's own shedding policy.
+package wire
+
+import "time"
+
+// Frame types.
+const (
+	FrameHello     byte = 1
+	FrameChunk     byte = 2
+	FrameHeartbeat byte = 3
+	FrameCredit    byte = 4
+	FrameBye       byte = 5
+	FrameError     byte = 6
+)
+
+// FrameTypeName renders a frame type for logs and errors.
+func FrameTypeName(t byte) string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameChunk:
+		return "chunk"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameCredit:
+		return "credit"
+	case FrameBye:
+		return "bye"
+	case FrameError:
+		return "error"
+	}
+	return "unknown"
+}
+
+const (
+	// MaxFrame is the default cap on a frame payload. A full 1024×1024
+	// float64 sector is 8 MiB; 64 MiB leaves generous headroom while still
+	// bounding what a corrupted length field can make a reader allocate.
+	MaxFrame = 64 << 20
+
+	// DefaultHeartbeat is how often an idle GSP sender emits a heartbeat
+	// frame so the peer's read deadline keeps advancing.
+	DefaultHeartbeat = 2 * time.Second
+
+	// DefaultIdleTimeout is how long a GSP reader waits without any frame
+	// (heartbeats included) before declaring the connection dead. It must
+	// comfortably exceed DefaultHeartbeat.
+	DefaultIdleTimeout = 15 * time.Second
+
+	// DefaultWindow is the default egress credit window: the most chunk
+	// frames the server will have in flight per subscriber.
+	DefaultWindow = 64
+)
+
+// magic is the frame sync word: "GSP1".
+var magic = [4]byte{'G', 'S', 'P', '1'}
