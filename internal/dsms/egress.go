@@ -77,8 +77,12 @@ func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.
 	}
 	log.Info("subscriber attached", "window", window)
 
-	// Read half: credit grants and the client's bye. Closing conn (from
-	// the write half's defer) unblocks the read and ends this goroutine.
+	// Read half: credit grants, client heartbeats, and the client's bye.
+	// The idle deadline is safe because wire.Subscription heartbeats every
+	// DefaultHeartbeat even when it has no credit to grant — a timeout
+	// here means the client is actually gone, not merely idle. Closing
+	// conn (from the write half's defer) unblocks the read and ends this
+	// goroutine.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

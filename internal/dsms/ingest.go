@@ -31,6 +31,7 @@ type wireIngest struct {
 	conns    map[net.Conn]struct{}
 	waiters  map[string]chan *feedHandoff
 	finished map[string]chan struct{}
+	dead     map[string]bool
 
 	connsTotal atomic.Int64
 	active     atomic.Int64
@@ -263,18 +264,74 @@ func (s *Server) handleFeed(conn net.Conn) {
 		return
 	default:
 	}
+	// The dead check and the enqueue happen under one lock so they cannot
+	// interleave with markDead: a handoff is either queued before the band
+	// dies (markDead drains and rejects it) or refused here — never parked
+	// on a channel nobody will ever read.
 	wi.mu.Lock()
+	if wi.dead[band] {
+		wi.mu.Unlock()
+		reject(fmt.Sprintf("band %q is dead (reconnect budget exhausted)", band))
+		return
+	}
 	w := wi.waiters[band]
 	if w == nil {
 		w = make(chan *feedHandoff, 1)
 		wi.waiters[band] = w
 	}
-	wi.mu.Unlock()
+	queued := false
 	select {
 	case w <- &feedHandoff{conn: conn, rd: rd, info: info}:
-		log.Info("feed queued for reconnect")
+		queued = true
 	default:
+	}
+	wi.mu.Unlock()
+	if queued {
+		log.Info("feed queued for reconnect")
+	} else {
 		reject(fmt.Sprintf("band %q already has a pending reconnect feed", band))
+	}
+}
+
+// markDead records that the band's supervision is over and returns any
+// reconnect handoff that was queued with nobody left to consume it; the
+// caller rejects those connections. Subsequent handoffs for the band are
+// refused in handleFeed.
+func (wi *wireIngest) markDead(band string) []*feedHandoff {
+	wi.mu.Lock()
+	defer wi.mu.Unlock()
+	if wi.dead == nil {
+		wi.dead = make(map[string]bool)
+	}
+	wi.dead[band] = true
+	var pending []*feedHandoff
+	if w := wi.waiters[band]; w != nil {
+		for {
+			select {
+			case h := <-w:
+				pending = append(pending, h)
+			default:
+				return pending
+			}
+		}
+	}
+	return pending
+}
+
+// wireBandDead tells the wire-ingest edge that a band's supervision has
+// ended for good: any queued reconnect handoff is rejected with an error
+// frame — the feeder gets a definitive answer instead of a silently
+// parked connection — and handleFeed refuses future handoffs for the
+// band. No-op for bands that never arrived over the wire.
+func (s *Server) wireBandDead(band string) {
+	for _, h := range s.wire.markDead(band) {
+		wi := &s.wire
+		wi.rejected.Add(1)
+		s.logger().With("remote", h.conn.RemoteAddr().String(), "band", band).
+			Warn("feed rejected", "reason", "band is dead")
+		h.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))           //nolint:errcheck
+		wire.NewWriter(h.conn).Error(fmt.Sprintf("band %q is dead", band)) //nolint:errcheck // best-effort
+		s.untrackFeed(h.conn)
 	}
 }
 
@@ -300,8 +357,9 @@ func infoCompatible(have, got stream.Info) error {
 var wireRetryPolicy = RetryPolicy{MaxAttempts: 20, Base: 100 * time.Millisecond, Max: time.Second}
 
 // wireReconnectWait bounds one reconnect attempt's wait for an incoming
-// feed connection.
-const wireReconnectWait = 3 * time.Second
+// feed connection. A variable so tests can shrink the supervision
+// timeline.
+var wireReconnectWait = 3 * time.Second
 
 // wireReconnect builds the SourceSpec.Reconnect factory for a wire-fed
 // band: each attempt waits for handleFeed to deliver the next validated

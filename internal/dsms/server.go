@@ -262,6 +262,10 @@ func (s *Server) AddSourceSpec(spec SourceSpec) error {
 		"organization", spec.Stream.Info.Org.String(),
 		"supervised", spec.Reconnect != nil)
 	s.g.Go(func(ctx context.Context) error {
+		// Once supervision is over the band is dead for good: tell the
+		// wire-ingest edge so a queued or future reconnect feed is
+		// rejected instead of parked forever.
+		defer s.wireBandDead(band)
 		select {
 		case <-s.start:
 		case <-s.drain:

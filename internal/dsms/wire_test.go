@@ -518,3 +518,98 @@ func TestWireEgressBackpressureKeepsHubUnblocked(t *testing.T) {
 		t.Fatal("metrics missing geostreams_wire_backpressure_dropped_total")
 	}
 }
+
+// TestWireIngestDeadBandRejectsRedial: once a band's reconnect budget is
+// exhausted (supervision over, band dead), a feeder dialing back in must
+// receive a definitive error frame — not a connection parked forever on
+// a waiter channel nobody reads.
+func TestWireIngestDeadBandRejectsRedial(t *testing.T) {
+	oldPolicy, oldWait := wireRetryPolicy, wireReconnectWait
+	wireRetryPolicy = RetryPolicy{MaxAttempts: 2, Base: time.Millisecond, Max: time.Millisecond}
+	wireReconnectWait = 50 * time.Millisecond
+	defer func() { wireRetryPolicy, wireReconnectWait = oldPolicy, oldWait }()
+
+	s, addr, stop := startWireServer(t)
+	defer stop()
+	info := wireTestInfo(t, "doomed")
+
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.NewWriter(conn1).Hello(info); err != nil {
+		t.Fatal(err)
+	}
+	waitForBands(t, s, "doomed")
+	s.Start()
+	conn1.Close() // flap with no redial: the retry budget burns out
+	waitForHubState(t, s, "doomed", "dead")
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := wire.NewWriter(conn2).Hello(info); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	f, err := wire.NewReader(conn2).Next()
+	if err != nil {
+		t.Fatalf("redial to dead band got no answer: %v", err)
+	}
+	if f.Type != wire.FrameError || !strings.Contains(string(f.Payload), "dead") {
+		t.Fatalf("redial to dead band got %s %q, want a dead-band error frame",
+			wire.FrameTypeName(f.Type), f.Payload)
+	}
+	// The rejected connection must be closed, not leaked.
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := wire.NewReader(conn2).Next(); err == nil {
+		t.Fatal("dead-band connection stayed open after the error frame")
+	}
+}
+
+// TestWireBandDeadDrainsQueuedHandoff: a reconnect feed that was queued
+// just before the supervisor gave up must be drained and rejected by
+// markDead — the check-then-enqueue in handleFeed and the drain here are
+// serialized by the ingest lock, so no handoff can be parked with no
+// consumer.
+func TestWireBandDeadDrainsQueuedHandoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewServer(ctx)
+	defer s.Close() //nolint:errcheck
+
+	feeder, srvSide := net.Pipe()
+	defer feeder.Close()
+	w := make(chan *feedHandoff, 1)
+	w <- &feedHandoff{conn: srvSide, rd: wire.NewReader(srvSide), info: wireTestInfo(t, "parked")}
+	s.wire.waiters = map[string]chan *feedHandoff{"parked": w}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wireBandDead("parked")
+	}()
+
+	feeder.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	f, err := wire.NewReader(feeder).Next()
+	if err != nil {
+		t.Fatalf("queued feeder got no answer: %v", err)
+	}
+	if f.Type != wire.FrameError || !strings.Contains(string(f.Payload), "dead") {
+		t.Fatalf("queued feeder got %s %q, want a dead-band error frame",
+			wire.FrameTypeName(f.Type), f.Payload)
+	}
+	<-done
+	if len(w) != 0 {
+		t.Fatal("handoff still queued after wireBandDead")
+	}
+	if got := s.IngestStats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	// And the band is now refused outright: markDead flagged it dead.
+	if !s.wire.dead["parked"] {
+		t.Fatal("band not flagged dead")
+	}
+}

@@ -16,9 +16,12 @@ import (
 //
 // Credit accounting: each data chunk enqueued to a tap consumes one unit
 // of the credit its consumer granted; punctuation rides free (downstream
-// assembly needs sector boundaries) but still bounded by the tap's
-// buffer. Taps attach and detach while the stream flows; when the input
-// closes, every tap's channel closes after the queued chunks drain.
+// assembly needs sector boundaries) and has reserved buffer headroom
+// beyond the data window, so a credit-exhausted or full subscriber still
+// receives sector boundaries — only a consumer stalled long enough to
+// back up the whole punctuation reserve can miss one. Taps attach and
+// detach while the stream flows; when the input closes, every tap's
+// channel closes after the queued chunks drain.
 type TapSet struct {
 	mu     sync.Mutex
 	taps   []*CreditTap
@@ -32,10 +35,17 @@ type TapSet struct {
 	dropped   atomic.Int64
 }
 
+// punctuationReserve is the buffer headroom each tap keeps beyond its
+// data window, reserved for punctuation: data chunks never occupy these
+// slots, so sector boundaries reach a backed-up subscriber unless its
+// consumer has stalled through the entire reserve.
+const punctuationReserve = 16
+
 // CreditTap is one credit-bounded reader of a TapSet.
 type CreditTap struct {
 	ts     *TapSet
 	c      chan *Chunk
+	window int // data-chunk budget; c's capacity adds punctuationReserve
 	credit atomic.Int64
 
 	delivered atomic.Int64
@@ -79,7 +89,7 @@ func (ts *TapSet) Attach(window int) *CreditTap {
 	if window < 1 {
 		window = 1
 	}
-	t := &CreditTap{ts: ts, c: make(chan *Chunk, window)}
+	t := &CreditTap{ts: ts, c: make(chan *Chunk, window+punctuationReserve), window: window}
 	ts.mu.Lock()
 	if ts.closed {
 		ts.mu.Unlock()
@@ -103,15 +113,19 @@ func (ts *TapSet) Stats() (attached int64, active int, delivered, dropped int64)
 }
 
 // offer enqueues c to every attached tap without ever blocking: a data
-// chunk needs one unit of credit and a buffer slot, punctuation needs
-// only the slot. The set lock is held across the (non-blocking) sends so
-// a concurrent Close cannot close a channel mid-send.
+// chunk needs one unit of credit and a slot within the tap's data
+// window, punctuation needs any slot — including the reserve the data
+// window cannot reach. The set lock is held across the (non-blocking)
+// sends so a concurrent Close cannot close a channel mid-send.
 func (ts *TapSet) offer(c *Chunk) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	for _, t := range ts.taps {
 		if c.IsData() {
-			if t.credit.Load() <= 0 {
+			// len(t.c) can only shrink concurrently (the consumer drains,
+			// only this goroutine sends), so the window check errs toward
+			// dropping — data never eats into the punctuation reserve.
+			if t.credit.Load() <= 0 || len(t.c) >= t.window {
 				t.dropped.Add(1)
 				ts.dropped.Add(1)
 				continue
@@ -132,6 +146,8 @@ func (ts *TapSet) offer(c *Chunk) {
 			t.delivered.Add(1)
 			ts.delivered.Add(1)
 		default:
+			// Only reachable when the consumer stalled through the whole
+			// punctuation reserve on top of its data window.
 			t.dropped.Add(1)
 			ts.dropped.Add(1)
 		}

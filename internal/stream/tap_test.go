@@ -98,16 +98,65 @@ func TestTapSetCreditBoundsDelivery(t *testing.T) {
 func TestTapSetFullBufferDropsEvenWithCredit(t *testing.T) {
 	var tap *CreditTap
 	runTapSet(t, 10, func(ts *TapSet) {
-		tap = ts.Attach(2) // room for 2 chunks total
+		tap = ts.Attach(2) // data window of 2 chunks
 		tap.Grant(1000)    // credit is not the constraint
 	})
-	if tap.Delivered() != 2 {
-		t.Fatalf("delivered %d, want 2 (buffer size)", tap.Delivered())
+	if tap.Delivered() != 3 {
+		// 2 data chunks (the window) + the end-of-sector, which rides in
+		// the punctuation reserve even though the data window is full.
+		t.Fatalf("delivered %d, want 3 (window + punctuation)", tap.Delivered())
 	}
-	if tap.Dropped() != 9 {
-		// 8 data chunks past the full buffer + the punctuation that found
-		// no slot either.
-		t.Fatalf("dropped %d, want 9", tap.Dropped())
+	if tap.Dropped() != 8 {
+		t.Fatalf("dropped %d, want 8 data chunks past the full window", tap.Dropped())
+	}
+}
+
+// TestTapSetPunctuationReserveSurvivesFullWindow pins the protocol
+// contract that sector boundaries reach a backed-up subscriber: with the
+// data window completely full and unread, punctuation must still be
+// enqueued through its reserved headroom, never dropped alongside the
+// shed data.
+func TestTapSetPunctuationReserveSurvivesFullWindow(t *testing.T) {
+	var tap *CreditTap
+	runTapSet(t, 10, func(ts *TapSet) {
+		tap = ts.Attach(1) // the smallest window: a single data slot
+		tap.Grant(1000)
+	})
+	var kinds []Kind
+	for c := range tap.C() {
+		kinds = append(kinds, c.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != KindGrid || kinds[1] != KindEndOfSector {
+		t.Fatalf("tap received %v, want one grid then the end-of-sector", kinds)
+	}
+}
+
+// TestTapSetPunctuationReserveExhaustion bounds the guarantee: a
+// consumer stalled through the entire reserve finally loses punctuation
+// too (counted), instead of blocking the forwarder.
+func TestTapSetPunctuationReserveExhaustion(t *testing.T) {
+	g := NewGroup(context.Background())
+	in := make(chan *Chunk)
+	out, ts := NewTapSet(g, &Stream{C: in})
+	go func() {
+		for range out.C {
+		}
+	}()
+	tap := ts.Attach(1) // capacity 1 + punctuationReserve, none consumed
+	lat := geom.Lattice{X0: 0, Y0: 0, DX: 1, DY: 1, W: 1, H: 1}
+	total := 1 + punctuationReserve + 3
+	for i := 0; i < total; i++ {
+		in <- NewEndOfSector(geom.Timestamp(i), lat)
+	}
+	close(in)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1 + punctuationReserve); tap.Delivered() != want {
+		t.Fatalf("delivered %d punctuation, want %d (full capacity)", tap.Delivered(), want)
+	}
+	if tap.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3 past the exhausted reserve", tap.Dropped())
 	}
 }
 

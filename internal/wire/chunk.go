@@ -149,19 +149,25 @@ func decodeLattice(p []byte) (geom.Lattice, []byte, error) {
 	if len(p) < latticeLen {
 		return geom.Lattice{}, nil, fmt.Errorf("wire: lattice truncated at %d bytes", len(p))
 	}
+	// Bound the point count in uint64 before any int arithmetic: W and H
+	// are attacker-controlled uint32s, so W*H (and W*H*8) computed in int
+	// can wrap past the frame cap and reach makeslice with a huge or
+	// negative length.
+	w := uint64(binary.BigEndian.Uint32(p[32:36]))
+	h := uint64(binary.BigEndian.Uint32(p[36:40]))
+	if w*h > MaxFrame/8 {
+		return geom.Lattice{}, nil, fmt.Errorf("wire: lattice %dx%d exceeds frame cap", w, h)
+	}
 	l := geom.Lattice{
 		X0: math.Float64frombits(binary.BigEndian.Uint64(p[0:8])),
 		Y0: math.Float64frombits(binary.BigEndian.Uint64(p[8:16])),
 		DX: math.Float64frombits(binary.BigEndian.Uint64(p[16:24])),
 		DY: math.Float64frombits(binary.BigEndian.Uint64(p[24:32])),
-		W:  int(binary.BigEndian.Uint32(p[32:36])),
-		H:  int(binary.BigEndian.Uint32(p[36:40])),
+		W:  int(w),
+		H:  int(h),
 	}
 	if err := l.Validate(); err != nil {
 		return geom.Lattice{}, nil, fmt.Errorf("wire: %w", err)
-	}
-	if l.NumPoints() > MaxFrame/8 {
-		return geom.Lattice{}, nil, fmt.Errorf("wire: lattice %dx%d exceeds frame cap", l.W, l.H)
 	}
 	return l, p[latticeLen:], nil
 }

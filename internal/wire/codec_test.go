@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -346,6 +347,36 @@ func TestPartialWriteDetected(t *testing.T) {
 		}
 		if cut%frameLen != 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("cut at %d mid-frame: final error %v, want unexpected EOF", cut, err)
+		}
+	}
+}
+
+// TestDecodeChunkRejectsOverflowingLattice pins the decodeLattice size
+// guard against integer overflow: W and H are attacker-controlled
+// uint32s whose product — and product×8 — can wrap int arithmetic, so a
+// CRC-valid frame could previously slip past the frame-cap check and
+// reach makeslice with a huge or negative length, panicking the reader's
+// goroutine. Every crafted geometry must come back as an error, never a
+// panic or a decoded chunk.
+func TestDecodeChunkRejectsOverflowingLattice(t *testing.T) {
+	mk := func(w, h uint32) []byte {
+		p := []byte{kindGrid}
+		p = binary.BigEndian.AppendUint64(p, 1) // t
+		p = binary.BigEndian.AppendUint64(p, 0) // ingest
+		for _, f := range []float64{-122, 36, 0.5, 0.25} {
+			p = binary.BigEndian.AppendUint64(p, math.Float64bits(f))
+		}
+		p = binary.BigEndian.AppendUint32(p, w)
+		return binary.BigEndian.AppendUint32(p, h) // no value bytes follow
+	}
+	for _, tc := range []struct{ w, h uint32 }{
+		{1 << 16, 1 << 16},     // 2^32 points: no wrap, just far over the cap
+		{1 << 31, 1 << 30},     // W·H = 2^61: W·H·8 wraps to 0 == len(rest)
+		{1<<32 - 1, 1<<31 + 1}, // W·H ≥ 2^63: int(W·H) goes negative
+		{1<<32 - 1, 1<<32 - 1}, // worst case both dimensions maxed
+	} {
+		if _, err := DecodeChunk(mk(tc.w, tc.h)); err == nil {
+			t.Fatalf("lattice %dx%d decoded without error", tc.w, tc.h)
 		}
 	}
 }

@@ -62,8 +62,11 @@ type feedConn struct {
 // idle, and a clean bye when src ends. A connection failure mid-frame
 // redials with backoff and resends the failed chunk on the new connection
 // (src is paced by this sender, so nothing is lost while disconnected —
-// the instrument simply backs up). It returns nil when src closed and the
-// bye was sent, ctx.Err() on cancellation, or the dial error once the
+// the instrument simply backs up). Delivery across a redial is
+// at-least-once: a write can fail after the kernel already accepted and
+// delivered the bytes, in which case the resent chunk arrives twice and
+// the receiver does not deduplicate. It returns nil when src closed and
+// the bye was sent, ctx.Err() on cancellation, or the dial error once the
 // redial budget is exhausted.
 func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedOptions, st *FeedStats) error {
 	opts = opts.withDefaults()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"geostreams/internal/stream"
@@ -14,11 +15,13 @@ import (
 // Subscription is the client half of a GSP egress connection: it reads
 // chunk frames and manages the credit window, granting the server more
 // credit as chunks are consumed so a prompt reader never starves the
-// sender while a slow reader naturally throttles it.
+// sender while a slow reader naturally throttles it. A background ticker
+// emits heartbeats on the write half — heartbeats flow both directions,
+// so the server's idle timeout only fires when the client is actually
+// gone, never merely because a healthy query had nothing to deliver.
 type Subscription struct {
 	conn   net.Conn
 	rd     *Reader
-	wr     *Writer
 	window int
 	// consumed counts data chunks delivered to the caller since the last
 	// grant; the window is topped up once half of it has been used.
@@ -28,7 +31,13 @@ type Subscription struct {
 	// IdleTimeout bounds the wait for any frame (heartbeats included);
 	// DefaultIdleTimeout if zero.
 	IdleTimeout time.Duration
-	closed      bool
+
+	// The write half is shared between the caller's credit grants, the
+	// heartbeat goroutine, and Close's bye; wmu serializes them.
+	wmu    sync.Mutex
+	wr     *Writer
+	closed bool
+	hbStop chan struct{}
 }
 
 // ErrServer is wrapped by Next when the server terminated the
@@ -37,9 +46,9 @@ var ErrServer = errors.New("wire: server error")
 
 // NewSubscription speaks the egress protocol on an established
 // connection (the HTTP upgrade has already happened): it reads the
-// server's hello and grants the initial credit window. br carries any
-// bytes already buffered during the handshake; pass nil to read straight
-// from conn.
+// server's hello, grants the initial credit window, and starts the
+// client-side heartbeat ticker. br carries any bytes already buffered
+// during the handshake; pass nil to read straight from conn.
 func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription, error) {
 	if window <= 0 {
 		window = DefaultWindow
@@ -48,7 +57,10 @@ func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription
 	if br != nil {
 		src = br
 	}
-	s := &Subscription{conn: conn, rd: NewReader(src), wr: NewWriter(conn), window: window}
+	s := &Subscription{
+		conn: conn, rd: NewReader(src), wr: NewWriter(conn),
+		window: window, hbStop: make(chan struct{}),
+	}
 	conn.SetReadDeadline(time.Now().Add(DefaultIdleTimeout)) //nolint:errcheck
 	f, err := s.rd.Next()
 	if err != nil {
@@ -65,11 +77,43 @@ func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription
 		return nil, err
 	}
 	s.Info = info
-	if err := s.wr.Credit(uint32(window)); err != nil {
+	if err := s.write(func(w *Writer) error { return w.Credit(uint32(window)) }); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: subscribe: initial credit: %w", err)
 	}
+	go s.heartbeatLoop()
 	return s, nil
+}
+
+// write sends one control frame under the write lock, refusing after
+// Close.
+func (s *Subscription) write(send func(*Writer) error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	return send(s.wr)
+}
+
+// heartbeatLoop keeps the server's read deadline advancing while the
+// client has no credit to grant — an idle or slow query must not look
+// like a dead client. It stops on Close or on the first write failure
+// (the caller's next write or read surfaces the broken connection).
+func (s *Subscription) heartbeatLoop() {
+	t := time.NewTicker(DefaultHeartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.write(func(w *Writer) error { return w.Heartbeat() }) != nil {
+				return
+			}
+		case <-s.hbStop:
+			return
+		}
+	}
 }
 
 // Next returns the next chunk. It returns io.EOF after the server's bye
@@ -103,7 +147,8 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 				// server is never starved by grant latency.
 				s.consumed++
 				if s.consumed >= s.window/2 || s.window == 1 {
-					if err := s.wr.Credit(uint32(s.consumed)); err != nil {
+					n := s.consumed
+					if err := s.write(func(w *Writer) error { return w.Credit(uint32(n)) }); err != nil {
 						return nil, fmt.Errorf("wire: credit grant: %w", err)
 					}
 					s.consumed = 0
@@ -119,19 +164,24 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 // Grant extends the server's credit window ahead of consumption, on top
 // of the automatic half-window top-ups Next performs. A consumer that
 // simply stops calling Next stops granting — that is the slow-consumer
-// degradation the server's backpressure metrics measure.
+// degradation the server's backpressure metrics measure (the heartbeat
+// ticker keeps the connection itself alive meanwhile).
 func (s *Subscription) Grant(n int) error {
-	return s.wr.Credit(uint32(n))
+	return s.write(func(w *Writer) error { return w.Credit(uint32(n)) })
 }
 
-// Close ends the subscription: a best-effort bye, then the connection
-// closes. Safe to call twice.
+// Close ends the subscription: the heartbeat ticker stops, a best-effort
+// bye goes out, then the connection closes. Safe to call twice.
 func (s *Subscription) Close() error {
+	s.wmu.Lock()
 	if s.closed {
+		s.wmu.Unlock()
 		return nil
 	}
 	s.closed = true
+	close(s.hbStop)
 	s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
 	s.wr.Bye()                                               //nolint:errcheck // best-effort
+	s.wmu.Unlock()
 	return s.conn.Close()
 }

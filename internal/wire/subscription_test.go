@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"geostreams/internal/coord"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+)
+
+// TestSubscriptionHeartbeatsWhileIdle pins the client half of the
+// "heartbeats flow both directions" contract: a subscriber whose query
+// is idle (no chunks arriving, so no credit top-ups to send) must still
+// emit heartbeats on its write half, or the server's idle read deadline
+// would detach a perfectly healthy client after 15 s of quiet.
+func TestSubscriptionHeartbeatsWhileIdle(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	info := stream.Info{
+		Band: "vis", CRS: coord.LatLon{}, Org: stream.RowByRow,
+		Stamp: stream.StampSectorID, HasSectorMeta: true,
+		SectorGeom: geom.Lattice{X0: -122, Y0: 36, DX: 0.5, DY: 0.25, W: 8, H: 4},
+		VMin:       0, VMax: 1023,
+	}
+
+	type result struct {
+		sub *Subscription
+		err error
+	}
+	subc := make(chan result, 1)
+	go func() {
+		sub, err := NewSubscription(client, nil, 8)
+		subc <- result{sub, err}
+	}()
+
+	// Server half: hello out, then observe the client's control frames.
+	if err := NewWriter(server).Hello(info); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(server)
+	server.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	f, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameCredit {
+		t.Fatalf("first client frame is %s, want the initial credit grant", FrameTypeName(f.Type))
+	}
+	r := <-subc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	sub := r.sub
+
+	// The client never calls Next (an idle or stalled consumer): a
+	// heartbeat must still arrive well inside the server's idle timeout.
+	server.SetReadDeadline(time.Now().Add(2*DefaultHeartbeat + time.Second)) //nolint:errcheck
+	f, err = rd.Next()
+	if err != nil {
+		t.Fatalf("no client frame within two heartbeat intervals: %v", err)
+	}
+	if f.Type != FrameHeartbeat {
+		t.Fatalf("idle client sent %s, want heartbeat", FrameTypeName(f.Type))
+	}
+
+	// Close stops the ticker and says bye; tolerate heartbeats already in
+	// flight ahead of it.
+	closed := make(chan error, 1)
+	go func() { closed <- sub.Close() }()
+	for {
+		server.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		f, err = rd.Next()
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+				break // conn closed right after the bye was consumed
+			}
+			t.Fatalf("reading toward bye: %v", err)
+		}
+		if f.Type == FrameBye {
+			break
+		}
+		if f.Type != FrameHeartbeat {
+			t.Fatalf("client sent %s while closing, want heartbeat or bye", FrameTypeName(f.Type))
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

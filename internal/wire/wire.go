@@ -41,9 +41,20 @@
 // frames, each data chunk sent consumes one, and when credit is exhausted
 // the server drops that subscriber's chunks (counting them in the
 // geostreams_wire_backpressure metrics) instead of buffering or blocking
-// the hub. Punctuation rides free so sector boundaries always reach the
-// client. Ingest connections do not use credit: the feed is paced by TCP
-// and the hub's own shedding policy.
+// the hub. Punctuation rides free and has reserved buffer headroom beyond
+// the data window, so sector boundaries reach even a credit-exhausted
+// client; only a subscriber stalled long enough to back up the whole
+// reserve can miss one. Ingest connections do not use credit: the feed is
+// paced by TCP and the hub's own shedding policy.
+//
+// # Delivery semantics
+//
+// Ingest delivery is at-least-once, not exactly-once: a feed whose frame
+// write fails mid-connection redials and re-sends the failed chunk, but
+// the kernel may already have delivered the original bytes, and the
+// receiver does not deduplicate — across a redial a chunk can arrive
+// twice. Consumers that must not double-count should be idempotent per
+// (band, chunk timestamp) or tolerate duplicates around reconnects.
 package wire
 
 import "time"
