@@ -12,11 +12,15 @@
 //	        [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	        [-bands vis,nir,ir] [-org row|image]
 //	        [-sectors 0] [-interval 2s] [-seed 42]
-//	        [-points 64] [-chunks 0]
+//	        [-points 64] [-chunks 0] [-trace=false]
 //	        [-log-format text|json] [-log-level info]
 //
 // With -sectors 0 (or -chunks 0 for lidar) the instrument runs until
-// interrupted. Try:
+// interrupted. -trace (default on) offers the GSP trace extension on the
+// hello: when the server accepts, sampled chunks are stamped with a
+// trace ID here at the instrument, so the server's span timelines
+// (GET /queries/{id}/trace) start at true ingest. Old servers never ack
+// and the wire format stays bit-identical. Try:
 //
 //	geoserver -addr :8080 -ingest :9090 -local=false &
 //	geofeed -server localhost:9090 -interval 100ms
@@ -36,6 +40,7 @@ import (
 
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/sat"
 	"geostreams/internal/stream"
 	"geostreams/internal/wire"
@@ -70,6 +75,8 @@ func main() {
 	points := flag.Int("points", 64, "points per chunk for -mode lidar")
 	chunks := flag.Int("chunks", 0, "chunks per band for -mode lidar (0 = unlimited)")
 	heartbeat := flag.Duration("heartbeat", wire.DefaultHeartbeat, "keep-alive interval while idle")
+	traced := flag.Bool("trace", true,
+		"offer the GSP trace extension: stamp sampled chunks at the instrument so server timelines start here")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -139,6 +146,9 @@ func main() {
 	}
 
 	opts := wire.FeedOptions{Heartbeat: *heartbeat}
+	if *traced {
+		opts.Tracer = trace.New(trace.DefaultInterval, trace.DefaultRingSpans)
+	}
 	stats := make(map[string]*wire.FeedStats, len(bands))
 	for _, band := range bands {
 		src, ok := streams[band]
@@ -157,7 +167,8 @@ func main() {
 				return err
 			}
 			log.Info("feed finished",
-				"chunks", st.Chunks.Load(), "redials", st.Redials.Load())
+				"chunks", st.Chunks.Load(), "redials", st.Redials.Load(),
+				"traced", st.Traced.Load())
 			return nil
 		})
 	}

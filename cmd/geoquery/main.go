@@ -10,7 +10,9 @@
 //	geoquery frames -id 1 -n 5 -out ./frames
 //	geoquery series -id 2 -n 10
 //	geoquery subscribe -id 1 -n 5 -out ./frames [-window 64]
+//	geoquery trace -id 1 [-n 8]
 //	geoquery stats
+//	geoquery health
 //	geoquery metrics
 //	geoquery list
 //	geoquery drop -id 1
@@ -24,6 +26,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"geostreams/internal/dsms"
@@ -31,7 +34,7 @@ import (
 	"geostreams/internal/stream"
 )
 
-const usage = "usage: geoquery catalog|explain|register|frames|series|subscribe|stats|metrics|list|drop [flags]"
+const usage = "usage: geoquery catalog|explain|register|frames|series|subscribe|trace|stats|health|metrics|list|drop [flags]"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -105,6 +108,18 @@ func main() {
 	case "subscribe":
 		requireID(*id)
 		fatal(subscribe(c, *id, *n, *window, *out, *colormap))
+	case "trace":
+		requireID(*id)
+		rep, err := c.Trace(*id, *n)
+		fatal(err)
+		printTrace(rep)
+	case "health":
+		healthy, err := c.Healthz()
+		if healthy {
+			fmt.Println("ok")
+			return
+		}
+		fatal(err)
 	case "stats":
 		st, err := c.Stats()
 		fatal(err)
@@ -196,6 +211,60 @@ func subscribe(c *dsms.Client, id int64, n, window int, out, colormap string) er
 		}
 	}
 	return nil
+}
+
+// printTrace renders GET /queries/{id}/trace as indented timelines —
+// one block per sampled chunk, one line per stage crossing with its
+// queue-wait gap — followed by the per-stage latency breakdown.
+func printTrace(rep dsms.TraceReport) {
+	fmt.Printf("query %d: %d spans recorded (%d displaced), sampling 1/%d data chunks\n",
+		rep.Query, rep.SpansTotal, rep.SpansDropped, rep.SampleInterval)
+	if slo := rep.FrameAgeSLO; slo != nil {
+		fmt.Printf("frame-age SLO: budget %.3fs, burned %d\n", slo.BudgetSeconds, slo.Burn)
+	}
+	for _, tr := range rep.Traces {
+		kind := "data"
+		if tr.Punct {
+			kind = "punct"
+		}
+		fmt.Printf("\ntrace %s  t=%d  %s\n", tr.Trace, tr.T, kind)
+		for _, sp := range tr.Spans {
+			gap := ""
+			if sp.GapUS > 0 {
+				gap = fmt.Sprintf("  +%s wait", us(sp.GapUS))
+			}
+			op := sp.Op
+			if op != "" {
+				op = " " + op
+			}
+			fmt.Printf("  %-14s%-22s %8s%s\n", sp.Stage, op, us(sp.DurUS), gap)
+		}
+	}
+	if len(rep.Stages) == 0 {
+		return
+	}
+	stages := make([]string, 0, len(rep.Stages))
+	for name := range rep.Stages {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	fmt.Printf("\n%-14s %6s %12s %12s\n", "stage", "count", "p50", "p99")
+	for _, name := range stages {
+		st := rep.Stages[name]
+		fmt.Printf("%-14s %6d %12s %12s\n", name, st.Count,
+			us(int64(st.P50Seconds*1e6)), us(int64(st.P99Seconds*1e6)))
+	}
+}
+
+// us pretty-prints a microsecond count.
+func us(v int64) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%.2fs", float64(v)/1e6)
+	}
+	if v >= 1e3 {
+		return fmt.Sprintf("%.2fms", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%dµs", v)
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 //	          [-sectors 0] [-interval 2s] [-seed 42]
 //	          [-max-queries 0] [-drain-timeout 10s] [-share]
 //	          [-ingest :9090] [-local=false]
+//	          [-trace-sample 64] [-frame-age-slo 0]
 //	          [-log-format text|json] [-log-level info] [-debug]
 //
 // With -sectors 0 the instrument scans forever. -ingest opens a GSP
@@ -22,7 +23,12 @@
 // and pipelines get up to -drain-timeout to finish before being
 // cancelled. -share (default on) runs common subplans of concurrent
 // queries once on shared trunks; -share=false keeps every query fully
-// private. -debug mounts net/http/pprof under /debug/pprof/. Try:
+// private. -trace-sample tunes chunk tracing (1 in N data chunks get a
+// full span timeline, visible at GET /queries/{id}/trace; punctuation is
+// always traced). -frame-age-slo sets an ingest-to-delivery freshness
+// budget: delivered data chunks older than it burn the per-query
+// geostreams_frame_age_slo_burn_total counter. -debug mounts
+// net/http/pprof under /debug/pprof/. Try:
 //
 //	curl localhost:8080/catalog
 //	curl -s localhost:8080/explain --get --data-urlencode \
@@ -96,6 +102,10 @@ func main() {
 		"GSP ingest listen address for remote instrument feeds (empty = disabled)")
 	local := flag.Bool("local", true,
 		"run the built-in simulated imager (disable to serve only wire-fed bands)")
+	traceSample := flag.Int("trace-sample", 0,
+		"chunk-trace sampling interval: 1 in N data chunks (0 = library default; negative disables data tracing)")
+	frameAgeSLO := flag.Duration("frame-age-slo", 0,
+		"ingest-to-delivery freshness budget; delivered chunks older than this burn the SLO counter (0 = no SLO)")
 	flag.Parse()
 
 	if *parallelism > 0 {
@@ -129,6 +139,10 @@ func main() {
 	srv.SetDebug(*debug)
 	srv.SetMaxQueries(*maxQueries)
 	srv.SetSharing(*shareQueries)
+	if *traceSample != 0 {
+		srv.SetTraceInterval(*traceSample)
+	}
+	srv.SetFrameAgeSLO(*frameAgeSLO)
 	bands := []string{"vis", "nir", "ir"}
 	if *local {
 		scene := sat.DefaultScene(*seed)

@@ -118,6 +118,7 @@ func All() []Experiment {
 		{"E-F1", "delivery degradation under chunk loss and source flaps", EF1Degradation},
 		{"E-S1", "shared multi-query execution: common-subplan dedup", ES1Shared},
 		{"E-N1", "networked GSP ingest/egress vs in-process", EN1Networked},
+		{"E-O1", "chunk tracing overhead on the operator hot path", EO1TraceOverhead},
 	}
 }
 

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"geostreams/internal/core"
+	"geostreams/internal/exec"
+	"geostreams/internal/obs/trace"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// EO1TraceOverhead measures the tax of always-on chunk tracing on the P1
+// hot paths. Tracing is designed so an untraced chunk pays one nil-check
+// per operator and a traced chunk (1 in trace.DefaultInterval) pays two
+// clock reads plus a lock-free ring store; this experiment runs the
+// fused value-transform chain and the NDVI composition untraced (no
+// recorder attached, no trace IDs) and traced (live tracer, default
+// sampling, recorders on every operator) and compares ns/point. The
+// budget the DSMS holds itself to is <3% on the traced rows.
+func EO1TraceOverhead(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-O1",
+		Title: "chunk tracing overhead on the operator hot path",
+		Claim: "extension: sampled span tracing costs <3% ns/point on the P1 workloads at the default 1/64 interval",
+		Columns: []string{"workload", "tracing", "points", "per-point cost",
+			"throughput", "overhead"},
+	}
+	prev := exec.Parallelism()
+	defer exec.SetParallelism(prev)
+	// Scalar execution keeps the per-point cost deterministic, which is
+	// what an overhead ratio needs; the tracing code path is identical
+	// under the parallel kernels.
+	exec.SetParallelism(1)
+
+	rng, err := valueset.NewRange(-1e6, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	vt1 := core.ValueTransform{Fn: func(v float64) float64 { return v*1.0002 + 0.25 }, Label: "gain"}
+	vt2 := core.ValueTransform{Fn: func(v float64) float64 { return v - 0.125 }, Label: "bias"}
+	vr := core.ValueRestrict{Values: rng}
+	vt3 := core.ValueTransform{Fn: func(v float64) float64 { return math.Sqrt(math.Abs(v)) }, Label: "root"}
+	fused := []stream.Operator{core.FusedPointwise{Stages: []core.FusedStage{
+		{Transform: &vt1}, {Transform: &vt2}, {Restrict: &vr}, {Transform: &vt3},
+	}}}
+
+	tracer := trace.New(trace.DefaultInterval, trace.DefaultRingSpans)
+	rec := tracer.Recorder(1)
+
+	// Row-by-row is the stress case: single scan lines mean the most
+	// chunks per point, so per-chunk costs (where the tracing check
+	// lives) are amortized the least.
+	info, chunks, err := preRender(cfg, stream.RowByRow, "vis")
+	if err != nil {
+		return nil, err
+	}
+	perRun := totalPoints(chunks)
+	// One measured unit is a single replay of the pre-rendered chunks: a
+	// few milliseconds at the default scale. Short units let min-of-many
+	// dodge the multi-millisecond interference bursts a shared machine
+	// throws, which longer aggregated runs always absorb somewhere.
+	units := 32 * benchIters(perRun)
+	if units > 512 {
+		units = 512
+	}
+	runChain := func(r *trace.Recorder) (time.Duration, error) {
+		g := stream.NewGroup(context.Background())
+		cur := stream.FromChunks(g, info, chunks)
+		for _, op := range fused {
+			var st *stream.Stats
+			var err error
+			if cur, st, err = stream.Apply(g, op, cur); err != nil {
+				return 0, err
+			}
+			if r != nil && st != nil {
+				st.AttachTrace(r)
+			}
+		}
+		start := time.Now()
+		if _, _, err := stream.Drain(context.Background(), cur); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if err := g.Wait(); err != nil {
+			return 0, err
+		}
+		return elapsed, nil
+	}
+
+	// NDVI: the binary composition pipeline, whole-sector grids.
+	ai, bi, ac, bc, err := preRenderPair(cfg, stream.ImageByImage, stream.StampSectorID)
+	if err != nil {
+		return nil, err
+	}
+	var ndviPoints int64
+	runNDVI := func(r *trace.Recorder) (time.Duration, error) {
+		g := stream.NewGroup(context.Background())
+		as := stream.FromChunks(g, ai, ac)
+		bs := stream.FromChunks(g, bi, bc)
+		out, stats, err := core.BuildNDVI(g, as, bs)
+		if err != nil {
+			return 0, err
+		}
+		if r != nil {
+			for _, st := range stats {
+				st.AttachTrace(r)
+			}
+		}
+		start := time.Now()
+		_, n, err := stream.Drain(context.Background(), out)
+		if err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if err := g.Wait(); err != nil {
+			return 0, err
+		}
+		ndviPoints = n
+		return elapsed, nil
+	}
+
+	// stamp gives every chunk the hub's treatment: sampled data chunks
+	// and all punctuation get IDs, the rest stay zero. Chunks are reused
+	// across iterations, so traced runs replay the same sampled subset.
+	stamp := func(cs []*stream.Chunk) {
+		for _, c := range cs {
+			c.Trace = tracer.StampID(c.IsData())
+		}
+	}
+	clear := func(cs []*stream.Chunk) {
+		for _, c := range cs {
+			c.Trace = 0
+		}
+	}
+
+	for _, w := range []struct {
+		label  string
+		prefix string
+		points func() int64
+		run    func(r *trace.Recorder) (time.Duration, error)
+		cs     [][]*stream.Chunk
+	}{
+		{"vtchain fused row-by-row", "vtchain", func() int64 { return perRun }, runChain, [][]*stream.Chunk{chunks}},
+		{"ndvi-compose", "ndvi", func() int64 { return ndviPoints }, runNDVI, [][]*stream.Chunk{ac, bc}},
+	} {
+		// A few untimed passes warm the allocator and page cache, then the
+		// two variants run as interleaved single-replay units.
+		for _, cs := range w.cs {
+			clear(cs)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := w.run(nil); err != nil {
+				return nil, err
+			}
+		}
+		runOff := func() (time.Duration, error) {
+			for _, cs := range w.cs {
+				clear(cs)
+			}
+			return w.run(nil)
+		}
+		runOn := func() (time.Duration, error) {
+			for _, cs := range w.cs {
+				stamp(cs)
+			}
+			return w.run(rec)
+		}
+		var offBest, onBest time.Duration
+		var ratios []float64
+		for round := 0; round < units; round++ {
+			// Alternate which variant runs first: the second run of a
+			// pair tends to absorb the first's GC debt, and flipping the
+			// order each round turns that position bias into noise the
+			// estimators can reject.
+			first, second := runOff, runOn
+			if round%2 == 1 {
+				first, second = runOn, runOff
+			}
+			d1, err := first()
+			if err != nil {
+				return nil, err
+			}
+			d2, err := second()
+			if err != nil {
+				return nil, err
+			}
+			off, on := d1, d2
+			if round%2 == 1 {
+				off, on = d2, d1
+			}
+			if round == 0 || off < offBest {
+				offBest = off
+			}
+			if round == 0 || on < onBest {
+				onBest = on
+			}
+			ratios = append(ratios, float64(on)/float64(off))
+		}
+		// The overhead estimate is the median of the per-pair on/off
+		// ratios: pairing cancels the drift both units share, and the
+		// median over hundreds of pairs concentrates well below the
+		// per-unit noise — unlike a ratio of minima, which compares two
+		// samples of an extreme and never tightens. The min-based ratio
+		// stays available as a cross-check metric; the per-point-cost
+		// rows show each variant's fastest unit.
+		sort.Float64s(ratios)
+		med := ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			med = (med + ratios[len(ratios)/2-1]) / 2
+		}
+		points := w.points()
+		baseNS := float64(offBest.Nanoseconds()) / float64(points)
+		onNS := float64(onBest.Nanoseconds()) / float64(points)
+		pct := (med - 1) * 100
+		t.SetMetric(w.prefix+"_trace_overhead_min_ratio_pct", (onNS-baseNS)/baseNS*100)
+		t.AddRow(w.label, "off", fmtI(points),
+			nsPerPoint(points, offBest), fmtRate(points, offBest), "baseline")
+		t.AddRow(w.label, "on", fmtI(points),
+			nsPerPoint(points, onBest), fmtRate(points, onBest), fmtF(pct)+"%")
+		t.SetMetric(w.prefix+"_traced_off_ns_per_point", baseNS)
+		t.SetMetric(w.prefix+"_traced_on_ns_per_point", onNS)
+		t.SetMetric(w.prefix+"_trace_overhead_pct", pct)
+	}
+	t.Notes = append(t.Notes,
+		"traced rows attach a live recorder to every operator and stamp 1/64 data chunks (punctuation always)",
+		"budget: overhead < 3%; negative values are run-to-run noise below the measurement floor")
+	return t, nil
+}

@@ -208,7 +208,10 @@ func (c *Client) Subscribe(id int64, window int) (*wire.Subscription, error) {
 	if err != nil {
 		return nil, err
 	}
-	path := fmt.Sprintf("%s/queries/%d/stream?window=%d", u.Path, id, window)
+	// Always ask for the trace extension: a non-tracing (old) server
+	// ignores the parameter and its hello simply omits the trace flag, so
+	// the subscription falls back to base frames.
+	path := fmt.Sprintf("%s/queries/%d/stream?window=%d&trace=1", u.Path, id, window)
 	req, err := http.NewRequest(http.MethodGet, path, nil)
 	if err != nil {
 		conn.Close()
@@ -278,6 +281,35 @@ func (c *Client) Stats() (ServerStats, error) {
 	var out ServerStats
 	err := c.get("/stats", &out)
 	return out, err
+}
+
+// Trace fetches up to n span timelines for a query from
+// GET /queries/{id}/trace (n <= 0 takes the server default).
+func (c *Client) Trace(id int64, n int) (TraceReport, error) {
+	path := fmt.Sprintf("/queries/%d/trace", id)
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out TraceReport
+	err := c.get(path, &out)
+	return out, err
+}
+
+// Healthz probes GET /healthz; healthy is true on 200. On 503 the body's
+// detail (draining, dead bands) is returned as the error.
+func (c *Client) Healthz() (bool, error) {
+	resp, cancel, err := c.doGet("/healthz", 0)
+	if err != nil {
+		return false, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return true, nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return false, fmt.Errorf("dsms: %s: %s", resp.Status, bytes.TrimSpace(body))
 }
 
 // Metrics fetches the raw Prometheus text exposition from GET /metrics.

@@ -11,6 +11,7 @@ import (
 	"geostreams/internal/cascade"
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/query"
 	"geostreams/internal/raster"
 	"geostreams/internal/stream"
@@ -75,7 +76,10 @@ type Registered struct {
 	detach func()
 	// taps feeds the wire push subscribers (GET /queries/{id}/stream);
 	// the delivery stage reads the tap set's pass-through.
-	taps    *stream.TapSet
+	taps *stream.TapSet
+	// trace is this query's span recorder; its ring backs
+	// GET /queries/{id}/trace.
+	trace   *trace.Recorder
 	frames  *frameQueue
 	series  *seriesBuffer
 	stopped chan struct{}
@@ -91,8 +95,10 @@ type deliveryStats struct {
 	seriesPoints atomic.Int64
 	// age observes, per delivered data chunk, the seconds from instrument
 	// ingest to arrival at the delivery stage — the end-to-end data
-	// freshness of the whole pipeline.
-	age *obs.Histogram
+	// freshness of the whole pipeline. sloBurn counts delivered data
+	// chunks older than the server's frame-age SLO budget.
+	age     *obs.Histogram
+	sloBurn atomic.Int64
 }
 
 func newDeliveryStats() *deliveryStats {
@@ -110,6 +116,11 @@ type DeliveryStats struct {
 	AgeP50Seconds float64 `json:"age_p50_seconds"`
 	AgeP95Seconds float64 `json:"age_p95_seconds"`
 	AgeP99Seconds float64 `json:"age_p99_seconds"`
+
+	// SLOBurn counts delivered data chunks that exceeded the frame-age
+	// budget; SLOSeconds is the budget itself (0 = no SLO configured).
+	SLOBurn    int64   `json:"frame_age_slo_burn"`
+	SLOSeconds float64 `json:"frame_age_slo_seconds,omitempty"`
 }
 
 // DeliveryStats snapshots the delivery-stage telemetry.
@@ -124,6 +135,8 @@ func (r *Registered) DeliveryStats() DeliveryStats {
 		AgeP50Seconds: age.Quantile(0.5),
 		AgeP95Seconds: age.Quantile(0.95),
 		AgeP99Seconds: age.Quantile(0.99),
+		SLOBurn:       r.deliv.sloBurn.Load(),
+		SLOSeconds:    time.Duration(r.server.frameAgeSLO.Load()).Seconds(),
 	}
 }
 
@@ -238,7 +251,17 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 	if err != nil {
 		return err
 	}
+	// A frame assembles from many chunks; the encode span is attributed to
+	// the most recent traced chunk that fed the assembler — close enough
+	// for a per-sector product, and free for untraced traffic.
+	var lastTrace uint64
+	var lastT int64
+	var lastPunct bool
 	encode := func(img *raster.Image) error {
+		var begin time.Time
+		if lastTrace != 0 {
+			begin = time.Now()
+		}
 		// Encode into a pooled scratch buffer and copy the finished PNG
 		// out: the buffer is delivery-private (provably unique ownership),
 		// the published Frame holds its own exact-size copy.
@@ -259,6 +282,10 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 		})
 		r.deliv.frames.Add(1)
 		r.deliv.frameBytes.Add(int64(n))
+		if lastTrace != 0 {
+			r.trace.Record(lastTrace, trace.StageEncode, "png",
+				begin, time.Since(begin), lastT, lastPunct)
+		}
 		return nil
 	}
 	for {
@@ -276,9 +303,18 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 				}
 				return nil
 			}
+			var begin time.Time
+			if c.Trace != 0 {
+				begin = time.Now()
+				lastTrace, lastT, lastPunct = c.Trace, int64(c.T), !c.IsData()
+			}
 			if c.IsData() && c.Ingest != 0 {
 				// End-to-end freshness: instrument ingest → delivery stage.
-				r.deliv.age.Observe(float64(time.Now().UnixNano()-c.Ingest) / 1e9)
+				age := time.Now().UnixNano() - c.Ingest
+				r.deliv.age.Observe(float64(age) / 1e9)
+				if slo := r.server.frameAgeSLO.Load(); slo > 0 && age > slo {
+					r.deliv.sloBurn.Add(1)
+				}
 			}
 			if c.Kind == stream.KindPoints {
 				for _, pv := range c.Points {
@@ -288,6 +324,10 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 					})
 				}
 				r.deliv.seriesPoints.Add(int64(len(c.Points)))
+				if c.Trace != 0 {
+					r.trace.Record(c.Trace, trace.StageDeliver, "series",
+						begin, time.Since(begin), int64(c.T), !c.IsData())
+				}
 				continue
 			}
 			imgs, err := asm.Add(c)
@@ -298,6 +338,10 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 				if err := encode(img); err != nil {
 					return err
 				}
+			}
+			if c.Trace != 0 {
+				r.trace.Record(c.Trace, trace.StageDeliver, "frame",
+					begin, time.Since(begin), int64(c.T), !c.IsData())
 			}
 		case <-ctx.Done():
 			return nil

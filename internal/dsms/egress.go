@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/wire"
 )
 
@@ -40,6 +41,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		window = v
 	}
+	// ?trace=1 asks for the chunk-frame trace extension: the server's
+	// hello confirms it and every chunk frame carries the trailing trace
+	// ID. Old clients never ask and get base frames bit-identically.
+	traced := r.URL.Query().Get("trace") == "1"
 	hj, ok := w.(http.Hijacker)
 	if !ok {
 		writeErr(w, http.StatusInternalServerError,
@@ -51,13 +56,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	go s.serveSubscription(reg, conn, bufrw, window)
+	go s.serveSubscription(reg, conn, bufrw, window, traced)
 }
 
 // serveSubscription runs one push subscriber: 101 upgrade, hello, then
 // chunks as credit allows, with heartbeats while idle. The read half
 // carries the client's credit grants and its bye.
-func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.ReadWriter, window int) {
+func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.ReadWriter, window int, traced bool) {
 	log := s.logger().With("query", int64(reg.ID), "remote", conn.RemoteAddr().String())
 	tap := reg.taps.Attach(window)
 	defer tap.Close()
@@ -72,10 +77,10 @@ func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.
 		return
 	}
 	wr := wire.NewWriter(conn)
-	if err := wr.Hello(reg.Info); err != nil {
+	if err := wr.HelloExt(reg.Info, traced); err != nil {
 		return
 	}
-	log.Info("subscriber attached", "window", window)
+	log.Info("subscriber attached", "window", window, "traced", traced)
 
 	// Read half: credit grants, client heartbeats, and the client's bye.
 	// The idle deadline is safe because wire.Subscription heartbeats every
@@ -125,10 +130,19 @@ func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.
 					"delivered", tap.Delivered(), "dropped", tap.Dropped())
 				return
 			}
-			if !write(func(w *wire.Writer) error { return w.Chunk(c) }) {
+			var begin time.Time
+			if c.Trace != 0 {
+				begin = time.Now()
+			}
+			if !write(func(w *wire.Writer) error { return w.ChunkExt(c, traced) }) {
 				log.Info("subscriber connection lost",
 					"delivered", tap.Delivered(), "dropped", tap.Dropped())
 				return
+			}
+			if c.Trace != 0 {
+				reg.trace.Record(c.Trace, trace.StageWireEgress,
+					conn.RemoteAddr().String(),
+					begin, time.Since(begin), int64(c.T), !c.IsData())
 			}
 		case <-hb.C:
 			if !write(func(w *wire.Writer) error { return w.Heartbeat() }) {

@@ -26,9 +26,11 @@ import (
 //	DELETE /queries/{id}            deregister
 //	GET    /queries/{id}/frame      next PNG frame (?wait=ms, default 5000; 204 if none)
 //	GET    /queries/{id}/series     time-series points (?from=index)
-//	GET    /queries/{id}/stream     upgrade to a GSP push subscription (?window=chunks)
+//	GET    /queries/{id}/stream     upgrade to a GSP push subscription (?window=chunks, ?trace=1)
+//	GET    /queries/{id}/trace      span timelines for sampled chunks (?n=traces, default 16)
 //	GET    /explain?q=...           plan + optimized plan with cost annotations
 //	GET    /stats                   server stats: hub routing telemetry, query count, uptime
+//	GET    /healthz                 200 serving; 503 + Retry-After draining or a band source dead
 //	GET    /metrics                 Prometheus text exposition (operator/hub/delivery telemetry)
 //	GET    /debug/pprof/...         runtime profiles; mounted only with SetDebug(true)
 
@@ -43,8 +45,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/{id}/frame", s.handleFrame)
 	mux.HandleFunc("GET /queries/{id}/series", s.handleSeries)
 	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /queries/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.registry.Handler())
 	s.mu.Lock()
 	debug := s.debug

@@ -15,6 +15,7 @@ import (
 	"geostreams/internal/cascade"
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/stream"
 )
 
@@ -73,6 +74,12 @@ type hub struct {
 	// before any query processing.
 	age *obs.Histogram
 
+	// tracer stamps locally generated chunks with trace IDs (wire-fed
+	// chunks arrive already stamped) and trec records the hub-route span
+	// into the server's shared ring. Both may be nil (tracing disabled).
+	tracer *trace.Tracer
+	trec   *trace.Recorder
+
 	// log receives slow-consumer shed and routing events; nil-safe.
 	log *obs.Logger
 }
@@ -82,14 +89,19 @@ type hub struct {
 // never shed, so operator state always closes).
 const minSubBuffer = 64
 
-func newHub(info stream.Info, log *obs.Logger) *hub {
-	return &hub{
-		info:  info,
-		subs:  make(map[cascade.QueryID]*subscriber),
-		index: cascade.NewTree(),
-		age:   obs.NewDurationHistogram(),
-		log:   log.With("band", info.Band),
+func newHub(info stream.Info, log *obs.Logger, tracer *trace.Tracer) *hub {
+	h := &hub{
+		info:   info,
+		subs:   make(map[cascade.QueryID]*subscriber),
+		index:  cascade.NewTree(),
+		age:    obs.NewDurationHistogram(),
+		tracer: tracer,
+		log:    log.With("band", info.Band),
 	}
+	if tracer != nil {
+		h.trec = tracer.Shared()
+	}
+	return h
 }
 
 // subBudget sizes a subscriber's pending-chunk budget: at least four scan
@@ -238,6 +250,24 @@ func (h *hub) consume(ctx context.Context, stop <-chan struct{}, src *stream.Str
 // route enqueues one chunk for the subscribers whose regions its bounds
 // intersect; punctuation goes to everyone.
 func (h *hub) route(c *stream.Chunk) {
+	// Stamp unstamped chunks here, at the first point every ingest path
+	// funnels through. Wire-fed chunks usually arrive already stamped (at
+	// the decode or at the instrument); locally generated ones get their
+	// ID now. The consume goroutine is the chunk's sole owner until the
+	// deque pushes below, so the mutation honors stamp-before-publication.
+	var begin time.Time
+	if h.tracer != nil {
+		if c.Trace == 0 {
+			c.Trace = h.tracer.StampID(c.IsData())
+		}
+		if c.Trace != 0 {
+			begin = time.Now()
+			defer func() {
+				h.trec.Record(c.Trace, trace.StageHubRoute, h.info.Band,
+					begin, time.Since(begin), int64(c.T), !c.IsData())
+			}()
+		}
+	}
 	h.mu.Lock()
 	var targets []*subscriber
 	if c.IsData() {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/stream"
 	"geostreams/internal/wire"
 )
@@ -42,11 +43,13 @@ type wireIngest struct {
 }
 
 // feedHandoff carries an accepted, hello-validated connection to the
-// band's reconnect factory.
+// band's reconnect factory. traced records whether the trace extension
+// was negotiated on this connection (the feeder offered, we acked).
 type feedHandoff struct {
-	conn net.Conn
-	rd   *wire.Reader
-	info stream.Info
+	conn   net.Conn
+	rd     *wire.Reader
+	info   stream.Info
+	traced bool
 }
 
 // IngestStats is the JSON form of the wire-ingest telemetry on /stats.
@@ -216,13 +219,30 @@ func (s *Server) handleFeed(conn net.Conn) {
 		reject(fmt.Sprintf("first frame is %s, want hello", wire.FrameTypeName(f.Type)))
 		return
 	}
-	info, err := wire.DecodeHello(f.Payload)
+	info, offered, err := wire.ParseHello(f.Payload)
 	if err != nil {
 		reject(err.Error())
 		return
 	}
 	band := info.Band
 	log = log.With("band", band)
+
+	// ackTrace completes the trace-extension negotiation: when the feeder
+	// offered and this server traces, confirm with a hello-ack on the
+	// otherwise control-only server→feeder direction. An old feeder never
+	// offers, so it never sees the ack and the connection runs the base
+	// protocol bit-identically.
+	ackTrace := func() bool {
+		if !offered || s.tracer == nil {
+			return false
+		}
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		if err := wire.NewWriter(conn).HelloAck(true); err != nil {
+			log.Warn("trace hello-ack failed", "error", err.Error())
+			return false
+		}
+		return true
+	}
 
 	s.mu.Lock()
 	h, attached := s.hubs[band]
@@ -231,7 +251,7 @@ func (s *Server) handleFeed(conn net.Conn) {
 	if !attached {
 		// First connection for this band: attach a supervised source whose
 		// reconnect factory waits for the next incoming feed connection.
-		src := s.pumpFeed(info, conn, rd)
+		src := s.pumpFeed(info, conn, rd, ackTrace())
 		err := s.AddSourceSpec(SourceSpec{
 			Stream:    src,
 			Reconnect: s.wireReconnect(band),
@@ -264,6 +284,11 @@ func (s *Server) handleFeed(conn net.Conn) {
 		return
 	default:
 	}
+	// Complete the trace negotiation before taking the ingest lock: the
+	// ack is a network write and must not run under wi.mu. If the handoff
+	// is refused below the feeder's connection dies anyway; an ack on a
+	// rejected connection is harmless.
+	traced := ackTrace()
 	// The dead check and the enqueue happen under one lock so they cannot
 	// interleave with markDead: a handoff is either queued before the band
 	// dies (markDead drains and rejects it) or refused here — never parked
@@ -281,7 +306,7 @@ func (s *Server) handleFeed(conn net.Conn) {
 	}
 	queued := false
 	select {
-	case w <- &feedHandoff{conn: conn, rd: rd, info: info}:
+	case w <- &feedHandoff{conn: conn, rd: rd, info: info, traced: traced}:
 		queued = true
 	default:
 	}
@@ -376,7 +401,7 @@ func (s *Server) wireReconnect(band string) func(ctx context.Context) (*stream.S
 	return func(ctx context.Context) (*stream.Stream, error) {
 		select {
 		case h := <-w:
-			return s.pumpFeed(h.info, h.conn, h.rd), nil
+			return s.pumpFeed(h.info, h.conn, h.rd, h.traced), nil
 		case <-wi.finishedChan(band):
 			// The feed said bye: the instrument is done, not flapping.
 			return nil, ErrSourceFinished
@@ -395,10 +420,14 @@ func (s *Server) wireReconnect(band string) func(ctx context.Context) (*stream.S
 // bye, the connection breaks, or it goes idle past the heartbeat
 // deadline. The stream just ends on any of those — the supervisor
 // decides whether that means reconnect or dead.
-func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader) *stream.Stream {
+func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader, traced bool) *stream.Stream {
 	wi := &s.wire
 	ch := make(chan *stream.Chunk, stream.DefaultBuffer)
 	log := s.logger().With("band", info.Band, "remote", conn.RemoteAddr().String())
+	var trec *trace.Recorder
+	if s.tracer != nil {
+		trec = s.tracer.Shared()
+	}
 	go func() {
 		defer close(ch)
 		defer s.untrackFeed(conn)
@@ -428,7 +457,8 @@ func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader) *str
 				wi.markFinished(info.Band)
 				return
 			case wire.FrameChunk:
-				c, err := wire.DecodeChunk(f.Payload)
+				begin := time.Now()
+				c, err := wire.DecodeChunkExt(f.Payload, traced)
 				if err != nil {
 					// The frame's CRC verified but the payload is not a
 					// chunk: a protocol bug on the sender, not line noise.
@@ -437,6 +467,18 @@ func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader) *str
 					return
 				}
 				wi.chunks.Add(1)
+				if s.tracer != nil {
+					// Chunks the instrument did not stamp (extension off, or
+					// not sampled there) are sampled here instead, so a
+					// wire-fed band is traced even against an old feeder.
+					if c.Trace == 0 {
+						c.Trace = s.tracer.StampID(c.IsData())
+					}
+					if c.Trace != 0 {
+						trec.Record(c.Trace, trace.StageIngestDecode, info.Band,
+							begin, time.Since(begin), int64(c.T), !c.IsData())
+					}
+				}
 				select {
 				case ch <- c:
 				case <-s.drain:

@@ -60,6 +60,9 @@ func (s *Server) Collect(e *obs.Exposition) {
 	e.Gauge("geostreams_draining",
 		"1 while the server is draining after Shutdown, else 0.",
 		drainingV)
+	e.Gauge("geostreams_frame_age_slo_seconds",
+		"Configured hub-to-delivery freshness budget (0 = no SLO).",
+		time.Duration(s.frameAgeSLO.Load()).Seconds())
 
 	if m := s.sharingManager(); m != nil {
 		snap := m.Snapshot()
@@ -183,6 +186,10 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Counter("geostreams_wire_backpressure_dropped_total",
 			"Data chunks dropped because a push subscriber's credit was exhausted or its buffer full.",
 			float64(ws.DroppedChunks), q)
+
+		e.Counter("geostreams_frame_age_slo_burn_total",
+			"Delivered data chunks older than the frame-age SLO budget.",
+			float64(r.deliv.sloBurn.Load()), q)
 
 		ds := r.DeliveryStats()
 		e.Counter("geostreams_delivery_frames_total",

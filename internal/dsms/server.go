@@ -13,6 +13,7 @@ import (
 	"geostreams/internal/cascade"
 	"geostreams/internal/exec"
 	"geostreams/internal/obs"
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/query"
 	"geostreams/internal/share"
 	"geostreams/internal/stream"
@@ -90,6 +91,18 @@ type Server struct {
 	debug    bool
 	started  time.Time
 
+	// tracer is the always-on chunk tracing layer (see internal/obs/trace):
+	// head-based sampling at the hub and wire-ingest edges, span rings per
+	// query plus a shared ring for the pre-query stages. Created in
+	// NewServer; never nil.
+	tracer *trace.Tracer
+
+	// frameAgeSLO is the hub→delivery freshness budget in nanoseconds
+	// (0 = no SLO): a delivered data chunk older than the budget burns the
+	// query's SLO counter. healthz counts GET /healthz probes.
+	frameAgeSLO atomic.Int64
+	healthz     *obs.Counter
+
 	// wire is the GSP ingest listener state (see ingest.go); zero until
 	// ServeIngest runs.
 	wire wireIngest
@@ -114,7 +127,30 @@ func NewServer(ctx context.Context) *Server {
 	s.registry.Register(obs.CollectorFunc(s.Collect))
 	s.registry.Register(obs.NewGoCollector())
 	s.registry.Register(exec.Collector())
+	s.tracer = trace.New(trace.DefaultInterval, trace.DefaultRingSpans)
+	s.registry.Register(obs.CollectorFunc(s.tracer.Collect))
+	s.healthz = s.registry.Counter("geostreams_healthz_checks_total",
+		"GET /healthz probes answered (any status).")
 	return s
+}
+
+// SetTraceInterval tunes the tracer's head-based sampling: one traced data
+// chunk per n ingested per band (punctuation is always traced); n <= 0
+// disables data sampling. The default is trace.DefaultInterval.
+func (s *Server) SetTraceInterval(n int) { s.tracer.SetInterval(n) }
+
+// Tracer exposes the server's chunk tracer so embedders (and the bench
+// harness) can stamp chunks or read spans directly.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// SetFrameAgeSLO sets the hub→delivery freshness budget: a delivered data
+// chunk whose ingest stamp is older than d burns the owning query's SLO
+// counter (geostreams_frame_age_slo_burn_total). d <= 0 disables the SLO.
+func (s *Server) SetFrameAgeSLO(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.frameAgeSLO.Store(int64(d))
 }
 
 // SetLogger attaches a structured logger for pipeline lifecycle events
@@ -255,7 +291,7 @@ func (s *Server) AddSourceSpec(spec SourceSpec) error {
 	if err := spec.Stream.Info.Validate(); err != nil {
 		return err
 	}
-	h := newHub(spec.Stream.Info, s.log)
+	h := newHub(spec.Stream.Info, s.log, s.tracer)
 	s.hubs[band] = h
 	s.catalog[band] = spec.Stream.Info
 	s.log.Info("source attached", "band", band,
@@ -522,6 +558,16 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	// credit-bounded taps that shed instead of stalling the pipeline.
 	out, taps := stream.NewTapSet(qg, out)
 
+	// Wire the query's span recorder into every stage it owns. Trunk
+	// stats inside `stats` were already claimed by the shared recorder
+	// when the trunk was built (AttachTrace is first-wins), so only the
+	// private suffix lands in this query's ring.
+	rec := s.tracer.Recorder(int64(id))
+	for _, st := range stats {
+		st.AttachTrace(rec)
+	}
+	taps.AttachTrace(rec)
+
 	r := &Registered{
 		ID:      id,
 		Text:    text,
@@ -536,6 +582,7 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		shared:  shared,
 		detach:  detach,
 		taps:    taps,
+		trace:   rec,
 		frames:  newFrameQueue(8),
 		series:  newSeriesBuffer(4096),
 		stopped: make(chan struct{}),
@@ -590,6 +637,10 @@ func (s *Server) Deregister(id cascade.QueryID) error {
 	// shared-trunk taps), so the pipeline ends and the wait below returns.
 	r.detach()
 	<-r.stopped
+	// The query is gone from every surface; drop its span ring. (A query
+	// whose pipeline merely ended stays inspectable via /trace until it is
+	// deregistered.)
+	s.tracer.Release(int64(id))
 	return nil
 }
 

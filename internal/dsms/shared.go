@@ -25,6 +25,10 @@ func (s *Server) SetSharing(on bool) {
 	defer s.mu.Unlock()
 	if on && s.sharing == nil {
 		s.sharing = share.NewManager(s.ctx, hubSubscriber{s})
+		// Trunk operator and fanout spans belong to the shared ring: a
+		// trunk serves many queries, so no single query's ring may claim
+		// its spans.
+		s.sharing.SetTrace(s.tracer.Shared())
 	} else if !on {
 		s.sharing = nil
 	}

@@ -25,6 +25,12 @@ func (f CollectorFunc) Collect(e *Exposition) { f(e) }
 type Registry struct {
 	mu         sync.Mutex
 	collectors []Collector
+
+	// Named instruments (Registry.Counter / Registry.Histogram): owned by
+	// the registry itself and emitted after the collectors, in creation
+	// order.
+	named      map[string]*namedInstrument
+	namedOrder []string
 }
 
 // NewRegistry builds an empty registry.
@@ -38,15 +44,28 @@ func (r *Registry) Register(c Collector) {
 	r.collectors = append(r.collectors, c)
 }
 
-// Gather runs every collector into a fresh exposition.
+// Gather runs every collector into a fresh exposition, then appends the
+// registry's named instruments in creation order.
 func (r *Registry) Gather() *Exposition {
 	r.mu.Lock()
 	cs := make([]Collector, len(r.collectors))
 	copy(cs, r.collectors)
+	named := make([]*namedInstrument, 0, len(r.namedOrder))
+	for _, name := range r.namedOrder {
+		named = append(named, r.named[name])
+	}
 	r.mu.Unlock()
 	e := NewExposition()
 	for _, c := range cs {
 		c.Collect(e)
+	}
+	for _, ni := range named {
+		switch {
+		case ni.counter != nil:
+			e.Counter(ni.name, ni.help, float64(ni.counter.Value()))
+		case ni.hist != nil:
+			e.Histogram(ni.name, ni.help, ni.hist.Snapshot())
+		}
 	}
 	return e
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/query"
 	"geostreams/internal/stream"
 )
@@ -49,12 +50,26 @@ type Manager struct {
 	created  int64 // trunks built
 	reused   int64 // acquisitions satisfied by a running trunk
 	panicked int64 // trunks torn down by an operator panic
+
+	// trace, when set, is attached to every trunk's operator stats and
+	// fanout as it is built, so shared-stage spans land in one ring owned
+	// by the manager's host rather than in whichever query mounted first.
+	trace *trace.Recorder
 }
 
 // NewManager creates a manager whose trunks all descend from ctx: cancelling
 // it unwinds every trunk.
 func NewManager(ctx context.Context, sub Subscriber) *Manager {
 	return &Manager{ctx: ctx, sub: sub, nodes: map[string]*node{}}
+}
+
+// SetTrace wires the span recorder trunks attach as they are built. Trunks
+// already running keep whatever recorder they claimed first (the attach is
+// once per stats); call this before the first Acquire for full coverage.
+func (m *Manager) SetTrace(r *trace.Recorder) {
+	m.mu.Lock()
+	m.trace = r
+	m.mu.Unlock()
 }
 
 // node is one running shared operator (or band source) plus its fan-out.
@@ -218,6 +233,15 @@ func (m *Manager) acquire(plan query.Node, seen map[query.Node]*node) (*node, er
 		n.st = st
 	}
 	n.fan = stream.NewFanout(g, out)
+	if m.trace != nil {
+		// Claim the trunk's spans for the shared ring before any query's
+		// recorder can: operator spans from the trunk stats and fanout
+		// spans labelled with the trunk's short signature.
+		if n.st != nil {
+			n.st.AttachTrace(m.trace)
+		}
+		n.fan.AttachTrace(m.trace, query.ShortSigOf(sig))
+	}
 	n.stats = subtreeStats(n)
 	m.nodes[sig] = n
 	m.created++

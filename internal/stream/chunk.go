@@ -110,6 +110,13 @@ type Chunk struct {
 	// data freshness. The stamp must be set before the chunk is sent —
 	// chunks are immutable once published.
 	Ingest int64
+
+	// Trace is the chunk's trace ID (see internal/obs/trace); 0 means
+	// untraced. The DSMS stamps a sampled subset of chunks at ingest —
+	// before first publication, like Ingest — and operators propagate the
+	// ID to derived chunks through InheritIngest, so recording sites can
+	// follow one chunk's causal path with a single integer check.
+	Trace uint64
 }
 
 // StampIngest marks the chunk as ingested at the given wall-clock time in
@@ -121,7 +128,16 @@ func (c *Chunk) StampIngest(nanos int64) { c.Ingest = nanos }
 // age reflects the stalest contributing data. May be called repeatedly
 // with each source of a multi-input derivation.
 func (c *Chunk) InheritIngest(src *Chunk) {
-	if src == nil || src.Ingest == 0 {
+	if src == nil {
+		return
+	}
+	// The trace ID rides along: a derived chunk adopts the first traced
+	// source it inherits from, so a sampled chunk's ID survives every
+	// 1:1 and merging transform that propagates freshness.
+	if c.Trace == 0 {
+		c.Trace = src.Trace
+	}
+	if src.Ingest == 0 {
 		return
 	}
 	if c.Ingest == 0 || src.Ingest < c.Ingest {
@@ -217,7 +233,7 @@ func (c *Chunk) CloneGrid() *Chunk {
 	}
 	vals := make([]float64, len(c.Grid.Vals))
 	copy(vals, c.Grid.Vals)
-	return &Chunk{Kind: KindGrid, T: c.T, Grid: &GridPatch{Lat: c.Grid.Lat, Vals: vals}, Ingest: c.Ingest}
+	return &Chunk{Kind: KindGrid, T: c.T, Grid: &GridPatch{Lat: c.Grid.Lat, Vals: vals}, Ingest: c.Ingest, Trace: c.Trace}
 }
 
 // Bounds returns the spatial bounding box of the chunk's points (empty for

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"geostreams/internal/obs/trace"
 )
 
 // Fanout broadcasts one input stream to a dynamic set of taps — the
@@ -41,6 +44,22 @@ type Fanout struct {
 	armedOnce sync.Once
 
 	delivered atomic.Int64
+
+	// tracer records a "fanout" span per traced chunk broadcast, labelled
+	// with the trunk it serves (attach-once; traceOp is guarded by mu).
+	tracer  atomic.Pointer[trace.Recorder]
+	traceOp string
+}
+
+// AttachTrace wires a span recorder into the fanout, once, labelling its
+// spans with op (the trunk label); later calls are no-ops.
+func (f *Fanout) AttachTrace(r *trace.Recorder, op string) {
+	if r == nil || !f.tracer.CompareAndSwap(nil, r) {
+		return
+	}
+	f.mu.Lock()
+	f.traceOp = op
+	f.mu.Unlock()
 }
 
 // Tap is one attached reader of a Fanout.
@@ -136,6 +155,17 @@ func (f *Fanout) broadcast(ctx context.Context, c *Chunk) bool {
 	case <-f.armed:
 	case <-ctx.Done():
 		return false
+	}
+	var begin time.Time
+	if c.Trace != 0 {
+		begin = time.Now()
+		defer func() {
+			f.mu.Lock()
+			op := f.traceOp
+			f.mu.Unlock()
+			f.tracer.Load().Record(c.Trace, trace.StageFanout, op,
+				begin, time.Since(begin), int64(c.T), !c.IsData())
+		}()
 	}
 	for _, t := range f.snapshot() {
 		select {

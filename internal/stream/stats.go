@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"geostreams/internal/obs"
+	"geostreams/internal/obs/trace"
 )
 
 // Stats instruments one operator instance. The experiment harness reads
@@ -60,6 +61,11 @@ type Stats struct {
 	// Apply/Apply2 before the operator goroutine starts.
 	queue     chan *Chunk
 	peakQueue atomic.Int64
+
+	// tracer records an "operator" span at each CountOut of a traced
+	// chunk. It is attach-once (AttachTrace) and loaded atomically because
+	// operators may already be emitting when the DSMS wires tracing up.
+	tracer atomic.Pointer[trace.Recorder]
 }
 
 // NewStats builds a fully instrumented Stats (latency and chunk-age
@@ -107,8 +113,14 @@ func (s *Stats) CountOut(c *Chunk) {
 	if last := s.lastEvent.Swap(now); last != 0 {
 		s.busyNanos.Add(now - last)
 	}
-	if in := s.lastIn.Load(); in != 0 && s.Latency != nil {
-		s.Latency.Observe(float64(now-in) / 1e9)
+	if in := s.lastIn.Load(); in != 0 {
+		if s.Latency != nil {
+			s.Latency.Observe(float64(now-in) / 1e9)
+		}
+		if c.Trace != 0 {
+			s.tracer.Load().Record(c.Trace, trace.StageOperator, s.Name,
+				time.Unix(0, in), time.Duration(now-in), int64(c.T), !c.IsData())
+		}
 	}
 	if s.queue != nil {
 		depth := int64(len(s.queue))
@@ -119,6 +131,19 @@ func (s *Stats) CountOut(c *Chunk) {
 			}
 		}
 	}
+}
+
+// AttachTrace wires a span recorder into the operator, once: the first
+// recorder attached wins and later calls are no-ops. Shared-trunk
+// operators are claimed by the shared recorder at trunk build time; a
+// query's private operators are claimed by its own recorder at
+// registration — the once semantics keep a reused trunk's spans in the
+// shared ring instead of whichever query registered last.
+func (s *Stats) AttachTrace(r *trace.Recorder) {
+	if r == nil {
+		return
+	}
+	s.tracer.CompareAndSwap(nil, r)
 }
 
 // Buffer records n points entering the operator's intermediate state and

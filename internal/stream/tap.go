@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"geostreams/internal/obs/trace"
 )
 
 // TapSet interposes on a stream for push delivery: the primary consumer
@@ -33,6 +36,10 @@ type TapSet struct {
 	attached  atomic.Int64
 	delivered atomic.Int64
 	dropped   atomic.Int64
+
+	// tracer records a "fanout" span per traced chunk offered to the taps
+	// (attach-once; see Stats.AttachTrace for the rationale).
+	tracer atomic.Pointer[trace.Recorder]
 }
 
 // punctuationReserve is the buffer headroom each tap keeps beyond its
@@ -82,6 +89,15 @@ func NewTapSet(g *Group, in *Stream) (*Stream, *TapSet) {
 	return &Stream{Info: in.Info, C: out}, ts
 }
 
+// AttachTrace wires a span recorder into the tap set, once; later calls
+// are no-ops.
+func (ts *TapSet) AttachTrace(r *trace.Recorder) {
+	if r == nil {
+		return
+	}
+	ts.tracer.CompareAndSwap(nil, r)
+}
+
 // Attach adds a tap whose buffer holds at most window chunks. If the
 // stream has already ended the returned tap's channel is closed
 // immediately, so the subscriber sees a normal end of stream.
@@ -118,6 +134,14 @@ func (ts *TapSet) Stats() (attached int64, active int, delivered, dropped int64)
 // window cannot reach. The set lock is held across the (non-blocking)
 // sends so a concurrent Close cannot close a channel mid-send.
 func (ts *TapSet) offer(c *Chunk) {
+	var begin time.Time
+	if c.Trace != 0 {
+		begin = time.Now()
+		defer func() {
+			ts.tracer.Load().Record(c.Trace, trace.StageFanout, "tap",
+				begin, time.Since(begin), int64(c.T), !c.IsData())
+		}()
+	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	for _, t := range ts.taps {

@@ -21,6 +21,12 @@ import (
 //	grid:   f64 x0,y0,dx,dy; u32 w,h; w*h × f64 vals
 //	points: u32 n; n × {f64 x, f64 y, i64 t, f64 v}
 //	eos:    f64 x0,y0,dx,dy; u32 w,h      (the sector extent)
+//
+// When both peers negotiated the trace extension in the hello exchange
+// (see the package doc), every chunk payload additionally carries a
+// trailing u64 trace ID (0 = untraced). The trailer is strictly
+// negotiated: the base decoders check payload lengths exactly, so an
+// unnegotiated trailer is a framing error, never silently misread.
 
 const (
 	kindGrid   = 0
@@ -30,6 +36,7 @@ const (
 	chunkHdrLen = 1 + 8 + 8
 	latticeLen  = 4*8 + 2*4
 	pointLen    = 8 + 8 + 8 + 8
+	traceExtLen = 8
 )
 
 // AppendChunk appends the binary encoding of c to dst and returns the
@@ -74,6 +81,38 @@ func appendLattice(dst []byte, l geom.Lattice) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(l.DY))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(l.W))
 	return binary.BigEndian.AppendUint32(dst, uint32(l.H))
+}
+
+// AppendChunkExt appends the binary encoding of c to dst, with the
+// trailing trace-ID extension when withTrace is set.
+func AppendChunkExt(dst []byte, c *stream.Chunk, withTrace bool) ([]byte, error) {
+	dst, err := AppendChunk(dst, c)
+	if err != nil {
+		return nil, err
+	}
+	if withTrace {
+		dst = binary.BigEndian.AppendUint64(dst, c.Trace)
+	}
+	return dst, nil
+}
+
+// DecodeChunkExt parses a chunk frame payload from a peer that did (or
+// did not) negotiate the trace extension: with the extension the last 8
+// payload bytes are the chunk's trace ID and the remainder decodes
+// exactly as the base format.
+func DecodeChunkExt(p []byte, withTrace bool) (*stream.Chunk, error) {
+	if !withTrace {
+		return DecodeChunk(p)
+	}
+	if len(p) < chunkHdrLen+traceExtLen {
+		return nil, fmt.Errorf("wire: traced chunk payload truncated at %d bytes", len(p))
+	}
+	c, err := DecodeChunk(p[:len(p)-traceExtLen])
+	if err != nil {
+		return nil, err
+	}
+	c.Trace = binary.BigEndian.Uint64(p[len(p)-traceExtLen:])
+	return c, nil
 }
 
 // DecodeChunk parses a chunk frame payload. Every field is restored
@@ -173,8 +212,12 @@ func decodeLattice(p []byte) (geom.Lattice, []byte, error) {
 }
 
 // Chunk frames and writes one chunk, reusing the writer's scratch buffer.
-func (w *Writer) Chunk(c *stream.Chunk) error {
-	buf, err := AppendChunk(w.scratch[:0], c)
+func (w *Writer) Chunk(c *stream.Chunk) error { return w.ChunkExt(c, false) }
+
+// ChunkExt frames and writes one chunk, appending the trace-ID trailer
+// when the connection negotiated the trace extension.
+func (w *Writer) ChunkExt(c *stream.Chunk, withTrace bool) error {
+	buf, err := AppendChunkExt(w.scratch[:0], c, withTrace)
 	if err != nil {
 		return err
 	}
@@ -199,15 +242,25 @@ type helloInfo struct {
 	H         int     `json:"h,omitempty"`
 	VMin      float64 `json:"vmin"`
 	VMax      float64 `json:"vmax"`
+	// Trace offers (feed hello, subscription hello) or confirms (ingest
+	// hello-ack) the chunk-frame trace extension. Old peers never set it
+	// and ignore it on receipt, so negotiation degrades to the base
+	// protocol bit-identically.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Hello announces a stream's metadata as the connection's first frame.
-func (w *Writer) Hello(info stream.Info) error {
+func (w *Writer) Hello(info stream.Info) error { return w.HelloExt(info, false) }
+
+// HelloExt announces a stream's metadata, optionally offering the
+// chunk-frame trace extension.
+func (w *Writer) HelloExt(info stream.Info, trace bool) error {
 	h := helloInfo{
 		Band: info.Band, CRS: info.CRS.Name(),
 		Org: info.Org.String(), Stamp: info.Stamp.String(),
 		HasSector: info.HasSectorMeta,
 		VMin:      info.VMin, VMax: info.VMax,
+		Trace: trace,
 	}
 	if info.HasSectorMeta {
 		g := info.SectorGeom
@@ -220,23 +273,52 @@ func (w *Writer) Hello(info stream.Info) error {
 	return w.WriteFrame(FrameHello, p)
 }
 
-// DecodeHello parses a hello frame payload back into stream metadata.
-func DecodeHello(p []byte) (stream.Info, error) {
+// HelloAck confirms an ingest feed's trace-extension offer on the
+// server→feeder control channel. Its payload is a minimal hello (no
+// stream metadata: the receiver of an ingest connection has no stream of
+// its own to announce).
+func (w *Writer) HelloAck(trace bool) error {
+	p, err := json.Marshal(helloInfo{Trace: trace})
+	if err != nil {
+		return err
+	}
+	return w.WriteFrame(FrameHello, p)
+}
+
+// DecodeHelloAck parses a hello-ack payload, returning whether the
+// receiver confirmed the trace extension.
+func DecodeHelloAck(p []byte) (bool, error) {
 	var h helloInfo
 	if err := json.Unmarshal(p, &h); err != nil {
-		return stream.Info{}, fmt.Errorf("wire: bad hello payload: %w", err)
+		return false, fmt.Errorf("wire: bad hello-ack payload: %w", err)
+	}
+	return h.Trace, nil
+}
+
+// DecodeHello parses a hello frame payload back into stream metadata.
+func DecodeHello(p []byte) (stream.Info, error) {
+	info, _, err := ParseHello(p)
+	return info, err
+}
+
+// ParseHello parses a hello frame payload back into stream metadata plus
+// the trace-extension flag.
+func ParseHello(p []byte) (stream.Info, bool, error) {
+	var h helloInfo
+	if err := json.Unmarshal(p, &h); err != nil {
+		return stream.Info{}, false, fmt.Errorf("wire: bad hello payload: %w", err)
 	}
 	crs, err := coord.Parse(h.CRS)
 	if err != nil {
-		return stream.Info{}, fmt.Errorf("wire: hello: %w", err)
+		return stream.Info{}, false, fmt.Errorf("wire: hello: %w", err)
 	}
 	org, err := parseOrganization(h.Org)
 	if err != nil {
-		return stream.Info{}, err
+		return stream.Info{}, false, err
 	}
 	stamp, err := parseStamp(h.Stamp)
 	if err != nil {
-		return stream.Info{}, err
+		return stream.Info{}, false, err
 	}
 	info := stream.Info{
 		Band: h.Band, CRS: crs, Org: org, Stamp: stamp,
@@ -246,9 +328,9 @@ func DecodeHello(p []byte) (stream.Info, error) {
 		info.SectorGeom = geom.Lattice{X0: h.X0, Y0: h.Y0, DX: h.DX, DY: h.DY, W: h.W, H: h.H}
 	}
 	if err := info.Validate(); err != nil {
-		return stream.Info{}, fmt.Errorf("wire: hello: %w", err)
+		return stream.Info{}, false, fmt.Errorf("wire: hello: %w", err)
 	}
-	return info, nil
+	return info, h.Trace, nil
 }
 
 func parseOrganization(s string) (stream.Organization, error) {

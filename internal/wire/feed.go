@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"geostreams/internal/obs/trace"
 	"geostreams/internal/stream"
 )
 
@@ -24,7 +25,19 @@ type FeedOptions struct {
 	RedialBackoff time.Duration
 	// WriteTimeout bounds one frame write (default 30s).
 	WriteTimeout time.Duration
+	// Tracer, when set, offers the chunk-frame trace extension in the
+	// hello and — once the server acks — stamps sampled chunks at the
+	// instrument so one causal timeline starts here rather than at the
+	// server. Against a server that never acks (an old peer) the feed
+	// waits helloAckWait once per connection, then runs the base
+	// protocol untouched.
+	Tracer *trace.Tracer
 }
+
+// helloAckWait bounds the wait for the server's hello-ack after a trace
+// offer; an old server never answers, so the feed falls back to the base
+// protocol when the wait expires.
+const helloAckWait = 2 * time.Second
 
 func (o FeedOptions) withDefaults() FeedOptions {
 	if o.Heartbeat <= 0 {
@@ -49,12 +62,16 @@ func (o FeedOptions) withDefaults() FeedOptions {
 type FeedStats struct {
 	Chunks  atomic.Int64
 	Redials atomic.Int64
+	// Traced reports whether the most recent connection negotiated the
+	// trace extension (1) or fell back to the base protocol (0).
+	Traced atomic.Int64
 }
 
 // feedConn is one live connection of a feed.
 type feedConn struct {
-	conn net.Conn
-	wr   *Writer
+	conn   net.Conn
+	wr     *Writer
+	traced bool // this connection negotiated the trace extension
 }
 
 // FeedStream pumps every chunk of src over GSP to the ingest listener at
@@ -77,6 +94,7 @@ func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedO
 	if err != nil {
 		return err
 	}
+	setTraced(st, fc)
 	defer func() {
 		if fc != nil {
 			fc.conn.Close()
@@ -113,6 +131,7 @@ func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedO
 				}
 				st.Redials.Add(1)
 				fc = nc
+				setTraced(st, fc)
 				break
 			}
 		}
@@ -124,7 +143,14 @@ func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedO
 			if !ok {
 				return write(func(w *Writer) error { return w.Bye() })
 			}
-			if err := write(func(w *Writer) error { return w.Chunk(c) }); err != nil {
+			// Stamp at the instrument when the extension is live: the feed
+			// is the chunk's first (and only) owner here, so setting the ID
+			// before the frame write honors the stamp-before-publication
+			// contract. A redial re-sends the same chunk with the same ID.
+			if fc.traced && opts.Tracer != nil && c.Trace == 0 {
+				c.Trace = opts.Tracer.StampID(c.IsData())
+			}
+			if err := write(func(w *Writer) error { return w.ChunkExt(c, fc.traced) }); err != nil {
 				return err
 			}
 			st.Chunks.Add(1)
@@ -138,6 +164,14 @@ func FeedStream(ctx context.Context, addr string, src *stream.Stream, opts FeedO
 	}
 }
 
+func setTraced(st *FeedStats, fc *feedConn) {
+	var v int64
+	if fc.traced {
+		v = 1
+	}
+	st.Traced.Store(v)
+}
+
 func dialFeed(ctx context.Context, addr string, info stream.Info, opts FeedOptions) (*feedConn, error) {
 	d := net.Dialer{Timeout: opts.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -146,9 +180,31 @@ func dialFeed(ctx context.Context, addr string, info stream.Info, opts FeedOptio
 	}
 	wr := NewWriter(conn)
 	conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)) //nolint:errcheck
-	if err := wr.Hello(info); err != nil {
+	offer := opts.Tracer != nil
+	if err := wr.HelloExt(info, offer); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: feed hello: %w", err)
 	}
-	return &feedConn{conn: conn, wr: wr}, nil
+	fc := &feedConn{conn: conn, wr: wr}
+	if offer {
+		fc.traced = awaitHelloAck(conn)
+	}
+	return fc, nil
+}
+
+// awaitHelloAck waits briefly for the server's hello-ack confirming the
+// trace offer. Anything other than a confirming ack — a timeout (old
+// server: the server→feeder direction is otherwise silent at startup),
+// a declined ack, or any protocol noise — falls back to base frames;
+// real connection failures surface on the next write.
+func awaitHelloAck(conn net.Conn) bool {
+	conn.SetReadDeadline(time.Now().Add(helloAckWait)) //nolint:errcheck
+	defer conn.SetReadDeadline(time.Time{})            //nolint:errcheck
+	rd := NewReader(conn)
+	f, err := rd.Next()
+	if err != nil || f.Type != FrameHello {
+		return false
+	}
+	ok, err := DecodeHelloAck(f.Payload)
+	return err == nil && ok
 }

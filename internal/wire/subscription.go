@@ -28,6 +28,9 @@ type Subscription struct {
 	consumed int
 	// Info is the query output stream's metadata from the server's hello.
 	Info stream.Info
+	// traced is set when the server's hello confirmed the chunk-frame
+	// trace extension for this connection.
+	traced bool
 	// IdleTimeout bounds the wait for any frame (heartbeats included);
 	// DefaultIdleTimeout if zero.
 	IdleTimeout time.Duration
@@ -71,12 +74,13 @@ func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription
 		conn.Close()
 		return nil, fmt.Errorf("wire: subscribe: first frame is %s, want hello", FrameTypeName(f.Type))
 	}
-	info, err := DecodeHello(f.Payload)
+	info, traced, err := ParseHello(f.Payload)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	s.Info = info
+	s.traced = traced
 	if err := s.write(func(w *Writer) error { return w.Credit(uint32(window)) }); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: subscribe: initial credit: %w", err)
@@ -138,7 +142,7 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 		case FrameError:
 			return nil, fmt.Errorf("%w: %s", ErrServer, f.Payload)
 		case FrameChunk:
-			c, err := DecodeChunk(f.Payload)
+			c, err := DecodeChunkExt(f.Payload, s.traced)
 			if err != nil {
 				return nil, err
 			}
@@ -160,6 +164,10 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 		}
 	}
 }
+
+// Traced reports whether the server confirmed the chunk-frame trace
+// extension, i.e. whether received chunks can carry trace IDs.
+func (s *Subscription) Traced() bool { return s.traced }
 
 // Grant extends the server's credit window ahead of consumption, on top
 // of the automatic half-window top-ups Next performs. A consumer that

@@ -47,6 +47,21 @@
 // reserve can miss one. Ingest connections do not use credit: the feed is
 // paced by TCP and the hub's own shedding policy.
 //
+// # Trace extension
+//
+// The hello payload may carry "trace": true, offering the chunk-frame
+// trace extension: once both peers agree, every chunk payload ends with
+// a trailing 8-byte trace ID (0 = untraced) so a sampled chunk's causal
+// timeline survives the wire (see internal/obs/trace). Negotiation is
+// direction-specific. On egress the client asks via the upgrade request
+// (?trace=1) and the server's hello confirms with the trace flag. On
+// ingest the feed's hello offers the flag and a tracing server replies
+// with a hello-ack frame (a minimal hello, trace-flag only) on the
+// otherwise control-only server→feeder channel; the feeder waits
+// briefly for the ack and falls back to base frames when none arrives.
+// Old peers never offer, never ack, and ignore the unknown hello field,
+// so mixed-version connections run the base protocol bit-identically.
+//
 // # Delivery semantics
 //
 // Ingest delivery is at-least-once, not exactly-once: a feed whose frame
