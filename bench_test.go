@@ -178,7 +178,12 @@ func BenchmarkE2_ValueRestriction(b *testing.B) {
 func BenchmarkE3_MapPointwise(b *testing.B) {
 	workload(b)
 	benchUnary(b, func() stream.Operator {
-		return core.ValueTransform{Fn: func(v float64) float64 { return v * 0.25 }, Label: "scale"}
+		return core.ValueTransform{Fn: func(v float64) float64 { return v * 0.25 },
+			Block: func(dst, src []float64) {
+				for i, v := range src {
+					dst[i] = v * 0.25
+				}
+			}, Label: "scale"}
 	}, wlInfoRow, wlRowsVis)
 }
 

@@ -1,0 +1,114 @@
+// Command benchgate compares a `geobench -json` snapshot against a
+// recorded baseline snapshot and fails when a watched hot-path metric
+// regresses past a budget. CI runs it after the bench-smoke job so a PR
+// that quietly gives back the block-vectorized kernel win (BENCH_PR7.json
+// vs BENCH_PR6.json, DESIGN.md §12) fails loudly instead of landing.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR6.json -current snap.json \
+//	          [-exp E-O1] [-suffix _ns_per_point] [-max-regress-pct 10]
+//
+// Every metric of the chosen experiment whose name carries the suffix and
+// appears in both snapshots is compared; lower is better. A metric only in
+// one snapshot is reported and skipped (experiments grow columns between
+// PRs). Exit status 1 on any regression beyond the budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// snapshot is the slice of the geobench -json document benchgate reads.
+type snapshot struct {
+	Experiments []struct {
+		ID      string             `json:"id"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"experiments"`
+}
+
+func load(path, exp string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, e := range s.Experiments {
+		if e.ID == exp {
+			return e.Metrics, nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no experiment %q in snapshot", path, exp)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "recorded baseline snapshot (e.g. BENCH_PR6.json)")
+	current := flag.String("current", "", "freshly measured snapshot to gate")
+	exp := flag.String("exp", "E-O1", "experiment id to compare")
+	suffix := flag.String("suffix", "_ns_per_point", "compare metrics whose name ends with this (lower is better)")
+	maxRegress := flag.Float64("max-regress-pct", 10, "fail when current exceeds baseline by more than this percentage")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline, *exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current, *exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if strings.HasSuffix(name, *suffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s has no %q metrics for %s\n",
+			*baseline, *suffix, *exp)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("SKIP %-44s not in current snapshot\n", name)
+			continue
+		}
+		if b <= 0 {
+			fmt.Printf("SKIP %-44s non-positive baseline %g\n", name, b)
+			continue
+		}
+		deltaPct := (c - b) / b * 100
+		verdict := "ok"
+		if deltaPct > *maxRegress {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-4s %-44s baseline %8.3f  current %8.3f  %+7.1f%%\n",
+			verdict, name, b, c, deltaPct)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: regression beyond %.0f%% budget vs %s\n",
+			*maxRegress, *baseline)
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	geobench [-scale quick|default] [-exp E1,E5,F3] [-w N] [-h N] [-sectors N]
-//	         [-parallelism N] [-json]
+//	         [-parallelism N] [-json] [-cpuprofile FILE]
 //
 // With -json stdout carries exactly one machine-readable JSON snapshot —
 // the config, every table (rows plus its metrics map, e.g. the F3
@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,10 +46,34 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a JSON metrics snapshot on stdout (tables go to stderr)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
 	flag.Parse()
 
 	if *parallelism > 0 {
 		exec.SetParallelism(*parallelism)
+	}
+	// stopProfile is safe to call on every exit path (os.Exit skips
+	// defers); it is a no-op until -cpuprofile starts a profile.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+			os.Exit(1)
+		}
+		var stopped bool
+		stopProfile = func() {
+			if !stopped {
+				stopped = true
+				pprof.StopCPUProfile()
+				f.Close()
+			}
+		}
+		defer stopProfile()
 	}
 	// Human-readable output goes to stdout normally, to stderr under -json
 	// so stdout is pure JSON.
@@ -104,6 +129,7 @@ func main() {
 	}
 	snap.Exec = exec.Snapshot()
 	snap.TotalSeconds = time.Since(suiteStart).Seconds()
+	stopProfile()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

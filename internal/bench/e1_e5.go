@@ -146,7 +146,11 @@ func E3Stretch(cfg Config) (*Table, error) {
 		points := totalPoints(chunks)
 
 		_, em, stm, err := runOp(core.ValueTransform{Fn: func(v float64) float64 { return v / 4 },
-			Label: "scale"}, info, chunks)
+			Block: func(dst, src []float64) {
+				for i, v := range src {
+					dst[i] = v / 4
+				}
+			}, Label: "scale"}, info, chunks)
 		if err != nil {
 			return nil, err
 		}

@@ -40,10 +40,28 @@ func EO1TraceOverhead(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	vt1 := core.ValueTransform{Fn: func(v float64) float64 { return v*1.0002 + 0.25 }, Label: "gain"}
-	vt2 := core.ValueTransform{Fn: func(v float64) float64 { return v - 0.125 }, Label: "bias"}
+	// Block twins mirror each stage's expression exactly (bit-identical);
+	// the tracing overhead under test rides the same blocked path either
+	// way.
+	vt1 := core.ValueTransform{Fn: func(v float64) float64 { return v*1.0002 + 0.25 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v*1.0002 + 0.25
+			}
+		}, Label: "gain"}
+	vt2 := core.ValueTransform{Fn: func(v float64) float64 { return v - 0.125 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v - 0.125
+			}
+		}, Label: "bias"}
 	vr := core.ValueRestrict{Values: rng}
-	vt3 := core.ValueTransform{Fn: func(v float64) float64 { return math.Sqrt(math.Abs(v)) }, Label: "root"}
+	vt3 := core.ValueTransform{Fn: func(v float64) float64 { return math.Sqrt(math.Abs(v)) },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = math.Sqrt(math.Abs(v))
+			}
+		}, Label: "root"}
 	fused := []stream.Operator{core.FusedPointwise{Stages: []core.FusedStage{
 		{Transform: &vt1}, {Transform: &vt2}, {Restrict: &vr}, {Transform: &vt3},
 	}}}

@@ -36,10 +36,28 @@ func P1ParallelFusion(cfg Config) (*Table, error) {
 	}
 	// The four point-wise stages, shared by the fused and unfused
 	// variants so both compute the same function.
-	vt1 := core.ValueTransform{Fn: func(v float64) float64 { return v*1.0002 + 0.25 }, Label: "gain"}
-	vt2 := core.ValueTransform{Fn: func(v float64) float64 { return v - 0.125 }, Label: "bias"}
+	// Each stage carries its block twin with the textually identical
+	// per-element expression, so the blocked sweep is bit-identical to the
+	// scalar loop.
+	vt1 := core.ValueTransform{Fn: func(v float64) float64 { return v*1.0002 + 0.25 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v*1.0002 + 0.25
+			}
+		}, Label: "gain"}
+	vt2 := core.ValueTransform{Fn: func(v float64) float64 { return v - 0.125 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v - 0.125
+			}
+		}, Label: "bias"}
 	vr := core.ValueRestrict{Values: rng}
-	vt3 := core.ValueTransform{Fn: func(v float64) float64 { return math.Sqrt(math.Abs(v)) }, Label: "root"}
+	vt3 := core.ValueTransform{Fn: func(v float64) float64 { return math.Sqrt(math.Abs(v)) },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = math.Sqrt(math.Abs(v))
+			}
+		}, Label: "root"}
 	unfused := []stream.Operator{vt1, vt2, vr, vt3}
 	fused := []stream.Operator{core.FusedPointwise{Stages: []core.FusedStage{
 		{Transform: &vt1}, {Transform: &vt2}, {Restrict: &vr}, {Transform: &vt3},

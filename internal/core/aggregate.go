@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
@@ -152,13 +153,23 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 	haveCur := false
 
 	newFrame := func() []float64 {
-		f := make([]float64, n)
+		f := exec.AllocVals(n)
 		for i := range f {
 			f[i] = math.NaN()
 		}
 		st.Buffer(int64(n))
 		return f
 	}
+	// The window frames are operator-private pooled scratch: recycle them
+	// when they rotate out (and any leftovers when the stream ends).
+	defer func() {
+		for _, f := range history {
+			exec.Recycle(f)
+		}
+		if haveCur {
+			exec.Recycle(cur)
+		}
+	}()
 
 	finishSector := func(t geom.Timestamp) error {
 		if !haveCur {
@@ -166,8 +177,15 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 		}
 		history = append(history, cur)
 		histIngs = append(histIngs, curIng)
+		// cur now lives in history; clear it immediately so an error below
+		// cannot leave both the history slot and cur pointing at one buffer
+		// (the deferred cleanup would recycle it twice).
+		haveCur = false
+		cur = nil
+		curIng = 0
 		if len(history) > op.Window {
 			st.Unbuffer(int64(n))
+			exec.Recycle(history[0])
 			history = history[1:]
 			histIngs = histIngs[1:]
 		}
@@ -175,35 +193,31 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 		for _, ing := range histIngs {
 			winIng = stream.MinIngest(winIng, ing)
 		}
-		// Aggregate across the window per cell.
-		vals := make([]float64, n)
-		scratch := make([]float64, 0, len(history))
-		for i := 0; i < n; i++ {
-			scratch = scratch[:0]
-			for _, f := range history {
-				scratch = append(scratch, f[i])
+		// Aggregate across the window per cell, block-sharded: each shard
+		// folds its cells across the window frames independently.
+		vals := exec.AllocVals(n)
+		win := history
+		exec.ForBlocks(n, func(i0, i1 int) {
+			scratch := make([]float64, len(win))
+			for i := i0; i < i1; i++ {
+				for k, f := range win {
+					scratch[k] = f[i]
+				}
+				vals[i] = op.Fn.reduce(scratch)
 			}
-			vals[i] = op.Fn.reduce(scratch)
-		}
-		o, err := stream.NewGridChunk(t, lat, vals)
+		})
+		o, err := stream.NewPooledGridChunk(t, lat, vals)
 		if err != nil {
+			exec.Recycle(vals)
 			return err
 		}
 		o.StampIngest(winIng)
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 		eos := stream.NewEndOfSector(t, lat)
 		eos.StampIngest(winIng)
-		if err := stream.Send(ctx, out, eos); err != nil {
-			return err
-		}
-		st.CountOut(eos)
-		haveCur = false
-		cur = nil
-		curIng = 0
-		return nil
+		return stream.EmitCounted(ctx, out, eos, st)
 	}
 
 	for c := range in {
@@ -212,6 +226,7 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 		case stream.KindGrid:
 			if haveCur && c.T != curT {
 				if err := finishSector(curT); err != nil {
+					c.Release()
 					return err
 				}
 			}
@@ -235,11 +250,15 @@ func (op *TemporalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, o
 				}
 				copy(cur[srcRow*lat.W+c0:srcRow*lat.W+c0+w], g.Vals[r*g.Lat.W:r*g.Lat.W+w])
 			}
+			c.Release()
 		case stream.KindEndOfSector:
 			if err := finishSector(c.T); err != nil {
+				c.Release()
 				return err
 			}
+			c.Release()
 		default:
+			c.Release()
 			return fmt.Errorf("aggregate_t: unsupported chunk kind %s", c.Kind)
 		}
 	}
@@ -325,10 +344,9 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 			return err
 		}
 		o.StampIngest(secIng)
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 		reset()
 		return nil
 	}
@@ -339,13 +357,16 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 		case stream.KindEndOfSector:
 			if haveSector && curT == c.T {
 				if err := emit(c.T); err != nil {
+					c.Release()
 					return err
 				}
 				haveSector = false
 			}
+			c.Release()
 		default:
 			if haveSector && c.T != curT {
 				if err := emit(curT); err != nil {
+					c.Release()
 					return err
 				}
 			}
@@ -353,6 +374,7 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 			haveSector = true
 			secIng = stream.MinIngest(secIng, c.Ingest)
 			if !c.Bounds().Intersects(bounds) {
+				c.Release()
 				continue
 			}
 			c.ForEachPoint(func(p geom.Point, v float64) {
@@ -368,6 +390,7 @@ func (op RegionalAggregate) Run(ctx context.Context, in <-chan *stream.Chunk, ou
 					hi = v
 				}
 			})
+			c.Release()
 		}
 	}
 	if haveSector {

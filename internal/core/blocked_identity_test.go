@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geostreams/internal/exec"
+	"geostreams/internal/geom"
+	"geostreams/internal/stream"
+	"geostreams/internal/valueset"
+)
+
+// This file extends the PR 2 bit-identity property suite to the
+// block-vectorized grid path: the blocked FusedPointwise.apply must agree
+// bit for bit with the pre-block row-by-row reference (applyGridRows) and
+// with a plain per-element gridVal loop, over grids seeded with NaN and
+// ±Inf, at both scalar and parallel block sizes.
+
+// identityGrid renders a randomized grid chunk of n = w*h values laced
+// with NaN, ±Inf, and denormal-adjacent magnitudes.
+func identityGrid(t *testing.T, w, h int, seed int64) *stream.Chunk {
+	t.Helper()
+	lat := sectorLattice(t, w, h)
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, lat.NumPoints())
+	for i := range vals {
+		switch rng.Intn(16) {
+		case 0:
+			vals[i] = math.NaN()
+		case 1:
+			vals[i] = math.Inf(1)
+		case 2:
+			vals[i] = math.Inf(-1)
+		case 3:
+			vals[i] = rng.NormFloat64() * 1e-300
+		default:
+			vals[i] = rng.NormFloat64() * 100
+		}
+	}
+	c, err := stream.NewGridChunk(geom.Timestamp(7), lat, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// identityChain is a representative fused chain: a transform with a
+// hand-written Block twin, a restriction, and a transform with only a
+// scalar Fn (exercising the imagealg.BlockOf fallback).
+func identityChain() FusedPointwise {
+	gain := ValueTransform{
+		Fn: func(v float64) float64 { return v*1.0002 + 0.25 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v*1.0002 + 0.25
+			}
+		},
+		Label: "gain",
+	}
+	band := ValueRestrict{Values: valueset.Range{Min: -150, Max: 150}}
+	curve := ValueTransform{
+		Fn:    func(v float64) float64 { return math.Sqrt(math.Abs(v)) },
+		Label: "curve",
+	}
+	return FusedPointwise{Stages: []FusedStage{
+		{Transform: &gain},
+		{Restrict: &band},
+		{Transform: &curve},
+	}}
+}
+
+func sameBits(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: value [%d] differs: %x vs %x (%g vs %g)",
+				label, i, math.Float64bits(want[i]), math.Float64bits(got[i]),
+				want[i], got[i])
+		}
+	}
+}
+
+// TestFusedBlockedBitIdentity: blocked ≡ row-by-row ≡ scalar, on grids
+// below and above the parallel cutoff, at parallelism 1 and full.
+func TestFusedBlockedBitIdentity(t *testing.T) {
+	op := identityChain()
+	blocks := op.compileBlocks()
+	for _, tc := range []struct {
+		name string
+		w, h int
+	}{
+		{"scalar-size", 40, 10},        // below ParallelCutoff
+		{"parallel-size", 256, 2 * 66}, // above ParallelCutoff
+		{"ragged-size", 251, 2*66 + 1}, // odd dims, above cutoff
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, par := range []int{1, 0} {
+				exec.SetParallelism(par)
+				c := identityGrid(t, tc.w, tc.h, 0xC0FFEE+int64(tc.w))
+
+				// Scalar reference: one gridVal call per element.
+				want := make([]float64, len(c.Grid.Vals))
+				for i, v := range c.Grid.Vals {
+					want[i] = op.gridVal(v)
+				}
+
+				rows, err := op.applyGridRows(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameBits(t, "rows vs scalar", want, rows.Grid.Vals)
+
+				blocked, err := op.apply(c, blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !blocked.Pooled() {
+					t.Fatal("blocked grid output is not pool-backed")
+				}
+				sameBits(t, "blocked vs scalar", want, blocked.Grid.Vals)
+
+				blocked.Release()
+				rows.Release()
+			}
+			exec.SetParallelism(0)
+		})
+	}
+}
+
+// TestValueTransformBlockTwinBitIdentity: a transform carrying a
+// hand-written Block twin produces bit-identical output to the same
+// transform running through its scalar Fn alone.
+func TestValueTransformBlockTwinBitIdentity(t *testing.T) {
+	twin := ValueTransform{
+		Fn: func(v float64) float64 { return v - 0.125 },
+		Block: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = v - 0.125
+			}
+		},
+		Label: "offset",
+	}
+	fnOnly := ValueTransform{Fn: twin.Fn, Label: "offset"}
+
+	lat := sectorLattice(t, 256, 132)
+	info := rowInfo("b1", lat)
+	info.Org = stream.ImageByImage
+
+	mk := func() []*stream.Chunk {
+		return frameChunk(t, lat, geom.Timestamp(9), func(col, row int) float64 {
+			if (col+row)%17 == 0 {
+				return math.NaN()
+			}
+			return float64(col)*0.5 - float64(row)*0.25
+		})
+	}
+	gotTwin, _ := runUnary(t, &twin, info, mk())
+	gotFn, _ := runUnary(t, &fnOnly, info, mk())
+	if len(gotTwin) != len(gotFn) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(gotTwin), len(gotFn))
+	}
+	for i := range gotTwin {
+		if gotTwin[i].Kind != gotFn[i].Kind {
+			t.Fatalf("chunk %d kind differs", i)
+		}
+		if gotTwin[i].Kind == stream.KindGrid {
+			sameBits(t, "block twin vs fn", gotFn[i].Grid.Vals, gotTwin[i].Grid.Vals)
+		}
+	}
+	for _, c := range append(gotTwin, gotFn...) {
+		c.Release()
+	}
+}
+
+// TestFusedPooledOutputIsolation: a retained fused output survives further
+// fused traffic through the same pool class bit for bit — the operator-level
+// twin of the wire-side reuse-after-recycle test.
+func TestFusedPooledOutputIsolation(t *testing.T) {
+	op := identityChain()
+	blocks := op.compileBlocks()
+
+	held, err := op.apply(identityGrid(t, 128, 130, 101), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), held.Grid.Vals...)
+
+	for i := 0; i < 8; i++ {
+		o, err := op.apply(identityGrid(t, 128, 130, 200+int64(i)), blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Release()
+	}
+	sameBits(t, "retained output after pool churn", snapshot, held.Grid.Vals)
+	held.Release()
+}

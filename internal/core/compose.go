@@ -99,7 +99,9 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 	gamma := op.Gamma
 
 	// tryMatch pairs an arriving chunk against the other side's pending
-	// state; on success it emits the composed chunk and reports true.
+	// state; on success it emits the composed chunk and reports true. The
+	// matched pending chunk's reference is released here; the arriving
+	// chunk's is the caller's.
 	tryMatch := func(c *stream.Chunk, other *pendingSide, flip bool) (bool, error) {
 		cands := other.chunks[c.T]
 		for i, o := range cands {
@@ -113,10 +115,10 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 			}
 			other.points -= o.NumPoints()
 			st.Unbuffer(int64(o.NumPoints()))
-			if err := stream.Send(ctx, out, m); err != nil {
-				return false, err
+			o.Release()
+			if err := stream.EmitCounted(ctx, out, m, st); err != nil {
+				return true, err
 			}
-			st.CountOut(m)
 			return true, nil
 		}
 		return false, nil
@@ -139,6 +141,7 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 			for _, c := range side.chunks[oldest] {
 				side.points -= c.NumPoints()
 				st.Unbuffer(int64(c.NumPoints()))
+				c.Release()
 			}
 			delete(side.chunks, oldest)
 			st.UnmatchedSectors.Add(1)
@@ -159,21 +162,21 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 				for _, pc := range pend {
 					side.points -= pc.NumPoints()
 					st.Unbuffer(int64(pc.NumPoints()))
+					pc.Release()
 				}
 				delete(side.chunks, t)
 				st.UnmatchedSectors.Add(1)
 			}
 		}
+		prev := other.eos[t]
 		delete(mine.eos, t)
 		delete(other.eos, t)
 		st.MatchedSectors.Add(1)
 		o := stream.NewEndOfSector(t, c.Sector.Extent)
 		o.InheritIngest(c)
-		if err := stream.Send(ctx, out, o); err != nil {
-			return err
-		}
-		st.CountOut(o)
-		return nil
+		c.Release()
+		prev.Release()
+		return stream.EmitCounted(ctx, out, o, st)
 	}
 
 	maxChunk := 1
@@ -186,11 +189,11 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 			return onEOS(c.T, mine, other, c)
 		}
 		matched, err := tryMatch(c, other, flip)
-		if err != nil {
+		if matched || err != nil {
+			// The arriving chunk was only read for matching; its reference
+			// ends here either way.
+			c.Release()
 			return err
-		}
-		if matched {
-			return nil
 		}
 		mine.chunks[c.T] = append(mine.chunks[c.T], c)
 		mine.points += c.NumPoints()
@@ -246,9 +249,14 @@ func (op Compose) Run(ctx context.Context, a, b <-chan *stream.Chunk, out chan<-
 		for t, cs := range side.chunks {
 			for _, c := range cs {
 				st.Unbuffer(int64(c.NumPoints()))
+				c.Release()
 			}
 			delete(side.chunks, t)
 			st.UnmatchedSectors.Add(1)
+		}
+		for t, c := range side.eos {
+			c.Release()
+			delete(side.eos, t)
 		}
 	}
 	return nil
@@ -265,17 +273,14 @@ func (op Compose) matchChunks(c, o *stream.Chunk, gamma valueset.Gamma, flip boo
 		}
 		lat := c.Grid.Lat
 		cv, ov := c.Grid.Vals, o.Grid.Vals
+		if flip {
+			cv, ov = ov, cv
+		}
 		vals := exec.AllocVals(len(cv))
-		exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
-			for i := r0 * lat.W; i < r1*lat.W; i++ {
-				x, y := cv[i], ov[i]
-				if flip {
-					x, y = y, x
-				}
-				vals[i] = gamma.Apply(x, y)
-			}
+		exec.ForBlocks(len(cv), func(i0, i1 int) {
+			gamma.ApplyBlock(vals[i0:i1], cv[i0:i1], ov[i0:i1])
 		})
-		m, err := stream.NewGridChunk(c.T, c.Grid.Lat, vals)
+		m, err := stream.NewPooledGridChunk(c.T, lat, vals)
 		if err != nil {
 			panic(err) // unreachable: same lattice as a valid chunk
 		}

@@ -69,6 +69,42 @@ type rowPatch struct {
 	lat  geom.Lattice
 	vals []float64
 	ing  int64 // ingest stamp of the chunk the row came from
+	// src is the chunk whose storage vals aliases; each rowPatch holds one
+	// reference on it, released when the row leaves the sliding window so
+	// pool-backed input buffers recycle as the window advances.
+	src *stream.Chunk
+}
+
+// release drops the rowPatch's chunk reference (idempotent).
+func (p *rowPatch) release() {
+	if p.src != nil {
+		p.src.Release()
+		p.src = nil
+		p.vals = nil
+	}
+}
+
+// appendRows splits a grid chunk into the window's rowPatches, one chunk
+// reference per row (the incoming reference covers the first).
+func appendRows(rows []rowPatch, c *stream.Chunk, st *stream.Stats) []rowPatch {
+	g := c.Grid
+	if g.Lat.H == 0 {
+		c.Release()
+		return rows
+	}
+	for r := 1; r < g.Lat.H; r++ {
+		c.Retain()
+	}
+	for r := 0; r < g.Lat.H; r++ {
+		rows = append(rows, rowPatch{
+			lat:  g.Lat.Row(r),
+			vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+			ing:  c.Ingest,
+			src:  c,
+		})
+		st.Buffer(int64(g.Lat.W))
+	}
+	return rows
 }
 
 // windowIngest folds the ingest stamps of the rows [lo, hi] feeding one
@@ -113,20 +149,21 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 			})
 			for k, vals := range batch {
 				j := j0 + k
-				o, err := stream.NewGridChunk(s.t, s.rows[j].lat, vals)
+				o, err := stream.NewPooledGridChunk(s.t, s.rows[j].lat, vals)
 				if err != nil {
+					exec.Recycle(vals)
 					return err
 				}
 				lo, hi := max(0, j-pad), min(bottom, j+pad)
 				o.StampIngest(windowIngest(s.rows, lo, hi))
-				if err := stream.Send(ctx, out, o); err != nil {
+				if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 					return err
 				}
-				st.CountOut(o)
 				s.emitted++
 				// Window slides: row j-pad leaves the working set.
 				if lo := j - pad; lo >= 0 {
 					st.Unbuffer(int64(len(s.rows[lo].vals)))
+					s.rows[lo].release()
 				}
 			}
 		}
@@ -134,6 +171,7 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 			// Release the tail still inside the window.
 			for lo := max(0, s.emitted-pad); lo < len(s.rows); lo++ {
 				st.Unbuffer(int64(len(s.rows[lo].vals)))
+				s.rows[lo].release()
 			}
 		}
 		return nil
@@ -152,15 +190,7 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 			if cur == nil {
 				cur = &convState{t: c.T}
 			}
-			g := c.Grid
-			for r := 0; r < g.Lat.H; r++ {
-				cur.rows = append(cur.rows, rowPatch{
-					lat:  g.Lat.Row(r),
-					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
-					ing:  c.Ingest,
-				})
-				st.Buffer(int64(g.Lat.W))
-			}
+			cur.rows = appendRows(cur.rows, c, st)
 			if err := flush(cur, false); err != nil {
 				return err
 			}
@@ -171,11 +201,11 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 				}
 				cur = nil
 			}
-			if err := stream.Send(ctx, out, c); err != nil {
+			if err := stream.EmitCounted(ctx, out, c, st); err != nil {
 				return err
 			}
-			st.CountOut(c)
 		default:
+			c.Release()
 			return fmt.Errorf("convolve: unsupported chunk kind %s", c.Kind)
 		}
 	}
@@ -184,45 +214,91 @@ func (op Convolve) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 
 // computeRow evaluates output row j against input rows clamped to
 // [0, bottom] — rows below bottom have not arrived (non-final flush) or do
-// not exist (sector edge). The buffer escapes into a published chunk, so it
-// is pooled on allocation but never recycled.
+// not exist (sector edge). The buffer escapes into a published (pooled)
+// chunk; the last downstream Release recycles it.
+//
+// The contributing rows are clamp-resolved once per output row instead of
+// once per (x, ky) sample, and interior columns — where no column clamping
+// can trigger — run a branch-free multiply-add over contiguous slices. The
+// accumulation order (ky outer, kx inner) is exactly the reference loop's,
+// and a NaN accumulator yields a canonical NaN either way, so the output is
+// bit-identical to the per-sample loop.
 func (op Convolve) computeRow(s *convState, j, bottom int) []float64 {
 	pad := op.Kernel.H / 2
-	row := s.rows[j]
-	vals := exec.AllocVals(row.lat.W)
-	for x := 0; x < row.lat.W; x++ {
+	kw, kh := op.Kernel.W, op.Kernel.H
+	weights := op.Kernel.Weights
+	w := s.rows[j].lat.W
+	vals := exec.AllocVals(w)
+
+	srcRows := make([][]float64, kh)
+	minW := w
+	for ky := 0; ky < kh; ky++ {
+		sy := j + ky - pad
+		if sy < 0 {
+			sy = 0
+		}
+		if sy > bottom {
+			sy = bottom
+		}
+		srcRows[ky] = s.rows[sy].vals
+		if len(srcRows[ky]) < minW {
+			minW = len(srcRows[ky])
+		}
+	}
+
+	// Columns whose full kernel support [x-kw/2, x+kw-1-kw/2] is in range
+	// on every contributing row need no clamping.
+	left := kw / 2
+	right := minW - (kw - 1 - kw/2)
+	if right > w {
+		right = w
+	}
+	if right < left {
+		right = left
+	}
+
+	edge := func(x int) {
 		var acc float64
-		bad := false
-		for ky := 0; ky < op.Kernel.H && !bad; ky++ {
-			sy := j + ky - pad
-			if sy < 0 {
-				sy = 0
-			}
-			if sy > bottom {
-				sy = bottom
-			}
-			src := s.rows[sy]
-			for kx := 0; kx < op.Kernel.W; kx++ {
-				sx := x + kx - op.Kernel.W/2
+		for ky := 0; ky < kh; ky++ {
+			src := srcRows[ky]
+			for kx := 0; kx < kw; kx++ {
+				sx := x + kx - kw/2
 				if sx < 0 {
 					sx = 0
 				}
-				if sx >= len(src.vals) {
-					sx = len(src.vals) - 1
+				if sx >= len(src) {
+					sx = len(src) - 1
 				}
-				v := src.vals[sx]
-				acc += v * op.Kernel.Weights[ky*op.Kernel.W+kx]
-				if math.IsNaN(acc) {
-					bad = true
-					break
-				}
+				acc += src[sx] * weights[ky*kw+kx]
 			}
 		}
-		if bad {
+		if math.IsNaN(acc) {
 			vals[x] = math.NaN()
 		} else {
 			vals[x] = acc
 		}
+	}
+	for x := 0; x < left && x < w; x++ {
+		edge(x)
+	}
+	for x := left; x < right; x++ {
+		var acc float64
+		base := x - kw/2
+		for ky := 0; ky < kh; ky++ {
+			src := srcRows[ky][base : base+kw]
+			wrow := weights[ky*kw : ky*kw+kw]
+			for kx := 0; kx < kw; kx++ {
+				acc += src[kx] * wrow[kx]
+			}
+		}
+		if math.IsNaN(acc) {
+			vals[x] = math.NaN()
+		} else {
+			vals[x] = acc
+		}
+	}
+	for x := right; x < w; x++ {
+		edge(x)
 	}
 	return vals
 }
@@ -270,24 +346,26 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 			})
 			for k, vals := range batch {
 				j := j0 + k
-				o, err := stream.NewGridChunk(s.t, s.rows[j].lat, vals)
+				o, err := stream.NewPooledGridChunk(s.t, s.rows[j].lat, vals)
 				if err != nil {
+					exec.Recycle(vals)
 					return err
 				}
 				o.StampIngest(windowIngest(s.rows, max(0, j-1), min(bottom, j+1)))
-				if err := stream.Send(ctx, out, o); err != nil {
+				if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 					return err
 				}
-				st.CountOut(o)
 				s.emitted++
 				if lo := j - 1; lo >= 0 {
 					st.Unbuffer(int64(len(s.rows[lo].vals)))
+					s.rows[lo].release()
 				}
 			}
 		}
 		if final {
 			for lo := max(0, s.emitted-1); lo < len(s.rows); lo++ {
 				st.Unbuffer(int64(len(s.rows[lo].vals)))
+				s.rows[lo].release()
 			}
 		}
 		return nil
@@ -306,15 +384,7 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 			if cur == nil {
 				cur = &convState{t: c.T}
 			}
-			g := c.Grid
-			for r := 0; r < g.Lat.H; r++ {
-				cur.rows = append(cur.rows, rowPatch{
-					lat:  g.Lat.Row(r),
-					vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
-					ing:  c.Ingest,
-				})
-				st.Buffer(int64(g.Lat.W))
-			}
+			cur.rows = appendRows(cur.rows, c, st)
 			if err := flush(cur, false); err != nil {
 				return err
 			}
@@ -325,11 +395,11 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 				}
 				cur = nil
 			}
-			if err := stream.Send(ctx, out, c); err != nil {
+			if err := stream.EmitCounted(ctx, out, c, st); err != nil {
 				return err
 			}
-			st.CountOut(c)
 		default:
+			c.Release()
 			return fmt.Errorf("gradient: unsupported chunk kind %s", c.Kind)
 		}
 	}
@@ -338,33 +408,57 @@ func (gr Gradient) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- 
 
 // gradientRow evaluates both Sobel responses for output row j against input
 // rows clamped to [0, bottom]; same batching contract as Convolve.computeRow.
+//
+// Like computeRow it clamp-resolves the three contributing rows once and
+// runs interior columns branch-free. A window containing any NaN input
+// yields a canonical NaN exactly as the reference loop's early exit did —
+// the `bad` flag is "some sample is NaN", which does not depend on scan
+// order — and NaN-free windows accumulate in the identical (ky, kx) order.
 func gradientRow(s *convState, j, bottom int, sx, sy imagealg.Kernel) []float64 {
-	row := s.rows[j]
-	vals := exec.AllocVals(row.lat.W)
-	for x := 0; x < row.lat.W; x++ {
+	w := s.rows[j].lat.W
+	vals := exec.AllocVals(w)
+
+	var srcRows [3][]float64
+	minW := w
+	for ky := 0; ky < 3; ky++ {
+		syi := j + ky - 1
+		if syi < 0 {
+			syi = 0
+		}
+		if syi > bottom {
+			syi = bottom
+		}
+		srcRows[ky] = s.rows[syi].vals
+		if len(srcRows[ky]) < minW {
+			minW = len(srcRows[ky])
+		}
+	}
+
+	left := 1
+	right := minW - 1
+	if right > w {
+		right = w
+	}
+	if right < left {
+		right = left
+	}
+
+	edge := func(x int) {
 		var gx, gy float64
 		bad := false
-		for ky := 0; ky < 3 && !bad; ky++ {
-			syi := j + ky - 1
-			if syi < 0 {
-				syi = 0
-			}
-			if syi > bottom {
-				syi = bottom
-			}
-			src := s.rows[syi]
+		for ky := 0; ky < 3; ky++ {
+			src := srcRows[ky]
 			for kx := 0; kx < 3; kx++ {
 				sxi := x + kx - 1
 				if sxi < 0 {
 					sxi = 0
 				}
-				if sxi >= len(src.vals) {
-					sxi = len(src.vals) - 1
+				if sxi >= len(src) {
+					sxi = len(src) - 1
 				}
-				v := src.vals[sxi]
+				v := src[sxi]
 				if math.IsNaN(v) {
 					bad = true
-					break
 				}
 				gx += v * sx.Weights[ky*3+kx]
 				gy += v * sy.Weights[ky*3+kx]
@@ -375,6 +469,35 @@ func gradientRow(s *convState, j, bottom int, sx, sy imagealg.Kernel) []float64 
 		} else {
 			vals[x] = math.Hypot(gx, gy)
 		}
+	}
+	for x := 0; x < left && x < w; x++ {
+		edge(x)
+	}
+	for x := left; x < right; x++ {
+		var gx, gy float64
+		bad := false
+		base := x - 1
+		for ky := 0; ky < 3; ky++ {
+			src := srcRows[ky][base : base+3]
+			wx := sx.Weights[ky*3 : ky*3+3]
+			wy := sy.Weights[ky*3 : ky*3+3]
+			for kx := 0; kx < 3; kx++ {
+				v := src[kx]
+				if math.IsNaN(v) {
+					bad = true
+				}
+				gx += v * wx[kx]
+				gy += v * wy[kx]
+			}
+		}
+		if bad {
+			vals[x] = math.NaN()
+		} else {
+			vals[x] = math.Hypot(gx, gy)
+		}
+	}
+	for x := right; x < w; x++ {
+		edge(x)
 	}
 	return vals
 }

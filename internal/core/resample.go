@@ -252,17 +252,18 @@ func (op *Resample) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<-
 		switch c.Kind {
 		case stream.KindPoints:
 			if op.MapInToOut == nil {
+				c.Release()
 				return fmt.Errorf("resample: point-organized input needs a forward mapping")
 			}
 			o, err := op.mapPoints(c)
+			c.Release()
 			if err != nil {
 				return err
 			}
 			if o != nil {
-				if err := stream.Send(ctx, out, o); err != nil {
+				if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 					return err
 				}
-				st.CountOut(o)
 			}
 		case stream.KindGrid:
 			if cur != nil && c.T != cur.t {
@@ -292,10 +293,10 @@ func (op *Resample) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<-
 			}
 			o := stream.NewEndOfSector(c.T, tgt)
 			o.InheritIngest(c)
-			if err := stream.Send(ctx, out, o); err != nil {
+			c.Release()
+			if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 				return err
 			}
-			st.CountOut(o)
 		}
 	}
 	return flush(cur)
@@ -318,7 +319,8 @@ func (op *Resample) attachPlan(s *sectorState, src geom.Lattice, st *stream.Stat
 // emits whatever output rows became computable.
 func (op *Resample) ingest(ctx context.Context, s *sectorState, c *stream.Chunk, out chan<- *stream.Chunk, st *stream.Stats) error {
 	if !op.Progressive {
-		// Blocking mode: accumulate raw chunks, discover geometry at flush.
+		// Blocking mode: accumulate raw chunks, discover geometry at flush —
+		// the chunk references stay held until finishSector releases them.
 		s.patches = append(s.patches, c)
 		st.Buffer(int64(c.NumPoints()))
 		return nil
@@ -328,13 +330,18 @@ func (op *Resample) ingest(ctx context.Context, s *sectorState, c *stream.Chunk,
 		// metadata captured at plan time (§3.2's auxiliary scan-sector
 		// information).
 		if !op.hasSectorGeom {
+			c.Release()
 			return fmt.Errorf("resample: progressive mode without sector metadata")
 		}
 		if err := op.attachPlan(s, op.sectorGeom, st); err != nil {
+			c.Release()
 			return err
 		}
 	}
 	op.rasterize(s, c, st, true)
+	// rasterize copies rows out of pool-backed chunks (it aliases only
+	// unpooled storage), so the chunk is done here.
+	c.Release()
 	return op.emitReady(ctx, s, out, st, false)
 }
 
@@ -354,8 +361,11 @@ func (op *Resample) rasterize(s *sectorState, c *stream.Chunk, st *stream.Stats,
 		}
 		rowVals := g.Vals[r*g.Lat.W : (r+1)*g.Lat.W]
 		switch {
-		case s.rows[srcRow] == nil && c0 == 0 && rowLat.W == src.W:
+		case s.rows[srcRow] == nil && c0 == 0 && rowLat.W == src.W && !c.Pooled():
 			// Alias the chunk's storage directly (chunks are immutable).
+			// Pool-backed chunks are excluded: their storage recycles on the
+			// last Release, so the copy branch below takes them instead and
+			// the caller can release the chunk as soon as rasterize returns.
 			s.rows[srcRow] = rowVals
 			if count {
 				st.Buffer(int64(src.W))
@@ -426,15 +436,15 @@ func (op *Resample) emitReady(ctx context.Context, s *sectorState, out chan<- *s
 	})
 	for k, vals := range batch {
 		j := j0 + k
-		o, err := stream.NewGridChunk(s.t, s.plan.tgt.Row(j), vals)
+		o, err := stream.NewPooledGridChunk(s.t, s.plan.tgt.Row(j), vals)
 		if err != nil {
+			exec.Recycle(vals)
 			return err
 		}
 		o.StampIngest(s.ingest)
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 		s.nextOut++
 		// Free source rows no longer needed by any future output row; the
 		// whole batch is already rendered, so nothing reads them again.
@@ -537,16 +547,19 @@ func (op *Resample) finishSector(ctx context.Context, s *sectorState, out chan<-
 	// Release everything still held; operator-owned rows go back to the
 	// buffer pool (aliased rows belong to their chunks and do not).
 	if !op.Progressive {
-		for _, c := range s.patches {
-			st.Unbuffer(int64(c.NumPoints()))
-		}
-		s.patches = nil
 		for r := range s.rows {
 			if s.rows[r] != nil && s.owned[r] {
 				exec.Recycle(s.rows[r])
 			}
+			s.rows[r] = nil
 		}
 		s.rows = nil
+		// Release the buffered patches only after every row alias is gone.
+		for _, c := range s.patches {
+			st.Unbuffer(int64(c.NumPoints()))
+			c.Release()
+		}
+		s.patches = nil
 	} else {
 		for r := range s.rows {
 			if s.rows[r] != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 	"geostreams/internal/valueset"
@@ -52,13 +53,15 @@ func (op SpatialRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out 
 		default: // punctuation passes through
 			o = c
 		}
+		if o != c {
+			c.Release()
+		}
 		if o == nil {
 			continue // chunk entirely outside the region
 		}
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 	}
 	return nil
 }
@@ -73,7 +76,7 @@ func restrictGrid(c *stream.Chunk, region geom.Region, bounds geom.Rect, isRect 
 	}
 	w, h := c1-c0, r1-r0
 	sub := lat.SubGrid(c0, r0, w, h)
-	vals := make([]float64, w*h)
+	vals := exec.AllocVals(w * h)
 	any := false
 	for row := 0; row < h; row++ {
 		srcOff := (r0+row)*lat.W + c0
@@ -94,9 +97,10 @@ func restrictGrid(c *stream.Chunk, region geom.Region, bounds geom.Rect, isRect 
 		}
 	}
 	if !any {
+		exec.Recycle(vals)
 		return nil
 	}
-	out, err := stream.NewGridChunk(c.T, sub, vals)
+	out, err := stream.NewPooledGridChunk(c.T, sub, vals)
 	if err != nil {
 		// Unreachable: the sub-lattice is valid whenever ClipRect said ok.
 		panic(err)
@@ -162,6 +166,7 @@ func (op TemporalRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out
 			} else if len(keep) > 0 {
 				var err error
 				if o, err = stream.NewPointsChunk(keep); err != nil {
+					c.Release()
 					return err
 				}
 				o.InheritIngest(c)
@@ -171,13 +176,15 @@ func (op TemporalRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out
 			// operators use it to close buffered state.
 			o = c
 		}
+		if o != c {
+			c.Release()
+		}
 		if o == nil {
 			continue
 		}
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 	}
 	return nil
 }
@@ -205,19 +212,30 @@ func (op ValueRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out ch
 		switch c.Kind {
 		case stream.KindGrid:
 			o = c
-			// Copy-on-write only when something is actually excluded.
-			var clone *stream.Chunk
-			for i, v := range c.Grid.Vals {
-				if math.IsNaN(v) || op.Values.Contains(v) {
-					continue
+			// Copy-on-write only when something is actually excluded; the
+			// exclusion scan is cheap (no writes), and the rewrite then runs
+			// block-vectorized over a pooled buffer.
+			excluded := false
+			for _, v := range c.Grid.Vals {
+				if !math.IsNaN(v) && !op.Values.Contains(v) {
+					excluded = true
+					break
 				}
-				if clone == nil {
-					clone = c.CloneGrid()
-				}
-				clone.Grid.Vals[i] = math.NaN()
 			}
-			if clone != nil {
-				o = clone
+			if excluded {
+				src := c.Grid.Vals
+				vals := exec.AllocVals(len(src))
+				exec.ForBlocks(len(src), func(i0, i1 int) {
+					copy(vals[i0:i1], src[i0:i1])
+					valueset.RestrictBlock(op.Values, vals[i0:i1])
+				})
+				var err error
+				if o, err = stream.NewPooledGridChunk(c.T, c.Grid.Lat, vals); err != nil {
+					exec.Recycle(vals)
+					c.Release()
+					return err
+				}
+				o.InheritIngest(c)
 			}
 		case stream.KindPoints:
 			var keep []stream.PointValue
@@ -231,6 +249,7 @@ func (op ValueRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out ch
 			} else if len(keep) > 0 {
 				var err error
 				if o, err = stream.NewPointsChunk(keep); err != nil {
+					c.Release()
 					return err
 				}
 				o.InheritIngest(c)
@@ -238,13 +257,15 @@ func (op ValueRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out ch
 		default:
 			o = c
 		}
+		if o != c {
+			c.Release()
+		}
 		if o == nil {
 			continue
 		}
-		if err := stream.Send(ctx, out, o); err != nil {
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
@@ -60,17 +61,23 @@ func (op ZoomIn) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *s
 		case stream.KindGrid:
 			src := c.Grid
 			lat := zoomInLattice(src.Lat, k)
-			vals := make([]float64, lat.W*lat.H)
-			for row := 0; row < lat.H; row++ {
-				srcRow := row / k
-				dst := vals[row*lat.W : (row+1)*lat.W]
-				srcOff := srcRow * src.Lat.W
-				for col := 0; col < lat.W; col++ {
-					dst[col] = src.Vals[srcOff+col/k]
+			vals := exec.AllocVals(lat.W * lat.H)
+			// Output rows are independent: block-shard the replication over
+			// whole output rows.
+			exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
+				for row := r0; row < r1; row++ {
+					srcRow := row / k
+					dst := vals[row*lat.W : (row+1)*lat.W]
+					srcOff := srcRow * src.Lat.W
+					for col := 0; col < lat.W; col++ {
+						dst[col] = src.Vals[srcOff+col/k]
+					}
 				}
-			}
+			})
 			var err error
-			if o, err = stream.NewGridChunk(c.T, lat, vals); err != nil {
+			if o, err = stream.NewPooledGridChunk(c.T, lat, vals); err != nil {
+				exec.Recycle(vals)
+				c.Release()
 				return err
 			}
 			o.InheritIngest(c)
@@ -78,12 +85,13 @@ func (op ZoomIn) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *s
 			o = stream.NewEndOfSector(c.T, zoomInLattice(c.Sector.Extent, k))
 			o.InheritIngest(c)
 		default:
+			c.Release()
 			return fmt.Errorf("zoomin: unsupported chunk kind %s", c.Kind)
 		}
-		if err := stream.Send(ctx, out, o); err != nil {
+		c.Release()
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 	}
 	return nil
 }
@@ -136,10 +144,12 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 	k := op.K
 
 	// Row accumulator for the current sector: rows buffered since the last
-	// emitted block row.
+	// emitted block row. Each buffered row aliases its chunk's storage and
+	// holds one reference on it (released as blocks are consumed).
 	var (
 		rows     []*stream.GridPatch // buffered single rows, top to bottom
 		rowIngs  []int64             // ingest stamp of each buffered row
+		rowSrcs  []*stream.Chunk     // chunk each row aliases, one ref per row
 		rowT     geom.Timestamp
 		haveRows bool
 	)
@@ -155,39 +165,39 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 			sumY += r.Lat.Y0
 		}
 		outLat.Y0 = sumY / float64(len(block))
-		vals := make([]float64, outLat.W)
-		for oc := 0; oc < outLat.W; oc++ {
-			var sum float64
-			var n int
-			for _, r := range block {
-				for dc := 0; dc < k; dc++ {
-					sc := oc*k + dc
-					if sc >= r.Lat.W {
-						break
-					}
-					v := r.Vals[sc]
-					if !math.IsNaN(v) {
-						sum += v
-						n++
+		vals := exec.AllocVals(outLat.W)
+		// Output cells are independent: block-shard the k×k reductions.
+		exec.ForBlocks(outLat.W, func(c0, c1 int) {
+			for oc := c0; oc < c1; oc++ {
+				var sum float64
+				var n int
+				for _, r := range block {
+					for dc := 0; dc < k; dc++ {
+						sc := oc*k + dc
+						if sc >= r.Lat.W {
+							break
+						}
+						v := r.Vals[sc]
+						if !math.IsNaN(v) {
+							sum += v
+							n++
+						}
 					}
 				}
+				if n == 0 {
+					vals[oc] = math.NaN()
+				} else {
+					vals[oc] = sum / float64(n)
+				}
 			}
-			if n == 0 {
-				vals[oc] = math.NaN()
-			} else {
-				vals[oc] = sum / float64(n)
-			}
-		}
-		o, err := stream.NewGridChunk(t, outLat, vals)
+		})
+		o, err := stream.NewPooledGridChunk(t, outLat, vals)
 		if err != nil {
+			exec.Recycle(vals)
 			return err
 		}
 		o.StampIngest(ingest)
-		if err := stream.Send(ctx, out, o); err != nil {
-			return err
-		}
-		st.CountOut(o)
-		return nil
+		return stream.EmitCounted(ctx, out, o, st)
 	}
 
 	flushRows := func(final bool) error {
@@ -204,11 +214,13 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 			if err := emitBlock(block, rowT, ingest); err != nil {
 				return err
 			}
-			for _, r := range block {
+			for i, r := range block {
 				st.Unbuffer(int64(len(r.Vals)))
+				rowSrcs[i].Release()
 			}
 			rows = rows[n:]
 			rowIngs = rowIngs[n:]
+			rowSrcs = rowSrcs[n:]
 		}
 		return nil
 	}
@@ -229,30 +241,40 @@ func (op ZoomOut) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 			// chunk contributes all its rows at once, so its buffering is
 			// transient (consumed by the immediate flush below).
 			g := c.Grid
-			for r := 0; r < g.Lat.H; r++ {
-				rowLat := g.Lat.Row(r)
-				rows = append(rows, &stream.GridPatch{
-					Lat:  rowLat,
-					Vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
-				})
-				rowIngs = append(rowIngs, c.Ingest)
-				st.Buffer(int64(g.Lat.W))
+			if g.Lat.H == 0 {
+				c.Release()
+			} else {
+				for r := 1; r < g.Lat.H; r++ {
+					c.Retain()
+				}
+				for r := 0; r < g.Lat.H; r++ {
+					rowLat := g.Lat.Row(r)
+					rows = append(rows, &stream.GridPatch{
+						Lat:  rowLat,
+						Vals: g.Vals[r*g.Lat.W : (r+1)*g.Lat.W],
+					})
+					rowIngs = append(rowIngs, c.Ingest)
+					rowSrcs = append(rowSrcs, c)
+					st.Buffer(int64(g.Lat.W))
+				}
 			}
 			if err := flushRows(false); err != nil {
 				return err
 			}
 		case stream.KindEndOfSector:
 			if err := flushRows(true); err != nil {
+				c.Release()
 				return err
 			}
 			haveRows = false
 			o := stream.NewEndOfSector(c.T, zoomOutLattice(c.Sector.Extent, k))
 			o.InheritIngest(c)
-			if err := stream.Send(ctx, out, o); err != nil {
+			c.Release()
+			if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 				return err
 			}
-			st.CountOut(o)
 		default:
+			c.Release()
 			return fmt.Errorf("zoomout: unsupported chunk kind %s", c.Kind)
 		}
 	}

@@ -17,6 +17,11 @@ import (
 type ValueTransform struct {
 	// Fn is the value function f_val : V → W.
 	Fn imagealg.PixelFunc
+	// Block, when set, is Fn's contiguous-block twin (bit-identical by
+	// contract — see imagealg.BlockFunc); grid chunks then run
+	// block-vectorized instead of calling Fn once per pixel. Optional:
+	// transforms without one fall back to the per-point loop.
+	Block imagealg.BlockFunc
 	// Label names the transform for plans and stats.
 	Label string
 	// OutBand optionally renames the band ("gray", "ndvi", ...); empty
@@ -49,12 +54,15 @@ func (op ValueTransform) Run(ctx context.Context, in <-chan *stream.Chunk, out c
 		st.CountIn(c)
 		o, err := op.apply(c)
 		if err != nil {
+			c.Release()
 			return err
 		}
-		if err := stream.Send(ctx, out, o); err != nil {
+		if o != c {
+			c.Release()
+		}
+		if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 			return err
 		}
-		st.CountOut(o)
 	}
 	return nil
 }
@@ -151,21 +159,25 @@ func (op Stretch) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 		if len(pending) == 0 {
 			return nil
 		}
-		fn, err := op.fit(pending, vmin, vmax, bins)
+		fn, blk, err := op.fit(pending, vmin, vmax, bins)
 		if err != nil {
 			return err
 		}
-		vt := ValueTransform{Fn: fn, Label: "stretch-replay"}
-		for _, c := range pending {
+		vt := ValueTransform{Fn: fn, Block: blk, Label: "stretch-replay"}
+		for i, c := range pending {
 			st.Unbuffer(int64(c.NumPoints()))
 			o, err := vt.apply(c)
 			if err != nil {
 				return err
 			}
-			if err := stream.Send(ctx, out, o); err != nil {
+			// The replay derives a fresh chunk, so the buffered frame
+			// chunk is done; clear the slot so a failed send later in the
+			// frame cannot double-release it.
+			pending[i] = nil
+			c.Release()
+			if err := stream.EmitCounted(ctx, out, o, st); err != nil {
 				return err
 			}
-			st.CountOut(o)
 		}
 		pending = pending[:0]
 		return nil
@@ -181,10 +193,9 @@ func (op Stretch) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 				}
 				hasFrame = false
 			}
-			if err := stream.Send(ctx, out, c); err != nil {
+			if err := stream.EmitCounted(ctx, out, c, st); err != nil {
 				return err
 			}
-			st.CountOut(c)
 		case c.IsData():
 			if hasFrame && c.T != pendingT {
 				// New frame begins: the previous frame is complete.
@@ -220,7 +231,7 @@ func (op Stretch) Run(ctx context.Context, in <-chan *stream.Chunk, out chan<- *
 // order, so the fitted function is bit-identical at any parallelism — and
 // scan Vals directly instead of paying a ForEachPoint closure plus a
 // geom.Point construction per pixel.
-func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (imagealg.PixelFunc, error) {
+func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (imagealg.PixelFunc, imagealg.BlockFunc, error) {
 	switch op.Kind {
 	case StretchLinear:
 		m := imagealg.NewMoments()
@@ -242,14 +253,14 @@ func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (im
 			}
 			c.ForEachPoint(func(_ geom.Point, v float64) { m.Add(v) })
 		}
-		return imagealg.FitLinearStretch(m, op.OutMin, op.OutMax)
+		return imagealg.FitLinearStretchBlocks(m, op.OutMin, op.OutMax)
 	case StretchEqualize, StretchGaussian:
 		if vmax <= vmin {
 			vmax = vmin + 1
 		}
 		h, err := imagealg.NewHistogram(vmin, vmax, bins)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, c := range pending {
 			if c.Kind == stream.KindGrid {
@@ -264,7 +275,7 @@ func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (im
 				})
 				for _, p := range parts {
 					if err := h.Merge(p); err != nil {
-						return nil, err
+						return nil, nil, err
 					}
 				}
 				continue
@@ -272,35 +283,42 @@ func (op Stretch) fit(pending []*stream.Chunk, vmin, vmax float64, bins int) (im
 			c.ForEachPoint(func(_ geom.Point, v float64) { h.Add(v) })
 		}
 		if op.Kind == StretchEqualize {
-			return imagealg.FitEqualization(h, op.OutMin, op.OutMax)
+			return imagealg.FitEqualizationBlocks(h, op.OutMin, op.OutMax)
 		}
 		mean := (op.OutMin + op.OutMax) / 2
 		std := (op.OutMax - op.OutMin) / 6
-		return imagealg.FitGaussianStretch(h, mean, std)
+		return imagealg.FitGaussianStretchBlocks(h, mean, std)
 	}
-	return nil, fmt.Errorf("unknown stretch kind %v", op.Kind)
+	return nil, nil, fmt.Errorf("unknown stretch kind %v", op.Kind)
 }
 
 // apply is ValueTransform's chunk mapping, shared by Run and Stretch's
-// replay. Grid chunks skip the CloneGrid copy: the output buffer comes from
-// the recycle pool and every element is written by the row-sharded kernel,
-// so the clone's copy pass would be pure waste. The fresh buffer escapes
-// into a published chunk and is never recycled (chunk immutability is
-// load-bearing for fan-out); the pool is refilled by operator-private
-// scratch elsewhere.
+// replay. Grid chunks skip the CloneGrid copy: the output buffer comes
+// from the recycle pool, every element is written by the kernel, and the
+// output chunk is pool-backed — the last downstream Release returns the
+// buffer. With a Block twin the kernel sweeps contiguous shards of the
+// flat slab (one dispatch per shard); otherwise it pays one Fn call per
+// pixel as before.
 func (op ValueTransform) apply(c *stream.Chunk) (*stream.Chunk, error) {
 	switch c.Kind {
 	case stream.KindGrid:
 		lat := c.Grid.Lat
 		src := c.Grid.Vals
 		vals := exec.AllocVals(len(src))
-		exec.ForRows(lat.H, lat.W, func(r0, r1 int) {
-			for i := r0 * lat.W; i < r1*lat.W; i++ {
-				vals[i] = op.Fn(src[i])
-			}
-		})
-		o, err := stream.NewGridChunk(c.T, lat, vals)
+		if op.Block != nil {
+			exec.ForBlocks(len(src), func(i0, i1 int) {
+				op.Block(vals[i0:i1], src[i0:i1])
+			})
+		} else {
+			exec.ForBlocks(len(src), func(i0, i1 int) {
+				for i := i0; i < i1; i++ {
+					vals[i] = op.Fn(src[i])
+				}
+			})
+		}
+		o, err := stream.NewPooledGridChunk(c.T, lat, vals)
 		if err != nil {
+			exec.Recycle(vals)
 			return nil, err
 		}
 		o.InheritIngest(c)

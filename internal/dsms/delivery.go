@@ -247,6 +247,9 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 	// errored pipeline doesn't pin chunk memory.
 	defer r.frames.close()
 	defer asm.Discard()
+	// On an early exit (encode/assembler error, cancellation) chunks may
+	// still be queued on the output channel; hand their buffers back.
+	defer stream.DrainReleasing(out.C)
 	cm, err := raster.ColormapByName(r.opts.Colormap)
 	if err != nil {
 		return err
@@ -303,10 +306,14 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 				}
 				return nil
 			}
+			// Chunk fields are captured before ownership moves on: the
+			// assembler consumes the reference in Add, and a released
+			// pool-backed chunk's fields are unreadable.
+			tr, tT, punct := c.Trace, int64(c.T), !c.IsData()
 			var begin time.Time
-			if c.Trace != 0 {
+			if tr != 0 {
 				begin = time.Now()
-				lastTrace, lastT, lastPunct = c.Trace, int64(c.T), !c.IsData()
+				lastTrace, lastT, lastPunct = tr, tT, punct
 			}
 			if c.IsData() && c.Ingest != 0 {
 				// End-to-end freshness: instrument ingest → delivery stage.
@@ -323,10 +330,12 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 						Val: pv.V, NaN: math.IsNaN(pv.V),
 					})
 				}
-				r.deliv.seriesPoints.Add(int64(len(c.Points)))
-				if c.Trace != 0 {
-					r.trace.Record(c.Trace, trace.StageDeliver, "series",
-						begin, time.Since(begin), int64(c.T), !c.IsData())
+				n := int64(len(c.Points))
+				c.Release()
+				r.deliv.seriesPoints.Add(n)
+				if tr != 0 {
+					r.trace.Record(tr, trace.StageDeliver, "series",
+						begin, time.Since(begin), tT, punct)
 				}
 				continue
 			}
@@ -339,9 +348,9 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 					return err
 				}
 			}
-			if c.Trace != 0 {
-				r.trace.Record(c.Trace, trace.StageDeliver, "frame",
-					begin, time.Since(begin), int64(c.T), !c.IsData())
+			if tr != 0 {
+				r.trace.Record(tr, trace.StageDeliver, "frame",
+					begin, time.Since(begin), tT, punct)
 			}
 		case <-ctx.Done():
 			return nil

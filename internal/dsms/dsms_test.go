@@ -269,6 +269,9 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if !strings.Contains(list[0].PlanObserved, "observed:") {
 		t.Fatalf("plan_observed missing telemetry:\n%s", list[0].PlanObserved)
 	}
+	if !strings.Contains(list[0].PlanObserved, "engine: pool hits=") {
+		t.Fatalf("plan_observed missing engine pool footer:\n%s", list[0].PlanObserved)
+	}
 
 	st, err := c.Stats()
 	if err != nil || len(st.Hubs) != 2 {

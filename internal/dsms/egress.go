@@ -135,6 +135,7 @@ func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.
 				begin = time.Now()
 			}
 			if !write(func(w *wire.Writer) error { return w.ChunkExt(c, traced) }) {
+				c.Release()
 				log.Info("subscriber connection lost",
 					"delivered", tap.Delivered(), "dropped", tap.Dropped())
 				return
@@ -144,6 +145,9 @@ func (s *Server) serveSubscription(reg *Registered, conn net.Conn, bufrw *bufio.
 					conn.RemoteAddr().String(),
 					begin, time.Since(begin), int64(c.T), !c.IsData())
 			}
+			// The tap's reference: this subscriber is done with the chunk
+			// once it is on the wire.
+			c.Release()
 		case <-hb.C:
 			if !write(func(w *wire.Writer) error { return w.Heartbeat() }) {
 				return

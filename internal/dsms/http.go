@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"geostreams/internal/cascade"
+	"geostreams/internal/exec"
 	"geostreams/internal/query"
 	"geostreams/internal/share"
+	"geostreams/internal/wire"
 )
 
 // The HTTP layer of Fig. 3: "user queries, which are converted by the
@@ -203,10 +205,28 @@ func (s *Server) queryInfo(r *Registered, withStats bool) QueryInfo {
 		st := r.Status()
 		qi.State, qi.Error = st.State, st.Error
 		if obs, err := query.ExplainObserved(r.Plan, s.Catalog(), r.stats); err == nil {
-			qi.PlanObserved = obs
+			qi.PlanObserved = obs + engineFooter()
 		}
 	}
 	return qi
+}
+
+// engineFooter summarizes process-wide execution-engine state under an
+// observed plan: buffer-pool effectiveness and residual ingest heap
+// allocation, so the zero-copy path (DESIGN.md §12) is auditable next to
+// the per-operator observed costs. The counters are process-wide, not
+// per-query — every pipeline draws on the same pool.
+func engineFooter() string {
+	es := exec.Snapshot()
+	reqs := es.PoolHits + es.PoolSteals + es.PoolMisses
+	pooled := 0.0
+	if reqs > 0 {
+		pooled = 100 * float64(es.PoolHits+es.PoolSteals) / float64(reqs)
+	}
+	return fmt.Sprintf(
+		"engine: pool hits=%d steals=%d misses=%d (%.1f%% pooled), recycles=%d, ingest heap bytes=%d\n",
+		es.PoolHits, es.PoolSteals, es.PoolMisses, pooled,
+		es.PoolRecycles, wire.IngestAllocBytes())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -140,10 +140,20 @@ func (s *subscriber) forward() {
 			return
 		}
 		select {
-		case s.out <- c:
+		case s.out <- c: // transfers the chunk's reference downstream
 			s.hub.delivered.Add(1)
 		case <-s.done:
-			return
+			// Detached mid-delivery: release the in-hand chunk and whatever
+			// the deque still holds, so pooled buffers recycle instead of
+			// leaking with the abandoned subscriber.
+			c.Release()
+			for {
+				c, ok := s.deque.pop()
+				if !ok {
+					return
+				}
+				c.Release()
+			}
 		}
 	}
 }
@@ -240,8 +250,10 @@ func (h *hub) consume(ctx context.Context, stop <-chan struct{}, src *stream.Str
 			}
 			h.route(c)
 		case <-stop:
+			stream.DrainReleasing(src.C)
 			return false
 		case <-ctx.Done():
+			stream.DrainReleasing(src.C)
 			return false
 		}
 	}
@@ -262,9 +274,13 @@ func (h *hub) route(c *stream.Chunk) {
 		}
 		if c.Trace != 0 {
 			begin = time.Now()
+			// Capture the trace fields now: the deferred Record runs after
+			// the deque pushes hand the chunk off, and a pool-backed chunk
+			// may already be released by then.
+			tr, tT, punct := c.Trace, int64(c.T), !c.IsData()
 			defer func() {
-				h.trec.Record(c.Trace, trace.StageHubRoute, h.info.Band,
-					begin, time.Since(begin), int64(c.T), !c.IsData())
+				h.trec.Record(tr, trace.StageHubRoute, h.info.Band,
+					begin, time.Since(begin), tT, punct)
 			}()
 		}
 	}
@@ -295,6 +311,19 @@ func (h *hub) route(c *stream.Chunk) {
 	}
 	h.mu.Unlock()
 
+	if len(targets) == 0 {
+		// Nobody subscribed (or nobody's region matched): the chunk's
+		// journey ends at the hub.
+		c.Release()
+		return
+	}
+	// One reference per target deque; the incoming reference covers the
+	// first. Retain before the first push — a fast subscriber could
+	// otherwise release the last reference while the chunk is still being
+	// pushed to the next.
+	for i := 1; i < len(targets); i++ {
+		c.Retain()
+	}
 	for _, s := range targets {
 		s.deque.push(c)
 	}
@@ -366,10 +395,12 @@ func newChunkDeque(maxData int, dropped *atomic.Int64, logDrop func(int64)) *chu
 
 func (d *chunkDeque) push(c *stream.Chunk) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
+		c.Release() // dropped: the subscriber is gone
 		return
 	}
+	var shed *stream.Chunk
 	if c.IsData() && d.data >= d.maxData {
 		// Shed the oldest data chunk, keeping punctuation in place.
 		for i, old := range d.buf {
@@ -381,6 +412,7 @@ func (d *chunkDeque) push(c *stream.Chunk) {
 				if d.logDrop != nil && d.shed&(d.shed-1) == 0 {
 					d.logDrop(d.shed)
 				}
+				shed = old
 				break
 			}
 		}
@@ -390,6 +422,10 @@ func (d *chunkDeque) push(c *stream.Chunk) {
 		d.data++
 	}
 	d.cond.Signal()
+	d.mu.Unlock()
+	if shed != nil {
+		shed.Release() // outside the lock: Release may recycle a pooled buffer
+	}
 }
 
 func (d *chunkDeque) pop() (*stream.Chunk, bool) {

@@ -54,14 +54,18 @@ type feedHandoff struct {
 
 // IngestStats is the JSON form of the wire-ingest telemetry on /stats.
 type IngestStats struct {
-	Listening         bool   `json:"listening"`
-	ConnectionsTotal  int64  `json:"connections_total"`
-	ActiveConnections int64  `json:"active_connections"`
-	Rejected          int64  `json:"rejected_total"`
-	Chunks            int64  `json:"chunks_total"`
-	CRCErrors         int64  `json:"crc_errors_total"`
-	Resyncs           int64  `json:"resyncs_total"`
-	Addr              string `json:"addr,omitempty"`
+	Listening         bool  `json:"listening"`
+	ConnectionsTotal  int64 `json:"connections_total"`
+	ActiveConnections int64 `json:"active_connections"`
+	Rejected          int64 `json:"rejected_total"`
+	Chunks            int64 `json:"chunks_total"`
+	CRCErrors         int64 `json:"crc_errors_total"`
+	Resyncs           int64 `json:"resyncs_total"`
+	// AllocBytes counts decode value-buffer bytes that missed the grid
+	// pool and fell through to the heap; a steady-state zero-copy ingest
+	// path holds this flat.
+	AllocBytes int64  `json:"alloc_bytes_total"`
+	Addr       string `json:"addr,omitempty"`
 }
 
 // IngestStats snapshots the wire-ingest telemetry; Listening is false
@@ -79,6 +83,7 @@ func (s *Server) IngestStats() IngestStats {
 		Chunks:            wi.chunks.Load(),
 		CRCErrors:         wi.crcErrors.Load(),
 		Resyncs:           wi.resyncs.Load(),
+		AllocBytes:        wire.IngestAllocBytes(),
 	}
 	if ln != nil {
 		st.Addr = ln.Addr().String()
@@ -458,7 +463,11 @@ func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader, trac
 				return
 			case wire.FrameChunk:
 				begin := time.Now()
-				c, err := wire.DecodeChunkExt(f.Payload, traced)
+				// Pooled decode: grid values land in a recycled exec buffer
+				// and the chunk is ref-counted, so the buffer returns to the
+				// pool when the last consumer releases it — the steady-state
+				// ingest path allocates nothing per chunk.
+				c, err := wire.DecodeChunkExtPooled(f.Payload, traced)
 				if err != nil {
 					// The frame's CRC verified but the payload is not a
 					// chunk: a protocol bug on the sender, not line noise.
@@ -480,10 +489,12 @@ func (s *Server) pumpFeed(info stream.Info, conn net.Conn, rd *wire.Reader, trac
 					}
 				}
 				select {
-				case ch <- c:
+				case ch <- c: // transfers the chunk's reference
 				case <-s.drain:
+					c.Release()
 					return
 				case <-s.ctx.Done():
+					c.Release()
 					return
 				}
 			default:

@@ -228,5 +228,8 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Counter("geostreams_wire_ingest_resyncs_total",
 			"Times a feed reader scanned for the magic word after losing frame alignment.",
 			float64(is.Resyncs))
+		e.Counter("geostreams_wire_ingest_alloc_bytes_total",
+			"Decode value-buffer bytes that missed the grid pool and were heap-allocated (zero-copy ingest holds this flat).",
+			float64(is.AllocBytes))
 	}
 }

@@ -124,6 +124,7 @@ func guardMount(qg *stream.Group, in *stream.Stream) *stream.Stream {
 					return nil
 				}
 				if err := stream.Send(ctx, out, c); err != nil {
+					c.Release()
 					return nil
 				}
 			case <-ctx.Done():

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Block API: the 1-D twin of ForRows/MapRows for kernels that operate on a
+// flat []float64 slab with no per-row structure. Point-wise stages (value
+// transforms, fused chains, compose arithmetic) are element-independent, so
+// sharding at arbitrary element boundaries is safe and lets each worker
+// sweep one long contiguous range — no per-row closure re-dispatch, and
+// loop bodies the compiler can keep in registers.
+//
+// The contract matches ForRows exactly:
+//
+//   - Determinism: shard boundaries depend only on n, never on worker count
+//     or scheduling; MapBlocks merges partials in shard order.
+//   - ParallelCutoff: loops under the cutoff run as a single scalar call.
+//   - Non-blocking submission: the caller always participates; a saturated
+//     pool degrades to scalar execution.
+
+// blockShard picks the shard length for an n-element loop. Like shardRows,
+// the boundary depends only on the geometry (n), so reductions merged in
+// shard order are bit-identical at any parallelism.
+func blockShard(n int) int {
+	step := ParallelCutoff / 4
+	if step > n {
+		step = n
+	}
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// ForBlocks runs fn over [0, n), splitting it into contiguous [i0, i1)
+// shards executed concurrently on the shared pool. Loops under
+// ParallelCutoff elements (or with parallelism 1) run as a single scalar
+// call. fn must be safe to run concurrently for disjoint element ranges —
+// point-wise kernels satisfy this by writing only dst[i0:i1].
+func ForBlocks(n int, fn func(i0, i1 int)) {
+	p := Parallelism()
+	if n <= 0 {
+		return
+	}
+	if p <= 1 || n < ParallelCutoff {
+		scalarKernels.Add(1)
+		fn(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+
+	step := blockShard(n)
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			i1 := int(cursor.Add(int64(step)))
+			i0 := i1 - step
+			if i0 >= n {
+				return
+			}
+			if i1 > n {
+				i1 = n
+			}
+			shardsRun.Add(1)
+			fn(i0, i1)
+		}
+	}
+
+	helpers := (n + step - 1) / step
+	if helpers > p {
+		helpers = p
+	}
+	helpers-- // the caller is a worker too
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		task := func() { defer wg.Done(); run() }
+		select {
+		case tasks <- task:
+		default:
+			wg.Done()
+			i = helpers
+		}
+	}
+	run()
+	wg.Wait()
+	parallelKernels.Add(1)
+}
+
+// MapBlocks computes one partial result per fixed element shard of an
+// n-element loop — concurrently when the loop is large — and returns the
+// partials indexed by shard, in element order. Merging the partials in
+// slice order keeps reductions bit-identical at any parallelism.
+func MapBlocks[T any](n int, fn func(i0, i1 int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	step := blockShard(n)
+	shards := (n + step - 1) / step
+	out := make([]T, shards)
+	// Treat each shard as one "row" of width step: ForRows distributes the
+	// shard indices across the pool with the same cutoff and determinism
+	// rules, and the fixed index→range mapping keeps partials in element
+	// order regardless of which worker computes them.
+	ForRows(shards, step, func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			i0 := s * step
+			i1 := i0 + step
+			if i1 > n {
+				i1 = n
+			}
+			out[s] = fn(i0, i1)
+		}
+	})
+	return out
+}

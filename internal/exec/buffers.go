@@ -12,15 +12,18 @@ import (
 // minClassBits to maxClassBits; a request rounds up to its class and is
 // re-sliced to the exact length.
 //
-// Ownership rule (load-bearing — see stream/chunk.go): a buffer may be
-// recycled only while its ownership is provably unique, i.e. operator- or
-// delivery-private scratch that never escaped into a published chunk.
-// Chunks are immutable once sent and may be shared by any number of
-// consumers through Tee and the DSMS hubs, so a chunk's Vals must NEVER be
-// recycled by a consumer. The payoff still reaches published chunks:
-// AllocVals hands recycled private scratch back out at kernel allocation
-// sites, so the pool shrinks total allocation even though only private
-// buffers flow back in.
+// Ownership rule (load-bearing — see stream/chunk.go and DESIGN.md §12): a
+// buffer may be recycled only while its ownership is provably unique.
+// There are two ways to prove it:
+//
+//   - Private scratch: operator- or delivery-local buffers that never
+//     escaped into a published chunk. Recycle directly when done.
+//   - Ref-counted pooled chunks: a chunk built with stream.NewPooledGrid
+//     carries a reference count; fan-out points Retain extra references and
+//     every consumer Releases exactly once when it stops using the chunk.
+//     The final Release recycles the Vals here. Chunks without pool state
+//     (plain constructors, test literals) make Retain/Release no-ops, so
+//     their Vals are never recycled by a consumer — the pre-PR-7 rule.
 
 const (
 	minClassBits = 8  // 256 values (2 KiB) — below this, malloc is cheap enough
@@ -35,7 +38,31 @@ var (
 	poolMisses   atomic.Int64
 	poolRecycles atomic.Int64
 	poolBypass   atomic.Int64 // requests outside the pooled size range
+	poolSteals   atomic.Int64 // served from a larger class when the exact one was empty
 )
+
+// stealClasses is how many size classes above the exact fit AllocVals will
+// probe when the exact class is empty. One class up wastes at most half the
+// buffer; further up wastes too much memory to be worth saving the malloc.
+const stealClasses = 2
+
+// headerPool recycles the *[]float64 boxes the class pools store, so a
+// steady-state alloc/recycle cycle allocates nothing: Put would otherwise
+// heap-allocate a fresh slice header per recycle to box the interface.
+var headerPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getClass pops a buffer from class pool i, returning its header box to
+// headerPool.
+func getClass(i int) ([]float64, bool) {
+	p, ok := classes[i].Get().(*[]float64)
+	if !ok {
+		return nil, false
+	}
+	v := *p
+	*p = nil
+	headerPool.Put(p)
+	return v, true
+}
 
 // classOf returns the size-class index whose capacity (2^(minClassBits+i))
 // holds n values, or -1 when n is outside the pooled range.
@@ -56,17 +83,35 @@ func classOf(n int) int {
 // points). Buffers come from the recycle pool when a class match is
 // available and from the heap otherwise.
 func AllocVals(n int) []float64 {
+	v, _ := AllocValsPooled(n)
+	return v
+}
+
+// AllocValsPooled is AllocVals reporting provenance: fromPool is true when
+// the buffer was recycled (an exact-class hit or a larger-class steal) and
+// false when it came from the heap. The wire ingest path uses the flag to
+// account residual decode allocation (wire_ingest_alloc_bytes).
+func AllocValsPooled(n int) ([]float64, bool) {
 	c := classOf(n)
 	if c < 0 {
 		poolBypass.Add(1)
-		return make([]float64, n)
+		return make([]float64, n), false
 	}
-	if v, ok := classes[c].Get().(*[]float64); ok {
+	if v, ok := getClass(c); ok {
 		poolHits.Add(1)
-		return (*v)[:n]
+		return v[:n], true
+	}
+	// Exact class empty: steal from a slightly larger one before paying the
+	// heap. Recycle routes by capacity, so a stolen buffer returns to its
+	// true (larger) class, not the class it was borrowed for.
+	for s := c + 1; s < numClasses && s <= c+stealClasses; s++ {
+		if v, ok := getClass(s); ok {
+			poolSteals.Add(1)
+			return v[:n], true
+		}
 	}
 	poolMisses.Add(1)
-	return make([]float64, n, 1<<(minClassBits+c))
+	return make([]float64, n, 1<<(minClassBits+c)), false
 }
 
 // Recycle returns a buffer to its size-class pool. Only call it on buffers
@@ -84,6 +129,7 @@ func Recycle(v []float64) {
 		return
 	}
 	poolRecycles.Add(1)
-	full := v[:c]
-	classes[b-minClassBits].Put(&full)
+	p := headerPool.Get().(*[]float64)
+	*p = v[:c]
+	classes[b-minClassBits].Put(p)
 }

@@ -31,6 +31,7 @@ type Stats struct {
 	PoolMisses      int64 `json:"pool_misses"`
 	PoolRecycles    int64 `json:"pool_recycles"`
 	PoolBypass      int64 `json:"pool_bypass"`
+	PoolSteals      int64 `json:"pool_steals"`
 	FusedOperators  int64 `json:"fused_operators"`
 	FusedStages     int64 `json:"fused_stages"`
 }
@@ -46,6 +47,7 @@ func Snapshot() Stats {
 		PoolMisses:      poolMisses.Load(),
 		PoolRecycles:    poolRecycles.Load(),
 		PoolBypass:      poolBypass.Load(),
+		PoolSteals:      poolSteals.Load(),
 		FusedOperators:  fusedOperators.Load(),
 		FusedStages:     fusedStages.Load(),
 	}
@@ -81,6 +83,9 @@ func Collector() obs.Collector {
 		e.Counter("geostreams_exec_pool_bypass_total",
 			"Grid-buffer allocations outside the pooled size range.",
 			float64(s.PoolBypass))
+		e.Counter("geostreams_exec_pool_steals_total",
+			"Grid-buffer allocations served from a larger size class because the exact class was empty.",
+			float64(s.PoolSteals))
 		e.Counter("geostreams_exec_fused_operators_total",
 			"FusedPointwise operators wired by the planner.",
 			float64(s.FusedOperators))

@@ -541,7 +541,8 @@ func init() {
 			}
 			desc := fmt.Sprintf("scale(%g, %g)", a, b)
 			return argVal{node: &MapFn{In: in, Desc: desc,
-				Op: core.ValueTransform{Fn: imagealg.Scale(a, b), Label: desc}}}, nil
+				Op: core.ValueTransform{Fn: imagealg.Scale(a, b),
+					Block: imagealg.ScaleBlock(a, b), Label: desc}}}, nil
 		},
 		"clamp": func(pos int, args []argVal) (argVal, error) {
 			if err := arity(pos, args, 3, "clamp"); err != nil {
@@ -561,7 +562,8 @@ func init() {
 			}
 			desc := fmt.Sprintf("clamp(%g, %g)", lo, hi)
 			return argVal{node: &MapFn{In: in, Desc: desc,
-				Op: core.ValueTransform{Fn: imagealg.Clamp(lo, hi), Label: desc,
+				Op: core.ValueTransform{Fn: imagealg.Clamp(lo, hi),
+					Block: imagealg.ClampBlock(lo, hi), Label: desc,
 					Rerange: true, OutMin: lo, OutMax: hi}}}, nil
 		},
 		"threshold": func(pos int, args []argVal) (argVal, error) {
@@ -582,7 +584,8 @@ func init() {
 			}
 			desc := fmt.Sprintf("threshold(%g, %g, %g)", v[0], v[1], v[2])
 			return argVal{node: &MapFn{In: in, Desc: desc,
-				Op: core.ValueTransform{Fn: imagealg.Threshold(v[0], v[1], v[2]), Label: desc,
+				Op: core.ValueTransform{Fn: imagealg.Threshold(v[0], v[1], v[2]),
+					Block: imagealg.ThresholdBlock(v[0], v[1], v[2]), Label: desc,
 					Rerange: true, OutMin: v[1], OutMax: v[2]}}}, nil
 		},
 		"stretch": func(pos int, args []argVal) (argVal, error) {
@@ -716,7 +719,8 @@ func init() {
 			}
 			desc := fmt.Sprintf("gammac(%g, %g, %g)", v[0], v[1], v[2])
 			return argVal{node: &MapFn{In: in, Desc: desc,
-				Op: core.ValueTransform{Fn: imagealg.Gamma(v[0], v[1], v[2]), Label: desc}}}, nil
+				Op: core.ValueTransform{Fn: imagealg.Gamma(v[0], v[1], v[2]),
+					Block: imagealg.GammaBlock(v[0], v[1], v[2]), Label: desc}}}, nil
 		},
 		"rotate": func(pos int, args []argVal) (argVal, error) {
 			if err := arity(pos, args, 2, "rotate"); err != nil {

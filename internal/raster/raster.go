@@ -83,10 +83,16 @@ func NewAssemblerWithExtent(extent geom.Lattice) (*Assembler, error) {
 }
 
 // Add feeds one chunk; it returns any frames completed by this chunk.
+// Add consumes the caller's reference: buffered chunks are released when
+// their sector assembles (or on Discard), punctuation is released before
+// Add returns. Callers reading chunk fields for tracing must capture them
+// before the hand-off.
 func (a *Assembler) Add(c *stream.Chunk) ([]*Image, error) {
 	switch c.Kind {
 	case stream.KindEndOfSector:
-		img, err := a.assemble(c.T, c.Sector.Extent, true)
+		t, extent := c.T, c.Sector.Extent
+		c.Release()
+		img, err := a.assemble(t, extent, true)
 		if err != nil {
 			return nil, err
 		}
@@ -101,13 +107,21 @@ func (a *Assembler) Add(c *stream.Chunk) ([]*Image, error) {
 		a.pending[c.T] = append(a.pending[c.T], c)
 		return nil, nil
 	}
-	return nil, fmt.Errorf("raster: unknown chunk kind %v", c.Kind)
+	kind := c.Kind
+	c.Release()
+	return nil, fmt.Errorf("raster: unknown chunk kind %v", kind)
 }
 
 // Discard drops any partially accumulated sector state without rendering
-// it. Delivery calls it on every exit so an abandoned assembler — a
+// it, releasing the buffered chunk references so pool-backed buffers go
+// home. Delivery calls it on every exit so an abandoned assembler — a
 // pipeline that errored mid-sector — does not pin chunk memory.
 func (a *Assembler) Discard() {
+	for _, chunks := range a.pending {
+		for _, c := range chunks {
+			c.Release()
+		}
+	}
 	a.pending = make(map[geom.Timestamp][]*stream.Chunk)
 	a.order = nil
 }
@@ -131,10 +145,17 @@ func (a *Assembler) Flush() ([]*Image, error) {
 	return out, nil
 }
 
-// assemble rasterizes the pending chunks of sector t.
+// assemble rasterizes the pending chunks of sector t. The sector's
+// buffered references are released on every exit — the chunks have been
+// copied into the frame (or the frame failed and they are dropped).
 func (a *Assembler) assemble(t geom.Timestamp, eosExtent geom.Lattice, haveEOS bool) (*Image, error) {
 	chunks := a.pending[t]
 	delete(a.pending, t)
+	defer func() {
+		for _, c := range chunks {
+			c.Release()
+		}
+	}()
 	var lat geom.Lattice
 	switch {
 	case a.HasExtent:

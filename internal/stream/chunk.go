@@ -117,6 +117,13 @@ type Chunk struct {
 	// ID to derived chunks through InheritIngest, so recording sites can
 	// follow one chunk's causal path with a single integer check.
 	Trace uint64
+
+	// pool, when non-nil, marks the chunk as pool-backed: its Grid.Vals
+	// came from exec.AllocVals and the chunk struct itself from a
+	// sync.Pool. Consumers balance references with Retain/Release (see
+	// pooled.go); both are no-ops when pool is nil, so code written for
+	// the ref-counted protocol is safe on ordinary chunks.
+	pool *poolState
 }
 
 // StampIngest marks the chunk as ingested at the given wall-clock time in

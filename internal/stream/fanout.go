@@ -79,6 +79,7 @@ func NewFanout(g *Group, in *Stream) *Fanout {
 	inC := in.C
 	g.Go(func(ctx context.Context) error {
 		defer f.finish()
+		defer DrainReleasing(inC)
 		for {
 			select {
 			case c, ok := <-inC:
@@ -156,24 +157,40 @@ func (f *Fanout) broadcast(ctx context.Context, c *Chunk) bool {
 	case <-ctx.Done():
 		return false
 	}
+	// Capture the trace fields before any hand-off: once a consumer holds
+	// a reference it may release the chunk, and a pool-backed chunk's
+	// fields are unreadable after its last Release.
 	var begin time.Time
-	if c.Trace != 0 {
+	if tr, tT, punct := c.Trace, int64(c.T), !c.IsData(); tr != 0 {
 		begin = time.Now()
 		defer func() {
 			f.mu.Lock()
 			op := f.traceOp
 			f.mu.Unlock()
-			f.tracer.Load().Record(c.Trace, trace.StageFanout, op,
-				begin, time.Since(begin), int64(c.T), !c.IsData())
+			f.tracer.Load().Record(tr, trace.StageFanout, op,
+				begin, time.Since(begin), tT, punct)
 		}()
 	}
-	for _, t := range f.snapshot() {
+	taps := f.snapshot()
+	// One reference per tap; the incoming reference covers the first.
+	for i := 1; i < len(taps); i++ {
+		c.Retain()
+	}
+	if len(taps) == 0 {
+		c.Release()
+		return true
+	}
+	for i, t := range taps {
 		select {
 		case t.c <- c:
 			f.delivered.Add(1)
 		case <-t.done:
 			// Tap detached while we were blocked on it; skip it.
+			c.Release()
 		case <-ctx.Done():
+			for j := i; j < len(taps); j++ {
+				c.Release()
+			}
 			return false
 		}
 	}

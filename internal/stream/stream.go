@@ -51,6 +51,27 @@ func Send(ctx context.Context, out chan<- *Chunk, c *Chunk) error {
 	}
 }
 
+// EmitCounted sends a chunk downstream and records it in st (when st is
+// non-nil). Sending transfers the chunk's reference to the receiver, so
+// EmitCounted holds an extra reference across the send — the stats read
+// after delivery would otherwise race with a fast consumer releasing a
+// pool-backed chunk. On a cancelled send the chunk is fully released
+// (undelivered chunks are dropped); the caller must not touch it after an
+// error either way.
+func EmitCounted(ctx context.Context, out chan<- *Chunk, c *Chunk, st *Stats) error {
+	c.Retain()
+	if err := Send(ctx, out, c); err != nil {
+		c.Release() // the stats reference
+		c.Release() // the undelivered transfer reference
+		return err
+	}
+	if st != nil {
+		st.CountOut(c)
+	}
+	c.Release()
+	return nil
+}
+
 // Apply wires a unary operator onto a stream inside the group, returning
 // the output stream and the operator's stats instance.
 func Apply(g *Group, op Operator, in *Stream) (*Stream, *Stats, error) {
@@ -67,6 +88,11 @@ func Apply(g *Group, op Operator, in *Stream) (*Stream, *Stats, error) {
 	inC := in.C
 	g.Go(func(ctx context.Context) error {
 		defer close(out)
+		// On any exit — including a panic unwinding through Group.Go's
+		// recover — hand queued pool-backed input chunks back to the
+		// buffer pool. Without this a panicking query permanently bleeds
+		// whatever its input queue held out of the size-classed pool.
+		defer DrainReleasing(inC)
 		st.markRunning()
 		if err := op.Run(ctx, inC, out, st); err != nil {
 			return fmt.Errorf("%s: %w", op.Name(), err)
@@ -91,6 +117,8 @@ func Apply2(g *Group, op BinaryOperator, a, b *Stream) (*Stream, *Stats, error) 
 	aC, bC := a.C, b.C
 	g.Go(func(ctx context.Context) error {
 		defer close(out)
+		defer DrainReleasing(aC)
+		defer DrainReleasing(bC)
 		st.markRunning()
 		if err := op.Run(ctx, aC, bC, out, st); err != nil {
 			return fmt.Errorf("%s: %w", op.Name(), err)
@@ -156,6 +184,7 @@ func Drain(ctx context.Context, s *Stream) (chunks, points int64, err error) {
 			}
 			chunks++
 			points += int64(c.NumPoints())
+			c.Release()
 		case <-ctx.Done():
 			return chunks, points, ctx.Err()
 		}
@@ -180,14 +209,25 @@ func Tee(g *Group, in *Stream, n int) []*Stream {
 				close(o)
 			}
 		}()
+		defer DrainReleasing(inC)
 		for {
 			select {
 			case c, ok := <-inC:
 				if !ok {
 					return nil
 				}
-				for _, o := range outs {
+				// Each consumer gets its own reference; the incoming one
+				// covers the first. Retain before any hand-off — a fast
+				// consumer may otherwise release the last reference while
+				// the chunk is still queued for the next.
+				for i := 1; i < len(outs); i++ {
+					c.Retain()
+				}
+				for i, o := range outs {
 					if err := Send(ctx, o, c); err != nil {
+						for j := i; j < len(outs); j++ {
+							c.Release()
+						}
 						return nil
 					}
 				}

@@ -71,6 +71,7 @@ func NewTapSet(g *Group, in *Stream) (*Stream, *TapSet) {
 	g.Go(func(ctx context.Context) error {
 		defer ts.finish()
 		defer close(out)
+		defer DrainReleasing(inC)
 		for {
 			select {
 			case c, ok := <-inC:
@@ -79,6 +80,7 @@ func NewTapSet(g *Group, in *Stream) (*Stream, *TapSet) {
 				}
 				ts.offer(c)
 				if err := Send(ctx, out, c); err != nil {
+					c.Release()
 					return nil
 				}
 			case <-ctx.Done():
@@ -134,12 +136,16 @@ func (ts *TapSet) Stats() (attached int64, active int, delivered, dropped int64)
 // window cannot reach. The set lock is held across the (non-blocking)
 // sends so a concurrent Close cannot close a channel mid-send.
 func (ts *TapSet) offer(c *Chunk) {
+	// Trace fields are captured before any enqueue: a tap's consumer may
+	// release its reference as soon as it receives the chunk, and the
+	// primary consumer downstream may release the last one — after which a
+	// pool-backed chunk's fields are unreadable.
 	var begin time.Time
-	if c.Trace != 0 {
+	if tr, tT, punct := c.Trace, int64(c.T), !c.IsData(); tr != 0 {
 		begin = time.Now()
 		defer func() {
-			ts.tracer.Load().Record(c.Trace, trace.StageFanout, "tap",
-				begin, time.Since(begin), int64(c.T), !c.IsData())
+			ts.tracer.Load().Record(tr, trace.StageFanout, "tap",
+				begin, time.Since(begin), tT, punct)
 		}()
 	}
 	ts.mu.Lock()
@@ -154,17 +160,22 @@ func (ts *TapSet) offer(c *Chunk) {
 				ts.dropped.Add(1)
 				continue
 			}
+			// The tap consumer gets its own reference; taken before the
+			// enqueue and returned if the buffer turns out to be full.
+			c.Retain()
 			select {
 			case t.c <- c:
 				t.credit.Add(-1)
 				t.delivered.Add(1)
 				ts.delivered.Add(1)
 			default:
+				c.Release()
 				t.dropped.Add(1)
 				ts.dropped.Add(1)
 			}
 			continue
 		}
+		c.Retain()
 		select {
 		case t.c <- c:
 			t.delivered.Add(1)
@@ -172,6 +183,7 @@ func (ts *TapSet) offer(c *Chunk) {
 		default:
 			// Only reachable when the consumer stalled through the whole
 			// punctuation reserve on top of its data window.
+			c.Release()
 			t.dropped.Add(1)
 			ts.dropped.Add(1)
 		}
@@ -237,6 +249,13 @@ func (t *CreditTap) Close() {
 		t.ts.mu.Unlock()
 		if shouldClose {
 			close(t.c)
+			// The closing side is the consumer (the egress loop defers
+			// Close after it stops reading), so draining here races with
+			// nobody: queued chunks the subscriber never consumed go back
+			// to the pool instead of leaking out of it.
+			for c := range t.c {
+				c.Release()
+			}
 		}
 	})
 }

@@ -1,0 +1,138 @@
+package valueset
+
+import "math"
+
+// Block twins of the scalar hot-path operations, used by the
+// block-vectorized kernels in internal/core. Each is bit-identical to
+// applying the scalar form element-by-element — including NaN payload
+// bits: Apply canonicalizes NaN operands to math.NaN(), so the block loops
+// do too, and restriction leaves input NaNs untouched (their payload bits
+// may be meaningful on the wire) exactly like the scalar restrict loop.
+
+// ApplyBlock evaluates the γ-operation element-wise over a and b into dst
+// (all three the same length; dst may alias either input). The operation
+// switch is hoisted out of the loop, which is the whole point: one
+// indirect dispatch per block instead of one per pixel.
+func (g Gamma) ApplyBlock(dst, a, b []float64) {
+	switch g {
+	case Add:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = x + y
+		}
+	case Sub:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = x - y
+		}
+	case Mul:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = x * y
+		}
+	case Div:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) || y == 0 {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = x / y
+		}
+	case Sup:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = math.Max(x, y)
+		}
+	case Inf:
+		for i, x := range a {
+			y := b[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				dst[i] = math.NaN()
+				continue
+			}
+			dst[i] = math.Min(x, y)
+		}
+	default:
+		for i := range a {
+			dst[i] = math.NaN()
+		}
+	}
+}
+
+// RestrictBlock applies value-restriction semantics in place over vals:
+// values outside the set become math.NaN(), NaN inputs are skipped
+// untouched (missing data is not re-tested and keeps its payload bits) —
+// the same rule as the scalar restrict loops in core.FusedPointwise and
+// core.ValueRestrict. The common concrete Set types get specialized tight
+// loops; anything else falls back to the interface call per element.
+func RestrictBlock(s Set, vals []float64) {
+	switch t := s.(type) {
+	case AllValues:
+		// Identity: everything (including NaN) is a member.
+	case Range:
+		lo, hi := t.Min, t.Max
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo || v > hi {
+				vals[i] = math.NaN()
+			}
+		}
+	case Above:
+		th := t.Threshold
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v <= th {
+				vals[i] = math.NaN()
+			}
+		}
+	case Below:
+		th := t.Threshold
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v >= th {
+				vals[i] = math.NaN()
+			}
+		}
+	case Finite:
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if math.IsInf(v, 0) {
+				vals[i] = math.NaN()
+			}
+		}
+	default:
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if !s.Contains(v) {
+				vals[i] = math.NaN()
+			}
+		}
+	}
+}

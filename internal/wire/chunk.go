@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"geostreams/internal/coord"
+	"geostreams/internal/exec"
 	"geostreams/internal/geom"
 	"geostreams/internal/stream"
 )
@@ -96,18 +98,42 @@ func AppendChunkExt(dst []byte, c *stream.Chunk, withTrace bool) ([]byte, error)
 	return dst, nil
 }
 
+// ingestAllocBytes counts value-buffer bytes the pooled decode path had
+// to take from the heap because the exec pool had no buffer of the right
+// class — the residual allocation cost of the zero-copy ingest path. A
+// steady-state feed holds this flat while chunk counts climb.
+var ingestAllocBytes atomic.Int64
+
+// IngestAllocBytes returns the cumulative heap bytes allocated for
+// decoded chunk payloads by the pooled decode path.
+func IngestAllocBytes() int64 { return ingestAllocBytes.Load() }
+
 // DecodeChunkExt parses a chunk frame payload from a peer that did (or
 // did not) negotiate the trace extension: with the extension the last 8
 // payload bytes are the chunk's trace ID and the remainder decodes
 // exactly as the base format.
 func DecodeChunkExt(p []byte, withTrace bool) (*stream.Chunk, error) {
+	return decodeChunkExt(p, withTrace, false)
+}
+
+// DecodeChunkExtPooled is DecodeChunkExt decoding grid payloads into
+// pool-backed chunks: the value buffer comes from exec.AllocVals and the
+// chunk is ref-counted (stream.NewPooledGridChunk), so the last consumer's
+// Release returns both to their pools. The ingest edge uses it to make
+// steady-state decode allocation-free; the caller owns the returned
+// chunk's single reference.
+func DecodeChunkExtPooled(p []byte, withTrace bool) (*stream.Chunk, error) {
+	return decodeChunkExt(p, withTrace, true)
+}
+
+func decodeChunkExt(p []byte, withTrace, pooled bool) (*stream.Chunk, error) {
 	if !withTrace {
-		return DecodeChunk(p)
+		return decodeChunk(p, pooled)
 	}
 	if len(p) < chunkHdrLen+traceExtLen {
 		return nil, fmt.Errorf("wire: traced chunk payload truncated at %d bytes", len(p))
 	}
-	c, err := DecodeChunk(p[:len(p)-traceExtLen])
+	c, err := decodeChunk(p[:len(p)-traceExtLen], pooled)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +144,13 @@ func DecodeChunkExt(p []byte, withTrace bool) (*stream.Chunk, error) {
 // DecodeChunk parses a chunk frame payload. Every field is restored
 // exactly as encoded (no re-derivation), so encode→decode is
 // bit-identical.
-func DecodeChunk(p []byte) (*stream.Chunk, error) {
+func DecodeChunk(p []byte) (*stream.Chunk, error) { return decodeChunk(p, false) }
+
+// DecodeChunkPooled is DecodeChunk with pool-backed grid chunks; see
+// DecodeChunkExtPooled.
+func DecodeChunkPooled(p []byte) (*stream.Chunk, error) { return decodeChunk(p, true) }
+
+func decodeChunk(p []byte, pooled bool) (*stream.Chunk, error) {
 	if len(p) < chunkHdrLen {
 		return nil, fmt.Errorf("wire: chunk payload truncated at %d bytes", len(p))
 	}
@@ -135,6 +167,22 @@ func DecodeChunk(p []byte) (*stream.Chunk, error) {
 		n := lat.NumPoints()
 		if len(rest) != n*8 {
 			return nil, fmt.Errorf("wire: grid payload carries %d value bytes for %d lattice points", len(rest), n)
+		}
+		if pooled {
+			vals, fromPool := exec.AllocValsPooled(n)
+			if !fromPool {
+				ingestAllocBytes.Add(int64(n) * 8)
+			}
+			for i := range vals {
+				vals[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[i*8:]))
+			}
+			c, err := stream.NewPooledGridChunk(t, lat, vals)
+			if err != nil {
+				exec.Recycle(vals)
+				return nil, err
+			}
+			c.Ingest = ingest
+			return c, nil
 		}
 		vals := make([]float64, n)
 		for i := range vals {

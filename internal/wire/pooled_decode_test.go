@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"geostreams/internal/stream"
+)
+
+// TestDecodeChunkPooledBitIdentical: the pooled decode path must restore
+// every chunk kind bit-identically to the heap path, and only grid chunks
+// come back pool-backed (points and punctuation have no pooled buffer).
+func TestDecodeChunkPooledBitIdentical(t *testing.T) {
+	for _, c := range []*stream.Chunk{testGridChunk(11), testPointsChunk(12), testEOSChunk(13)} {
+		p, err := AppendChunk(nil, c)
+		if err != nil {
+			t.Fatalf("encode kind %v: %v", c.Kind, err)
+		}
+		got, err := DecodeChunkPooled(p)
+		if err != nil {
+			t.Fatalf("pooled decode kind %v: %v", c.Kind, err)
+		}
+		if !chunksEqual(got, c) {
+			t.Fatalf("kind %v pooled round trip not bit-identical", c.Kind)
+		}
+		if wantPooled := c.Kind == stream.KindGrid; got.Pooled() != wantPooled {
+			t.Fatalf("kind %v: Pooled() = %v, want %v", c.Kind, got.Pooled(), wantPooled)
+		}
+		got.Release()
+	}
+}
+
+// TestDecodeChunkExtPooledTrace: the trace extension decodes identically
+// on the pooled path.
+func TestDecodeChunkExtPooledTrace(t *testing.T) {
+	c := testGridChunk(21)
+	c.Trace = 0xDEADBEEFCAFE
+	p, err := AppendChunkExt(nil, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChunkExtPooled(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Release()
+	if got.Trace != c.Trace {
+		t.Fatalf("trace = %#x, want %#x", got.Trace, c.Trace)
+	}
+	if !chunksEqual(got, c) {
+		t.Fatal("traced pooled round trip not bit-identical")
+	}
+}
+
+// TestPooledDecodeReuseAfterRecycle is the aliasing/corruption check for
+// the zero-copy path: releasing a decoded chunk hands its buffer to the
+// pool, the next same-size decode reuses it, and neither decode observes
+// the other's values — a retained chunk's payload survives arbitrarily
+// many decode/release cycles of the same size class bit-for-bit.
+func TestPooledDecodeReuseAfterRecycle(t *testing.T) {
+	a := testGridChunk(31)
+	b := testGridChunk(32) // same lattice, different values
+	pa, err := AppendChunk(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := AppendChunk(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	da, err := DecodeChunkPooled(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), da.Grid.Vals...)
+	da.Release() // buffer goes home; da must not be touched past this point
+
+	// The next decode of the same size class reuses the recycled buffer
+	// (or a fresh one — either way the values must be b's, not a's).
+	db, err := DecodeChunkPooled(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chunksEqual(db, b) {
+		t.Fatal("decode after recycle corrupted the new chunk's values")
+	}
+
+	// A still-retained chunk must be immune to further decode traffic.
+	dc, err := DecodeChunkPooled(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d, err := DecodeChunkPooled(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Release()
+	}
+	for i, v := range dc.Grid.Vals {
+		if math.Float64bits(v) != math.Float64bits(snapshot[i]) {
+			t.Fatalf("retained chunk value [%d] changed: %x -> %x",
+				i, math.Float64bits(snapshot[i]), math.Float64bits(v))
+		}
+	}
+	dc.Release()
+	db.Release()
+}
+
+// TestPooledDecodeSteadyStateZeroAlloc: once the pool is primed, a
+// decode+release cycle performs no per-chunk heap allocation — the
+// acceptance criterion of the zero-copy ingest path.
+func TestPooledDecodeSteadyStateZeroAlloc(t *testing.T) {
+	c := testGridChunk(41)
+	p, err := AppendChunk(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the buffer pool and the chunk-box pool for this size class.
+	warm, err := DecodeChunkPooled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+	avg := testing.AllocsPerRun(200, func() {
+		d, err := DecodeChunkPooled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Release()
+	})
+	// A GC between runs can evict pool entries, so allow a sliver of
+	// noise; a per-chunk allocation would show up as avg >= 1.
+	if avg >= 1 {
+		t.Fatalf("steady-state pooled decode allocates %.2f objects per chunk, want 0", avg)
+	}
+}
+
+// TestPooledDecodeNoLiveLeak: every reference taken by the pooled decode
+// tests above is released; a decode+release cycle leaves no live pooled
+// chunks behind.
+func TestPooledDecodeNoLiveLeak(t *testing.T) {
+	base := stream.PooledLive()
+	c := testGridChunk(51)
+	p, err := AppendChunk(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		d, err := DecodeChunkPooled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Pooled() {
+			t.Fatal("grid decode not pool-backed")
+		}
+		d.Release()
+	}
+	if live := stream.PooledLive(); live != base {
+		t.Fatalf("pooled-chunk live count leaked: %d -> %d", base, live)
+	}
+}
