@@ -112,7 +112,7 @@ func main() {
 	snap := snapshot{Config: cfg}
 	suiteStart := time.Now()
 	for _, e := range bench.AllWithAblations() {
-		if !runAll && !want[e.ID] {
+		if !runAll && !want[strings.ToUpper(e.ID)] {
 			continue
 		}
 		start := time.Now()

@@ -7,7 +7,7 @@
 //	geoserver [-addr :8080] [-goes] [-subsat -75]
 //	          [-region "-122,36,-120,38"] [-w 256] [-h 192]
 //	          [-sectors 0] [-interval 2s] [-seed 42]
-//	          [-max-queries 0] [-drain-timeout 10s] [-share]
+//	          [-max-queries 0] [-drain-timeout 10s] [-share] [-cascade]
 //	          [-ingest :9090] [-local=false]
 //	          [-trace-sample 64] [-frame-age-slo 0]
 //	          [-log-format text|json] [-log-level info] [-debug]
@@ -23,7 +23,11 @@
 // and pipelines get up to -drain-timeout to finish before being
 // cancelled. -share (default on) runs common subplans of concurrent
 // queries once on shared trunks; -share=false keeps every query fully
-// private. -trace-sample tunes chunk tracing (1 in N data chunks get a
+// private. -cascade (default on, requires -share) routes pushed-down
+// rectangular crops through a per-band shared cascade index: each chunk
+// is probed once against every registered query rect instead of scanned
+// per query; -cascade=false falls back to one private trunk per distinct
+// crop. -trace-sample tunes chunk tracing (1 in N data chunks get a
 // full span timeline, visible at GET /queries/{id}/trace; punctuation is
 // always traced). -frame-age-slo sets an ingest-to-delivery freshness
 // budget: delivered data chunks older than it burn the per-query
@@ -96,6 +100,8 @@ func main() {
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	shareQueries := flag.Bool("share", true,
 		"shared multi-query execution: common subplans run once on shared trunks")
+	cascadeRouting := flag.Bool("cascade", true,
+		"shared spatial-restriction routing: pushed-down crops register in a per-band cascade index and each chunk is routed once (requires -share)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for data-parallel grid kernels (0 = GOMAXPROCS; overrides GEOSTREAMS_PARALLELISM)")
 	ingest := flag.String("ingest", "",
@@ -139,6 +145,7 @@ func main() {
 	srv.SetDebug(*debug)
 	srv.SetMaxQueries(*maxQueries)
 	srv.SetSharing(*shareQueries)
+	srv.SetCascadeRouting(*cascadeRouting)
 	if *traceSample != 0 {
 		srv.SetTraceInterval(*traceSample)
 	}

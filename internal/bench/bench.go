@@ -117,6 +117,7 @@ func All() []Experiment {
 		{"F3", "end-to-end DSMS over HTTP (architecture of Fig. 3)", F3EndToEnd},
 		{"E-F1", "delivery degradation under chunk loss and source flaps", EF1Degradation},
 		{"E-S1", "shared multi-query execution: common-subplan dedup", ES1Shared},
+		{"E-S1-distinct", "shared spatial-restriction routing: N distinct crop rects", ESDistinct},
 		{"E-N1", "networked GSP ingest/egress vs in-process", EN1Networked},
 		{"E-O1", "chunk tracing overhead on the operator hot path", EO1TraceOverhead},
 	}

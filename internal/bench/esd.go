@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"geostreams/internal/query"
+	"geostreams/internal/share"
+	"geostreams/internal/stream"
+)
+
+// ESDistinct measures the shared spatial-restriction router (PR 8): N
+// concurrent queries with N *distinct* crop rects over one band. PR 4's
+// signature sharing is useless here — every plan differs — so before the
+// router each query ran a private trunk scanning every band chunk: O(N)
+// work per chunk. The router registers all N rects in one per-band
+// cascade index, probes each incoming chunk once, and computes only the
+// crops that intersect it, so per-chunk routing cost follows the matched
+// set (~√N rects for a row chunk over a √N×√N tiling), not N.
+//
+// Modes:
+//
+//	off    RoutingOff: one private trunk per distinct rect, each
+//	       subscribing to the band and scanning every chunk — the
+//	       pre-router cost model and the baseline to beat.
+//	naive  the shared router with a linear-scan index: crop computation
+//	       and band subscription are shared, but probing is O(N).
+//	tree   the shared router over the dynamic cascade tree: probing is
+//	       O(depth + matches).
+//
+// The cost metric is drain wall time per source chunk (busy-time sums
+// undercount operators that consume without emitting, which is most of
+// the off-mode work), plus the router's explicit route-stage timer per
+// probed chunk for the shared modes. RowByRow only: a row chunk
+// intersects ~√N tiles, which is the routing regime the cascade exists
+// for; a full-frame chunk intersects all N rects and every mode
+// degenerates to the same crop work.
+func ESDistinct(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-S1-distinct",
+		Title: "shared spatial-restriction routing: N distinct crop rects",
+		Claim: "per-chunk routing cost is sublinear in the number of distinct-rect queries; the cascade router beats N private scans",
+		Columns: []string{"N", "mode", "trunks", "wall", "wall/chunk",
+			"route/chunk", "matches/chunk", "crops", "crop shares"},
+	}
+	ns := []int{64, 512}
+	if cfg.MaxQueries >= 4096 {
+		ns = append(ns, 4096)
+	}
+	w, err := newSharedWorkload(cfg, stream.RowByRow)
+	if err != nil {
+		return nil, err
+	}
+	chunks := float64(len(w.chunks["vis"]))
+	for _, n := range ns {
+		plans, err := distinctRectPlans(w, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []share.RoutingMode{share.RoutingOff, share.RoutingNaive, share.RoutingTree} {
+			r, err := runDistinctSet(w, plans, mode)
+			if err != nil {
+				return nil, err
+			}
+			wallPer := r.wall.Seconds() / chunks
+			routePer, matchPer := "n/a", "n/a"
+			if r.probes > 0 {
+				routePer = fmtDur(time.Duration(r.routeNanos / r.probes))
+				matchPer = fmtF(float64(r.matches) / float64(r.probes))
+			}
+			t.AddRow(fmtI(int64(n)), mode.String(), fmtI(int64(r.trunks)),
+				fmtDur(r.wall), fmtDur(time.Duration(wallPer*1e9)),
+				routePer, matchPer, fmtI(r.crops), fmtI(r.cropShares))
+			t.SetMetric(fmt.Sprintf("distinct_wall_per_chunk_n%d_%s", n, mode), wallPer)
+			if r.probes > 0 {
+				t.SetMetric(fmt.Sprintf("distinct_route_per_chunk_n%d_%s", n, mode),
+					float64(r.routeNanos)/float64(r.probes)/1e9)
+			}
+		}
+	}
+
+	// Bit-identity: at the smallest N every query's routed output must be
+	// byte-for-byte the private output. (The share and dsms test suites
+	// pin this under -race and end-to-end; here it guards the benchmark
+	// itself against measuring a wrong answer quickly.)
+	plans, err := distinctRectPlans(w, ns[0])
+	if err != nil {
+		return nil, err
+	}
+	private, err := distinctFingerprints(w, plans, share.RoutingOff)
+	if err != nil {
+		return nil, err
+	}
+	routed, err := distinctFingerprints(w, plans, share.RoutingTree)
+	if err != nil {
+		return nil, err
+	}
+	for i := range plans {
+		if d := private[i].Diff(routed[i], "private", "routed"); d != "" {
+			return nil, fmt.Errorf("E-S1-distinct: query %d diverged:\n%s", i, d)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"wall/chunk = drain wall time ÷ vis source chunks; route/chunk = router stage wall ÷ probed data chunks",
+		"rects tile the scan region in a ⌈√N⌉×⌈√N⌉ grid, so a RowByRow chunk intersects ~√N of them",
+		fmt.Sprintf("bit-identity: all %d distinct-rect queries fingerprint identically routed vs private", ns[0]),
+		"off builds N private trunks (N band subscriptions); naive/tree build one router and N outlets")
+	return t, nil
+}
+
+// distinctRectPlans builds N structurally distinct crop plans tiling the
+// bench region in a ⌈√N⌉×⌈√N⌉ grid (row-major, first N cells).
+func distinctRectPlans(w *sharedWorkload, n int) ([]query.Node, error) {
+	bands := map[string]bool{"nir": true, "vis": true}
+	k := int(math.Ceil(math.Sqrt(float64(n))))
+	x0, y0 := benchRegion.MinX, benchRegion.MinY
+	dx := benchRegion.Width() / float64(k)
+	dy := benchRegion.Height() / float64(k)
+	plans := make([]query.Node, n)
+	for i := 0; i < n; i++ {
+		cx, cy := i%k, i/k
+		text := fmt.Sprintf("rselect(vis, rect(%.6f, %.6f, %.6f, %.6f))",
+			x0+float64(cx)*dx, y0+float64(cy)*dy,
+			x0+float64(cx+1)*dx, y0+float64(cy+1)*dy)
+		p, err := query.Parse(text, bands)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := query.Optimize(p, w.catalog)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = query.Fuse(opt)
+	}
+	return plans, nil
+}
+
+// distinctResult is one (N, mode) measurement.
+type distinctResult struct {
+	trunks     int
+	wall       time.Duration
+	probes     int64
+	matches    int64
+	crops      int64
+	cropShares int64
+	routeNanos int64
+}
+
+// runDistinctSet mounts every plan on one share.Manager in the given
+// routing mode over a gated replay, drains all mounts, and reports wall
+// time plus the router counters (zero in off mode).
+func runDistinctSet(w *sharedWorkload, plans []query.Node, mode share.RoutingMode) (distinctResult, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	m := share.NewManager(ctx, &replaySubscriber{w: w, gate: gate})
+	m.SetRouting(mode)
+
+	mounts := make([]*share.Mount, 0, len(plans))
+	release := func() {
+		for _, mt := range mounts {
+			mt.Release()
+		}
+	}
+	for _, plan := range plans {
+		mt, err := m.Acquire(plan)
+		if err != nil {
+			release()
+			return distinctResult{}, err
+		}
+		mounts = append(mounts, mt)
+	}
+	r := distinctResult{trunks: len(m.Snapshot().Trunks)}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, mt := range mounts {
+		wg.Add(1)
+		go func(s *stream.Stream) {
+			defer wg.Done()
+			stream.Drain(context.Background(), s) //nolint:errcheck
+		}(mt.Out)
+	}
+	close(gate)
+	wg.Wait()
+	r.wall = time.Since(start)
+	for _, ri := range m.Snapshot().Routers {
+		r.probes += ri.Probes
+		r.matches += ri.Matches
+		r.crops += ri.Crops
+		r.cropShares += ri.CropShares
+		r.routeNanos += ri.RouteNanos
+	}
+	release()
+	return r, nil
+}
+
+// distinctFingerprints drains every mount collecting a per-query output
+// fingerprint for the bit-identity check.
+func distinctFingerprints(w *sharedWorkload, plans []query.Node, mode share.RoutingMode) ([]query.Fingerprint, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	m := share.NewManager(ctx, &replaySubscriber{w: w, gate: gate})
+	m.SetRouting(mode)
+
+	mounts := make([]*share.Mount, 0, len(plans))
+	for _, plan := range plans {
+		mt, err := m.Acquire(plan)
+		if err != nil {
+			for _, prev := range mounts {
+				prev.Release()
+			}
+			return nil, err
+		}
+		mounts = append(mounts, mt)
+	}
+	fps := make([]query.Fingerprint, len(mounts))
+	errs := make([]error, len(mounts))
+	var wg sync.WaitGroup
+	for i, mt := range mounts {
+		wg.Add(1)
+		go func(i int, s *stream.Stream) {
+			defer wg.Done()
+			chunks, err := stream.Collect(context.Background(), s)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fps[i] = query.FingerprintChunks(chunks)
+			for _, c := range chunks {
+				c.Release()
+			}
+		}(i, mt.Out)
+	}
+	close(gate)
+	wg.Wait()
+	for _, mt := range mounts {
+		mt.Release()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fps, nil
+}

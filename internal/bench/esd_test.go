@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestESDistinctShapeRoutingWins is the PR 8 acceptance check: with 512
+// distinct crop rects, the shared cascade router must beat the
+// pre-router execution model (one private trunk per rect, each scanning
+// every band chunk). ESDistinct itself verifies bit-identity of routed
+// vs private output on every run, so a fast-but-wrong router cannot
+// pass.
+//
+// The comparison is wall-clock over a ~100-chunk replay, so a loaded
+// host can inflate one side of a single run; like the E-S1 shape test
+// the measurement retries before a violation is declared. The
+// structural expectations (one router outlet per distinct rect, matched
+// work ~√N per row chunk) hold without retries.
+func TestESDistinctShapeRoutingWins(t *testing.T) {
+	const attempts = 3
+	var last error
+	for i := 0; i < attempts; i++ {
+		tbl, err := ESDistinct(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{64, 512} {
+			for _, mode := range []string{"off", "naive", "tree"} {
+				if tbl.Metrics[fmt.Sprintf("distinct_wall_per_chunk_n%d_%s", n, mode)] <= 0 {
+					t.Fatalf("missing wall metric for n=%d mode=%s: %v", n, mode, tbl.Metrics)
+				}
+			}
+			if tbl.Metrics[fmt.Sprintf("distinct_route_per_chunk_n%d_tree", n)] <= 0 {
+				t.Fatalf("router stage timer did not run at n=%d", n)
+			}
+		}
+		if last = checkDistinctShape(tbl); last == nil {
+			return
+		}
+		t.Logf("attempt %d/%d: %v", i+1, attempts, last)
+	}
+	t.Fatalf("shape violated on all %d attempts; last: %v", attempts, last)
+}
+
+func checkDistinctShape(tbl *Table) error {
+	off := tbl.Metrics["distinct_wall_per_chunk_n512_off"]
+	tree := tbl.Metrics["distinct_wall_per_chunk_n512_tree"]
+	if tree >= off {
+		return fmt.Errorf("cascade routing did not beat private scans at N=512: tree %.3gs/chunk vs off %.3gs/chunk", tree, off)
+	}
+	// Routing cost must be sublinear in N: growing the query set 8×
+	// (64 → 512) must grow the per-chunk route-stage cost far less than
+	// 8×. The matched set grows ~√8 ≈ 2.8×; allow generous scheduler
+	// headroom above that without admitting linear growth.
+	r64 := tbl.Metrics["distinct_route_per_chunk_n64_tree"]
+	r512 := tbl.Metrics["distinct_route_per_chunk_n512_tree"]
+	if r512 > 6*r64 {
+		return fmt.Errorf("route cost grew superlinearly: n64=%.3gs n512=%.3gs (>6x for 8x queries)", r64, r512)
+	}
+	return nil
+}

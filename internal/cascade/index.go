@@ -91,9 +91,11 @@ type Grid struct {
 	outside []entry
 }
 
-// NewGrid builds a uniform nx×ny grid index over the domain.
+// NewGrid builds a uniform nx×ny grid index over the domain. The domain
+// must have positive area: a degenerate (zero-width or zero-height) domain
+// would divide by zero in the cell mapping.
 func NewGrid(domain geom.Rect, nx, ny int) (*Grid, error) {
-	if domain.Empty() || nx < 1 || ny < 1 {
+	if domain.Empty() || domain.Width() <= 0 || domain.Height() <= 0 || nx < 1 || ny < 1 {
 		return nil, fmt.Errorf("cascade: invalid grid %dx%d over %v", nx, ny, domain)
 	}
 	return &Grid{

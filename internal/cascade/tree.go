@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"math"
 	"sort"
 
 	"geostreams/internal/geom"
@@ -22,6 +23,13 @@ type Tree struct {
 	root      *treeNode
 	byID      map[QueryID]*treeNode
 	mutations int
+	// empty holds registrations whose rect is empty (inverted or
+	// uninitialized). An empty rect contains no point and intersects
+	// nothing, so these ids never answer a Stab or Probe — but they must
+	// still count toward Len, replace on re-insert, and Remove cleanly.
+	// Keeping them out of the spatial partition also keeps their ±Inf
+	// coordinates from poisoning split medians with NaN.
+	empty map[QueryID]struct{}
 	// LeafCapacity is the resident count that triggers a leaf split
 	// (default 8).
 	LeafCapacity int
@@ -48,18 +56,24 @@ func NewTree() *Tree {
 	return &Tree{
 		root:         &treeNode{},
 		byID:         make(map[QueryID]*treeNode),
+		empty:        make(map[QueryID]struct{}),
 		LeafCapacity: 8,
 		MaxDepth:     24,
 	}
 }
 
 func (t *Tree) Name() string { return "cascade-tree" }
-func (t *Tree) Len() int     { return len(t.byID) }
+func (t *Tree) Len() int     { return len(t.byID) + len(t.empty) }
 
 // Insert registers a region, splitting and rebuilding as needed.
 func (t *Tree) Insert(id QueryID, r geom.Rect) {
 	if _, exists := t.byID[id]; exists {
 		t.Remove(id)
+	}
+	delete(t.empty, id)
+	if r.Empty() {
+		t.empty[id] = struct{}{}
+		return
 	}
 	t.insertAt(t.root, entry{id, r})
 	t.mutations++
@@ -109,14 +123,24 @@ func (t *Tree) maybeSplit(n *treeNode) {
 		return
 	}
 	splitX := n.depth%2 == 0
-	centers := make([]float64, len(n.resident))
-	for i, e := range n.resident {
+	// Regions with an infinite extent on the split axis (world rects,
+	// half-planes) have a non-finite center there; they would span any
+	// finite split line anyway, so they contribute nothing to the median —
+	// and a NaN or ±Inf median would make the split line unreachable,
+	// silently hiding whole subtrees from Stab and Probe.
+	centers := make([]float64, 0, len(n.resident))
+	for _, e := range n.resident {
 		c := e.r.Center()
-		if splitX {
-			centers[i] = c.X
-		} else {
-			centers[i] = c.Y
+		v := c.X
+		if !splitX {
+			v = c.Y
 		}
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			centers = append(centers, v)
+		}
+	}
+	if len(centers) < 2 {
+		return
 	}
 	sort.Float64s(centers)
 	median := centers[len(centers)/2]
@@ -138,6 +162,10 @@ func (t *Tree) maybeSplit(n *treeNode) {
 
 // Remove deregisters a region.
 func (t *Tree) Remove(id QueryID) {
+	if _, ok := t.empty[id]; ok {
+		delete(t.empty, id)
+		return
+	}
 	n, exists := t.byID[id]
 	if !exists {
 		return
@@ -159,15 +187,17 @@ func (t *Tree) maybeRebuild() {
 		return
 	}
 	entries := make([]entry, 0, len(t.byID))
-	seen := make(map[QueryID]struct{}, len(t.byID))
 	var walk func(n *treeNode)
 	walk = func(n *treeNode) {
 		if n == nil {
 			return
 		}
 		for _, e := range n.resident {
-			if _, dup := seen[e.id]; !dup {
-				seen[e.id] = struct{}{}
+			// byID is the authority on where an id lives: a resident entry
+			// whose id maps elsewhere (or nowhere) is stale and must not be
+			// carried into the rebuilt partition, where it would become
+			// routable again.
+			if t.byID[e.id] == n {
 				entries = append(entries, e)
 			}
 		}
@@ -183,31 +213,40 @@ func (t *Tree) maybeRebuild() {
 	}
 }
 
-// Stab walks the single root-to-leaf path containing p, testing resident
-// regions at each node.
+// Stab walks the root-to-leaf path containing p, testing resident regions
+// at each node. Rects are closed intervals (geom.Rect.Contains includes
+// edges), so a point exactly on a split line belongs to both half-cells: a
+// lo-side region with MaxX == splitVal contains it just as a hi-side region
+// with MinX == splitVal does. Descending only one side there silently
+// dropped boundary matches; on the split line both children are visited.
 func (t *Tree) Stab(p geom.Vec2, out []QueryID) []QueryID {
-	n := t.root
-	for n != nil {
-		for _, e := range n.resident {
-			if e.r.Contains(p) {
-				out = append(out, e.id)
+	var visit func(n *treeNode)
+	visit = func(n *treeNode) {
+		for n != nil {
+			for _, e := range n.resident {
+				if e.r.Contains(p) {
+					out = append(out, e.id)
+				}
+			}
+			if n.lo == nil {
+				return
+			}
+			v := p.X
+			if !n.splitX {
+				v = p.Y
+			}
+			switch {
+			case v < n.splitVal:
+				n = n.lo
+			case v > n.splitVal:
+				n = n.hi
+			default: // exactly on the split line: regions on either side may touch p
+				visit(n.lo)
+				n = n.hi
 			}
 		}
-		if n.lo == nil {
-			break
-		}
-		var v float64
-		if n.splitX {
-			v = p.X
-		} else {
-			v = p.Y
-		}
-		if v < n.splitVal {
-			n = n.lo
-		} else {
-			n = n.hi
-		}
 	}
+	visit(t.root)
 	return out
 }
 
@@ -229,15 +268,19 @@ func (t *Tree) Probe(q geom.Rect, out []QueryID) []QueryID {
 		if n.lo == nil {
 			return
 		}
+		// Closed-interval intersection: a probe whose edge lies exactly on
+		// the split line still touches regions on the far side that end on
+		// the same line (Rect.Intersects counts shared edges), so both
+		// comparisons are inclusive.
 		if n.splitX {
-			if q.MinX < n.splitVal {
+			if q.MinX <= n.splitVal {
 				visit(n.lo)
 			}
 			if q.MaxX >= n.splitVal {
 				visit(n.hi)
 			}
 		} else {
-			if q.MinY < n.splitVal {
+			if q.MinY <= n.splitVal {
 				visit(n.lo)
 			}
 			if q.MaxY >= n.splitVal {

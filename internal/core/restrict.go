@@ -44,15 +44,7 @@ func (op SpatialRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out 
 	bounds := op.Region.Bounds()
 	for c := range in {
 		st.CountIn(c)
-		var o *stream.Chunk
-		switch c.Kind {
-		case stream.KindGrid:
-			o = restrictGrid(c, op.Region, bounds, isRect)
-		case stream.KindPoints:
-			o = restrictPoints(c, op.Region)
-		default: // punctuation passes through
-			o = c
-		}
+		o := op.restrictOne(c, bounds, isRect)
 		if o != c {
 			c.Release()
 		}
@@ -64,6 +56,30 @@ func (op SpatialRestrict) Run(ctx context.Context, in <-chan *stream.Chunk, out 
 		}
 	}
 	return nil
+}
+
+// RestrictChunk applies the restriction to one chunk outside a pipeline —
+// the entry point the shared cascade router uses, so routed execution runs
+// the exact code path the private operator runs and stays bit-identical.
+//
+// Ownership: the caller keeps its reference to c (RestrictChunk never
+// releases). The result is nil when nothing survives, c itself for
+// punctuation (pass-through, no new reference), or a fresh pooled chunk the
+// caller owns.
+func (op SpatialRestrict) RestrictChunk(c *stream.Chunk) *stream.Chunk {
+	_, isRect := op.Region.(geom.RectRegion)
+	return op.restrictOne(c, op.Region.Bounds(), isRect)
+}
+
+func (op SpatialRestrict) restrictOne(c *stream.Chunk, bounds geom.Rect, isRect bool) *stream.Chunk {
+	switch c.Kind {
+	case stream.KindGrid:
+		return restrictGrid(c, op.Region, bounds, isRect)
+	case stream.KindPoints:
+		return restrictPoints(c, op.Region)
+	default: // punctuation passes through
+		return c
+	}
 }
 
 // restrictGrid crops a grid chunk to the region. It returns nil when no

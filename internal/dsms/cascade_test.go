@@ -1,0 +1,259 @@
+package dsms
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCascadeServer is startSharedServer with an explicit routing toggle
+// (sharing managers default to cascade routing on; this makes tests that
+// compare modes self-describing).
+func startCascadeServer(t *testing.T, sectors int, cascade bool) (*Server, func()) {
+	t.Helper()
+	s, stop := startSharedServer(t, sectors)
+	s.SetCascadeRouting(cascade)
+	return s, stop
+}
+
+// collectFrames drains a query's frame queue and returns the raw PNG
+// bytes in arrival order.
+func collectFrames(t *testing.T, r *Registered) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		f, ok := r.NextFrame(5 * time.Second)
+		if !ok {
+			break
+		}
+		out = append(out, f.PNG)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("query %d error: %v", r.ID, err)
+	}
+	return out
+}
+
+// TestCascadeRoutedDistinctRectsBitIdentical is the E2E acceptance check:
+// distinct-rect crop queries routed through the shared cascade stage
+// deliver byte-for-byte the frames private execution delivers, and the
+// routing is visible in /stats (routers present, crop nodes marked
+// routed, crops computed).
+func TestCascadeRoutedDistinctRectsBitIdentical(t *testing.T) {
+	queries := []string{
+		// Distinct overlapping rects over one band.
+		"rselect(vis, rect(-121.9, 36.1, -120.9, 37.1))",
+		"rselect(vis, rect(-121.5, 36.5, -120.5, 37.5))",
+		"rselect(vis, rect(-121.2, 36.2, -120.2, 37.8))",
+		// The same rect twice: dedups to one routed node, one outlet.
+		"rselect(vis, rect(-121.5, 36.5, -120.5, 37.5))",
+		// A crop pushed below a derived band: two routable frontiers.
+		"rselect(ndvi(nir, vis), rect(-121.7, 36.3, -120.3, 37.7))",
+	}
+	run := func(cascade bool) [][][]byte {
+		s, stop := startCascadeServer(t, 2, cascade)
+		defer stop()
+		regs := make([]*Registered, len(queries))
+		for i, q := range queries {
+			r, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+			if err != nil {
+				t.Fatalf("register %q: %v", q, err)
+			}
+			regs[i] = r
+		}
+		if cascade {
+			st := s.ServerStats()
+			if st.Shared == nil || len(st.Shared.Routers) == 0 {
+				t.Fatal("cascade routing on but /stats shows no band routers")
+			}
+			if st.Shared.Routing != "tree" {
+				t.Fatalf("Routing = %q, want tree", st.Shared.Routing)
+			}
+			routed := 0
+			for _, tr := range st.Shared.Trunks {
+				if tr.Routed {
+					routed++
+				}
+			}
+			// 3 distinct vis rects + vis and nir frontiers of the ndvi
+			// query = 5 routed crop nodes (the duplicate rect reuses one).
+			if routed != 5 {
+				t.Fatalf("%d routed trunks, want 5: %+v", routed, st.Shared.Trunks)
+			}
+			for _, h := range st.Hubs {
+				if h.Subscribers != 1 {
+					t.Fatalf("band %s has %d hub subscribers, want 1 (the router)",
+						h.Band, h.Subscribers)
+				}
+			}
+		}
+		s.Start()
+		frames := make([][][]byte, len(regs))
+		for i, r := range regs {
+			frames[i] = collectFrames(t, r)
+		}
+		if cascade {
+			st := s.ServerStats()
+			var probes, crops int64
+			for _, ri := range st.Shared.Routers {
+				probes += ri.Probes
+				crops += ri.Crops
+			}
+			if probes == 0 || crops == 0 {
+				t.Fatalf("router saw no traffic: probes=%d crops=%d", probes, crops)
+			}
+			// The duplicate rect reuses the routed node rather than adding
+			// an outlet (crop sharing between distinct outlets is pinned at
+			// the share level by TestRoutedCropSharing).
+			if st.Shared.Reused == 0 {
+				t.Fatal("duplicate-rect query did not reuse the routed node")
+			}
+		}
+		return frames
+	}
+
+	routed := run(true)
+	private := run(false)
+	for qi := range queries {
+		if len(routed[qi]) == 0 || len(routed[qi]) != len(private[qi]) {
+			t.Fatalf("query %d: %d routed frames vs %d private",
+				qi, len(routed[qi]), len(private[qi]))
+		}
+		for fi := range routed[qi] {
+			if !bytes.Equal(routed[qi][fi], private[qi][fi]) {
+				t.Fatalf("query %d frame %d differs between routed and private execution",
+					qi, fi)
+			}
+		}
+	}
+}
+
+// TestCascadeExplainAnnotates: EXPLAIN marks cascade-routable frontier
+// roots, and only while routing is enabled.
+func TestCascadeExplainAnnotates(t *testing.T) {
+	s, stop := startCascadeServer(t, 2, true)
+	defer stop()
+	const q = "rselect(ndvi(nir, vis), rect(-121.5, 36.5, -120.5, 37.5))"
+	out, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[cascade]") {
+		t.Fatalf("EXPLAIN with routing on has no [cascade] annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "[shared ") {
+		t.Fatalf("EXPLAIN lost its shared annotations:\n%s", out)
+	}
+	s.SetCascadeRouting(false)
+	out, err = s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "[cascade]") {
+		t.Fatalf("EXPLAIN with routing off still annotates [cascade]:\n%s", out)
+	}
+}
+
+// TestCascadeDeregisterTearsDownRouter: the band router lives exactly as
+// long as its last routed query; full deregistration releases the hub
+// subscription it held.
+func TestCascadeDeregisterTearsDownRouter(t *testing.T) {
+	s, stop := startCascadeServer(t, 2, true)
+	defer stop()
+	r1, err := s.Register("rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))", DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Register("rselect(vis, rect(-121.3, 36.6, -120.6, 37.3))", DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.ServerStats()
+	if len(st.Shared.Routers) != 1 {
+		t.Fatalf("%d routers, want 1 (one vis band)", len(st.Shared.Routers))
+	}
+	if f := st.Shared.Routers[0].Frontiers; f != 2 {
+		t.Fatalf("router has %d frontiers, want 2", f)
+	}
+	if err := s.Deregister(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = s.ServerStats()
+	if len(st.Shared.Routers) != 1 || st.Shared.Routers[0].Frontiers != 1 {
+		t.Fatalf("after one deregister: %+v", st.Shared.Routers)
+	}
+	if err := s.Deregister(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = s.ServerStats()
+	for _, ri := range st.Shared.Routers {
+		if ri.Live {
+			t.Fatalf("router survived its last query: %+v", ri)
+		}
+	}
+	for _, h := range st.Hubs {
+		if h.Subscribers != 0 {
+			t.Fatalf("band %s still has %d subscribers after router teardown",
+				h.Band, h.Subscribers)
+		}
+	}
+}
+
+// TestCascadeChurn registers and deregisters distinct-rect queries from
+// several goroutines while chunks flow — the register/deregister
+// handlers mutate the cascade index concurrently with the routing
+// goroutine's probes. Run under -race this pins the index and router
+// locking.
+func TestCascadeChurn(t *testing.T) {
+	s, stop := startCascadeServer(t, 10000, true) // effectively endless scan
+	defer stop()
+	s.Start()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 12; i++ {
+				x0 := -122 + rng.Float64()
+				y0 := 36 + rng.Float64()
+				q := fmt.Sprintf("rselect(vis, rect(%.3f, %.3f, %.3f, %.3f))",
+					x0, y0, x0+0.8, y0+0.8)
+				r, err := s.Register(q, DeliveryOptions{Colormap: "gray"})
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
+				if err := s.Deregister(r.ID); err != nil {
+					t.Errorf("deregister: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.ServerStats()
+	for _, ri := range st.Shared.Routers {
+		if ri.Live {
+			t.Fatalf("router leaked after churn: %+v", ri)
+		}
+	}
+	// The server is still healthy: a fresh query delivers a frame.
+	r, err := s.Register("rselect(vis, rect(-121.6, 36.4, -120.4, 37.6))", DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.NextFrame(10 * time.Second); !ok {
+		t.Fatal("no frame after churn")
+	}
+	if err := s.Deregister(r.ID); err != nil {
+		t.Fatal(err)
+	}
+}

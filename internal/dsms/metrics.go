@@ -94,6 +94,41 @@ func (s *Server) Collect(e *obs.Exposition) {
 				"Chunks fanned out to this trunk's taps.",
 				float64(tr.Delivered), sig)
 		}
+		live := 0
+		for _, ri := range snap.Routers {
+			if ri.Live {
+				live++
+			}
+		}
+		e.Gauge("geostreams_cascade_routers",
+			"Band routers (shared spatial-restriction stages) currently running.",
+			float64(live))
+		for _, ri := range snap.Routers {
+			band := obs.L("band", ri.Band)
+			if ri.Live {
+				e.Gauge("geostreams_cascade_frontiers",
+					"Query crop rects registered in this band's cascade index.",
+					float64(ri.Frontiers), band, obs.L("index", ri.Index))
+			}
+			e.Counter("geostreams_cascade_probes_total",
+				"Data chunks probed against this band's cascade index.",
+				float64(ri.Probes), band)
+			e.Counter("geostreams_cascade_matches_total",
+				"Chunk x query index matches summed over probes.",
+				float64(ri.Matches), band)
+			e.Counter("geostreams_cascade_crops_total",
+				"Distinct crop chunks computed by the router.",
+				float64(ri.Crops), band)
+			e.Counter("geostreams_cascade_crop_shares_total",
+				"Crop deliveries served by sharing an already-computed crop chunk.",
+				float64(ri.CropShares), band)
+			e.Counter("geostreams_cascade_filtered_chunks_total",
+				"Data chunks dropped by the router because no registered rect intersects them.",
+				float64(ri.Filtered), band)
+			e.Counter("geostreams_cascade_route_seconds_total",
+				"Wall time spent inside the routing stage (probe + crop + hand-off).",
+				float64(ri.RouteNanos)/1e9, band)
+		}
 	}
 
 	for _, h := range hubs {

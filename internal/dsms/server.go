@@ -427,8 +427,8 @@ func (s *Server) Explain(text string) (string, error) {
 	// With sharing enabled, mark the operators that would run on shared
 	// trunks with the digest of the trunk they mount under.
 	var annotate func(query.Node) string
-	if s.sharingManager() != nil {
-		annotate = shareAnnotator(fused)
+	if m := s.sharingManager(); m != nil {
+		annotate = shareAnnotator(fused, m)
 	}
 	optimized, err := query.ExplainAnnotated(fused, catalog, annotate)
 	if err != nil {

@@ -1,0 +1,32 @@
+package query
+
+import "geostreams/internal/geom"
+
+// CascadeRoutable reports whether a plan node is a spatial-restriction
+// frontier the shared cascade router can absorb: a rectangular rselect
+// sitting directly on a band source. That is exactly the shape the
+// optimizer's push-down produces for cropped queries (rselect pushed below
+// every transform until it rests on the source), so after Optimize+Fuse
+// every pushed-down crop is routable.
+//
+// Routable nodes don't run as their own trunk operator: the per-band router
+// registers the rect in a cascade index, probes each incoming chunk's
+// bounds once for all registered rects, and crops matched chunks — one
+// shared restriction stage instead of N per-query scans (§4's dynamic
+// cascade tree). Non-rect regions and rselects over composed inputs keep
+// the ordinary trunk path; the algebra is unchanged either way.
+func CascadeRoutable(n Node) (band string, region geom.RectRegion, ok bool) {
+	rs, ok := n.(*RestrictS)
+	if !ok {
+		return "", geom.RectRegion{}, false
+	}
+	src, ok := rs.In.(*Source)
+	if !ok {
+		return "", geom.RectRegion{}, false
+	}
+	rr, ok := rs.Region.(geom.RectRegion)
+	if !ok {
+		return "", geom.RectRegion{}, false
+	}
+	return src.Band, rr, true
+}

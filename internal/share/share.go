@@ -47,6 +47,17 @@ type Manager struct {
 	mu    sync.Mutex
 	nodes map[string]*node
 
+	// routers hold the per-band shared spatial-restriction stage (router.go):
+	// cascade-routable crop nodes read router outlets instead of running a
+	// private scan of the band. routing selects the index (or disables the
+	// stage); it applies to acquisitions made after the change.
+	routers map[string]*router
+	routing RoutingMode
+	// routerHist accumulates counters of torn-down router generations per
+	// band, so /stats and metrics totals stay monotonic across the
+	// last-query-leaves / next-query-rebuilds cycle.
+	routerHist map[string]RouterInfo
+
 	created  int64 // trunks built
 	reused   int64 // acquisitions satisfied by a running trunk
 	panicked int64 // trunks torn down by an operator panic
@@ -60,7 +71,24 @@ type Manager struct {
 // NewManager creates a manager whose trunks all descend from ctx: cancelling
 // it unwinds every trunk.
 func NewManager(ctx context.Context, sub Subscriber) *Manager {
-	return &Manager{ctx: ctx, sub: sub, nodes: map[string]*node{}}
+	return &Manager{ctx: ctx, sub: sub, nodes: map[string]*node{},
+		routers: map[string]*router{}, routerHist: map[string]RouterInfo{}}
+}
+
+// SetRouting selects how pushed-down rectangular crops execute (see
+// RoutingMode). Takes effect for acquisitions made afterwards; running
+// nodes keep the mode they were built with. The default is RoutingTree.
+func (m *Manager) SetRouting(mode RoutingMode) {
+	m.mu.Lock()
+	m.routing = mode
+	m.mu.Unlock()
+}
+
+// Routing reports the current routing mode.
+func (m *Manager) Routing() RoutingMode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routing
 }
 
 // SetTrace wires the span recorder trunks attach as they are built. Trunks
@@ -74,10 +102,11 @@ func (m *Manager) SetTrace(r *trace.Recorder) {
 
 // node is one running shared operator (or band source) plus its fan-out.
 type node struct {
-	sig   string
-	label string
-	refs  int  // mounts + parent nodes holding this node
-	dead  bool // group ended (panic or end of input); no longer reusable
+	sig    string
+	label  string
+	refs   int  // mounts + parent nodes holding this node
+	dead   bool // group ended (panic or end of input); no longer reusable
+	routed bool // fed by a band router outlet, not a private operator
 
 	group  *stream.Group
 	cancel context.CancelFunc
@@ -184,6 +213,11 @@ func (m *Manager) acquire(plan query.Node, seen map[query.Node]*node) (*node, er
 		m.reused++
 		seen[plan] = n
 		return n, nil
+	}
+	if m.routing != RoutingOff {
+		if band, region, ok := query.CascadeRoutable(plan); ok {
+			return m.acquireRouted(plan, sig, band, region, seen)
+		}
 	}
 
 	ctx, cancel := context.WithCancel(m.ctx)
@@ -332,14 +366,19 @@ type TrunkInfo struct {
 	Refs      int    `json:"refs"`
 	Taps      int    `json:"taps"`
 	Delivered int64  `json:"delivered_chunks"`
+	// Routed marks crop nodes fed by a band router outlet (the shared
+	// cascade stage) rather than a private operator.
+	Routed bool `json:"routed,omitempty"`
 }
 
 // Snapshot is the manager's state for /stats and the metrics endpoint.
 type Snapshot struct {
-	Trunks   []TrunkInfo `json:"trunks"`
-	Created  int64       `json:"trunks_created"`
-	Reused   int64       `json:"trunks_reused"`
-	Panicked int64       `json:"trunks_panicked"`
+	Trunks   []TrunkInfo  `json:"trunks"`
+	Created  int64        `json:"trunks_created"`
+	Reused   int64        `json:"trunks_reused"`
+	Panicked int64        `json:"trunks_panicked"`
+	Routing  string       `json:"routing"`
+	Routers  []RouterInfo `json:"routers,omitempty"`
 }
 
 // Snapshot captures the current trunk set, sorted by signature for stable
@@ -347,7 +386,7 @@ type Snapshot struct {
 func (m *Manager) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Snapshot{Created: m.created, Reused: m.reused, Panicked: m.panicked}
+	s := Snapshot{Created: m.created, Reused: m.reused, Panicked: m.panicked, Routing: m.routing.String()}
 	for _, n := range m.nodes {
 		s.Trunks = append(s.Trunks, TrunkInfo{
 			Sig:       n.sig,
@@ -356,8 +395,25 @@ func (m *Manager) Snapshot() Snapshot {
 			Refs:      n.refs,
 			Taps:      n.fan.TapCount(),
 			Delivered: n.fan.Delivered(),
+			Routed:    n.routed,
 		})
 	}
 	sort.Slice(s.Trunks, func(i, j int) bool { return s.Trunks[i].Sig < s.Trunks[j].Sig })
+	// One entry per band that ever had a router: the live router's state
+	// (if running) plus the accumulated counters of torn-down generations.
+	bands := map[string]RouterInfo{}
+	for band, hist := range m.routerHist {
+		bands[band] = hist
+	}
+	for band, rt := range m.routers {
+		ri := rt.info()
+		ri.Live = true
+		ri.addCounters(bands[band])
+		bands[band] = ri
+	}
+	for _, ri := range bands {
+		s.Routers = append(s.Routers, ri)
+	}
+	sort.Slice(s.Routers, func(i, j int) bool { return s.Routers[i].Band < s.Routers[j].Band })
 	return s
 }

@@ -134,19 +134,38 @@ func (t *Tap) Stream() *Stream { return t.s }
 // (the broadcaster may be mid-send); the detaching consumer simply stops
 // reading. Close is idempotent and unblocks a broadcaster currently
 // blocked on this tap.
+//
+// Chunks still buffered on the tap are the broadcaster's to reclaim: it is
+// the only sender, so it alone can drain the buffer without racing a send
+// (it reaps the tap on its next delivery, or in finish). Only when the
+// fanout has already finished — no broadcaster left to race — does Close
+// drain the residue itself. Either way every buffered reference is
+// released; a detaching reader never strands pool-backed chunks.
 func (t *Tap) Close() {
 	t.once.Do(func() {
 		close(t.done)
-		f := t.f
-		f.mu.Lock()
-		for i, x := range f.taps {
-			if x == t {
-				f.taps = append(f.taps[:i], f.taps[i+1:]...)
-				break
-			}
+		t.f.mu.Lock()
+		finished := t.f.closed
+		t.f.mu.Unlock()
+		if finished {
+			DrainReleasing(t.c)
 		}
-		f.mu.Unlock()
 	})
+}
+
+// reap removes a detached tap from the broadcast set and releases whatever
+// its buffer still holds. Called only from the broadcaster goroutine, after
+// it has observed t.done — so no send can race the drain.
+func (f *Fanout) reap(t *Tap) {
+	f.mu.Lock()
+	for i, x := range f.taps {
+		if x == t {
+			f.taps = append(f.taps[:i], f.taps[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+	DrainReleasing(t.c)
 }
 
 // broadcast delivers one chunk to every attached tap; it reports false
@@ -181,11 +200,22 @@ func (f *Fanout) broadcast(ctx context.Context, c *Chunk) bool {
 		return true
 	}
 	for i, t := range taps {
+		// A tap known to be detached is reaped, not sent to: with both the
+		// send and the done arm ready, select would sometimes deposit a chunk
+		// nobody reads again.
+		select {
+		case <-t.done:
+			f.reap(t)
+			c.Release()
+			continue
+		default:
+		}
 		select {
 		case t.c <- c:
 			f.delivered.Add(1)
 		case <-t.done:
 			// Tap detached while we were blocked on it; skip it.
+			f.reap(t)
 			c.Release()
 		case <-ctx.Done():
 			for j := i; j < len(taps); j++ {
@@ -203,7 +233,11 @@ func (f *Fanout) snapshot() []*Tap {
 	return append([]*Tap(nil), f.taps...)
 }
 
-// finish marks the fanout ended and closes every still-attached tap.
+// finish marks the fanout ended and closes every still-attached tap. Taps
+// that detached without being reaped (no broadcast ran after their Close)
+// still hold buffered references; with the broadcaster gone the drain here
+// is the one that frees them. Attached taps are left to their readers, who
+// drain to the close.
 func (f *Fanout) finish() {
 	f.mu.Lock()
 	taps := f.taps
@@ -212,5 +246,10 @@ func (f *Fanout) finish() {
 	f.mu.Unlock()
 	for _, t := range taps {
 		close(t.c)
+		select {
+		case <-t.done:
+			DrainReleasing(t.c)
+		default:
+		}
 	}
 }

@@ -95,6 +95,65 @@ func TestFanoutDetachUnblocksTrunk(t *testing.T) {
 	}
 }
 
+// TestFanoutDetachReleasesBufferedChunks: a tap that detaches with
+// pool-backed chunks still sitting in its buffer must not strand their
+// references — the broadcaster reaps the tap on its next delivery, and the
+// fanout's finish drains taps that detached after the last delivery. Either
+// way PooledLive returns to its baseline.
+func TestFanoutDetachReleasesBufferedChunks(t *testing.T) {
+	pooled := func(ts int) *Chunk {
+		lat := testLattice(t, 4, 1)
+		c, err := NewPooledGridChunk(geom.Timestamp(ts), lat, []float64{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := PooledLive()
+	g := NewGroup(context.Background())
+	n := 2*DefaultBuffer + 8
+	chunks := make([]*Chunk, 0, n)
+	for i := 0; i < n; i++ {
+		chunks = append(chunks, pooled(i))
+	}
+	f := NewFanout(g, FromChunks(g, testInfo(), chunks))
+	stuck := f.AddTap() // fills its buffer, then detaches without reading
+	live := f.AddTap()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := range live.Stream().C {
+			c.Release()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	stuck.Close()
+	<-done
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tap that detaches only after the fanout has finished: with no
+	// broadcaster left, Close itself drains the buffered residue.
+	g2 := NewGroup(context.Background())
+	f2 := NewFanout(g2, FromChunks(g2, testInfo(), []*Chunk{pooled(100), pooled(101)}))
+	lazy := f2.AddTap()
+	if err := g2.Wait(); err != nil { // both chunks fit the tap buffer; stream ends
+		t.Fatal(err)
+	}
+	lazy.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for PooledLive() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("detached tap stranded pooled chunks: live = %d, baseline = %d",
+				PooledLive(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestFanoutAddTapAfterEndIsClosed(t *testing.T) {
 	g := NewGroup(context.Background())
 	f := NewFanout(g, FromChunks(g, testInfo(), fanoutChunks(t, 1)))
