@@ -9,7 +9,7 @@
 //	geoquery register -q 'stretch(ndvi(nir, vis), linear, 0, 255)' -colormap ndvi
 //	geoquery frames -id 1 -n 5 -out ./frames
 //	geoquery series -id 2 -n 10
-//	geoquery subscribe -id 1 -n 5 -out ./frames [-window 64]
+//	geoquery subscribe -id 1 -n 5 -out ./frames [-window 64] [-resume <cursor>]
 //	geoquery trace -id 1 [-n 8]
 //	geoquery stats
 //	geoquery health
@@ -32,6 +32,7 @@ import (
 	"geostreams/internal/dsms"
 	"geostreams/internal/raster"
 	"geostreams/internal/stream"
+	"geostreams/internal/wire"
 )
 
 const usage = "usage: geoquery catalog|explain|register|frames|series|subscribe|trace|stats|health|metrics|list|drop [flags]"
@@ -52,6 +53,8 @@ func main() {
 	out := fs.String("out", ".", "output directory for frames")
 	wait := fs.Duration("wait", 10*time.Second, "per-frame wait")
 	window := fs.Int("window", 0, "credit window in chunks for subscribe (0 = server default)")
+	resume := fs.String("resume", "",
+		"resume cursor for subscribe, from a previous run's 'cursor:' line (server needs -store-dir or -history)")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	// Unary calls get the client's per-request deadline; NextFrame derives
@@ -107,7 +110,7 @@ func main() {
 		}
 	case "subscribe":
 		requireID(*id)
-		fatal(subscribe(c, *id, *n, *window, *out, *colormap))
+		fatal(subscribe(c, *id, *n, *window, *out, *colormap, *resume))
 	case "trace":
 		requireID(*id)
 		rep, err := c.Trace(*id, *n)
@@ -157,14 +160,29 @@ func main() {
 // what arrives: grid output is assembled into sector PNGs client-side
 // (the same raster path the server's frame delivery uses), point output
 // prints as series lines. It stops after n sectors (grid) or n chunks
-// (points), or when the server says bye.
-func subscribe(c *dsms.Client, id int64, n, window int, out, colormap string) error {
-	sub, err := c.Subscribe(id, window)
+// (points), or when the server says bye. It always asks for the resume
+// extension; when the server confirms it (historical store mounted),
+// every acknowledged sector boundary prints a "cursor: <cursor>" line —
+// pass the last one back via -resume to continue a killed subscription
+// from that boundary, exactly once, no gap and no duplicate.
+func subscribe(c *dsms.Client, id int64, n, window int, out, colormap, resume string) error {
+	var sub *wire.Subscription
+	var err error
+	if resume != "" {
+		cur, perr := wire.ParseCursor(resume)
+		if perr != nil {
+			return fmt.Errorf("bad -resume cursor: %w", perr)
+		}
+		sub, err = c.SubscribeResume(id, window, cur)
+	} else {
+		sub, err = c.SubscribeCursors(id, window)
+	}
 	if err != nil {
 		return err
 	}
 	defer sub.Close()
-	fmt.Printf("subscribed to query %d (out band %s, window %d)\n", id, sub.Info.Band, window)
+	fmt.Printf("subscribed to query %d (out band %s, window %d, resume %v)\n",
+		id, sub.Info.Band, window, sub.Resumed())
 
 	cm, err := raster.ColormapByName(colormap)
 	if err != nil {
@@ -175,16 +193,27 @@ func subscribe(c *dsms.Client, id int64, n, window int, out, colormap string) er
 	}
 	asm := raster.NewAssembler()
 	defer asm.Discard()
+	lastCursor := ""
+	printCursor := func() {
+		if cur, ok := sub.LastCursor(); ok {
+			if s := cur.String(); s != lastCursor {
+				fmt.Printf("cursor: %s\n", s)
+				lastCursor = s
+			}
+		}
+	}
 	got := 0
 	for got < n {
 		ch, err := sub.Next()
 		if err == io.EOF {
+			printCursor()
 			fmt.Println("server ended the stream")
 			return nil
 		}
 		if err != nil {
 			return err
 		}
+		printCursor()
 		if ch.Kind == stream.KindPoints {
 			for _, pv := range ch.Points {
 				fmt.Printf("t=%d  (%.4f, %.4f)  value=%g\n", pv.P.T, pv.P.S.X, pv.P.S.Y, pv.V)

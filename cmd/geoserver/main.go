@@ -9,6 +9,7 @@
 //	          [-sectors 0] [-interval 2s] [-seed 42]
 //	          [-max-queries 0] [-drain-timeout 10s] [-share] [-cascade]
 //	          [-ingest :9090] [-local=false]
+//	          [-store-dir /var/lib/geostreams] [-history 4096]
 //	          [-trace-sample 64] [-frame-age-slo 0]
 //	          [-log-format text|json] [-log-level info] [-debug]
 //
@@ -31,8 +32,15 @@
 // full span timeline, visible at GET /queries/{id}/trace; punctuation is
 // always traced). -frame-age-slo sets an ingest-to-delivery freshness
 // budget: delivered data chunks older than it burn the per-query
-// geostreams_frame_age_slo_burn_total counter. -debug mounts
-// net/http/pprof under /debug/pprof/. Try:
+// geostreams_frame_age_slo_burn_total counter. -store-dir mounts the
+// tiered historical chunk store (§14): every routed chunk is durably
+// sequenced into a per-band in-memory ring that spills to an on-disk
+// segment log, temporal restrictions over the past execute as store
+// scans spliced into live, and push subscribers may redial with
+// ?resume=<cursor>. -history sizes the ring in chunks per band; with
+// -history alone (no -store-dir) the store is memory-only — resume
+// works across the ring's retention, nothing survives a restart.
+// -debug mounts net/http/pprof under /debug/pprof/. Try:
 //
 //	curl localhost:8080/catalog
 //	curl -s localhost:8080/explain --get --data-urlencode \
@@ -62,6 +70,7 @@ import (
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
 	"geostreams/internal/sat"
+	"geostreams/internal/store"
 	"geostreams/internal/stream"
 )
 
@@ -112,6 +121,10 @@ func main() {
 		"chunk-trace sampling interval: 1 in N data chunks (0 = library default; negative disables data tracing)")
 	frameAgeSLO := flag.Duration("frame-age-slo", 0,
 		"ingest-to-delivery freshness budget; delivered chunks older than this burn the SLO counter (0 = no SLO)")
+	storeDir := flag.String("store-dir", "",
+		"directory for the historical store's segment logs (empty = no disk tier)")
+	history := flag.Int("history", 0,
+		"historical ring size in chunks per band (0 = store disabled unless -store-dir is set; low values clamp up to the ring floor)")
 	flag.Parse()
 
 	if *parallelism > 0 {
@@ -150,6 +163,23 @@ func main() {
 		srv.SetTraceInterval(*traceSample)
 	}
 	srv.SetFrameAgeSLO(*frameAgeSLO)
+	// The store mounts before any source: AddSource attaches each band's
+	// history at mount time, so a band that exists before the store would
+	// never be sequenced.
+	var hist *store.Store
+	if *storeDir != "" || *history > 0 {
+		hist, err = store.Open(store.Options{
+			Dir:        *storeDir,
+			RingChunks: *history,
+			Logger:     logger.With("component", "store"),
+		})
+		if err != nil {
+			fatal("historical store: %v", err)
+		}
+		srv.SetStore(hist)
+		logger.Info("historical store mounted",
+			"dir", *storeDir, "ring_chunks", *history)
+	}
 	bands := []string{"vis", "nir", "ir"}
 	if *local {
 		scene := sat.DefaultScene(*seed)
@@ -198,6 +228,13 @@ func main() {
 		// for pipelines), then close the HTTP listener.
 		if err := srv.Shutdown(drainCtx); err != nil {
 			logger.Warn("drain incomplete, pipelines cancelled", "error", err.Error())
+		}
+		if hist != nil {
+			// After the drain: every routed chunk has been appended, so the
+			// close flushes and fsyncs complete segments.
+			if err := hist.Close(); err != nil {
+				logger.Warn("historical store close", "error", err.Error())
+			}
 		}
 		httpSrv.Shutdown(drainCtx) //nolint:errcheck
 	}()

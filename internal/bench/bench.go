@@ -120,6 +120,7 @@ func All() []Experiment {
 		{"E-S1-distinct", "shared spatial-restriction routing: N distinct crop rects", ESDistinct},
 		{"E-N1", "networked GSP ingest/egress vs in-process", EN1Networked},
 		{"E-O1", "chunk tracing overhead on the operator hot path", EO1TraceOverhead},
+		{"E-H1", "historical store replay throughput vs live, per tier", EH1Replay},
 	}
 }
 

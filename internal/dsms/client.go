@@ -187,6 +187,28 @@ func (c *Client) Series(id int64, from int) ([]SeriesPoint, int, error) {
 // window in chunks (wire.DefaultWindow if <= 0). The subscription owns
 // a dedicated TCP connection; the unary timeout does not apply.
 func (c *Client) Subscribe(id int64, window int) (*wire.Subscription, error) {
+	return c.subscribe(id, window, "")
+}
+
+// SubscribeCursors opens a push subscription with the resume extension:
+// the server emits a cursor frame after every sector boundary whose
+// input-band EOS records are stored (read it with Subscription.LastCursor),
+// giving the client a resume point for SubscribeResume. An old server
+// ignores the parameter and the subscription degrades to base frames.
+func (c *Client) SubscribeCursors(id int64, window int) (*wire.Subscription, error) {
+	return c.subscribe(id, window, "&cursors=1")
+}
+
+// SubscribeResume redials a push subscription from a resume cursor: the
+// server replays the query's output from the acknowledged sector boundary
+// (store replay spliced into live, exactly once) and keeps emitting
+// cursor frames. Fails with a 410-mapped error when the cursor has fallen
+// off the server's retention horizon.
+func (c *Client) SubscribeResume(id int64, window int, cur wire.Cursor) (*wire.Subscription, error) {
+	return c.subscribe(id, window, "&cursors=1&resume="+url.QueryEscape(cur.String()))
+}
+
+func (c *Client) subscribe(id int64, window int, extra string) (*wire.Subscription, error) {
 	u, err := url.Parse(c.BaseURL)
 	if err != nil {
 		return nil, err
@@ -211,7 +233,7 @@ func (c *Client) Subscribe(id int64, window int) (*wire.Subscription, error) {
 	// Always ask for the trace extension: a non-tracing (old) server
 	// ignores the parameter and its hello simply omits the trace flag, so
 	// the subscription falls back to base frames.
-	path := fmt.Sprintf("%s/queries/%d/stream?window=%d&trace=1", u.Path, id, window)
+	path := fmt.Sprintf("%s/queries/%d/stream?window=%d&trace=1%s", u.Path, id, window, extra)
 	req, err := http.NewRequest(http.MethodGet, path, nil)
 	if err != nil {
 		conn.Close()

@@ -84,6 +84,14 @@ type Registered struct {
 	series  *seriesBuffer
 	stopped chan struct{}
 	err     error
+
+	// shadows are the resume pipelines serving ?resume= subscribers (see
+	// splice.go). They deliberately outlive the primary pipeline's natural
+	// end — resume against a dead-but-stored band serves retained history
+	// to a clean EOS — and are cancelled on Deregister.
+	shadowMu      sync.Mutex
+	shadows       map[*stream.Group]struct{}
+	shadowsClosed bool
 }
 
 // deliveryStats instruments the final stage of a query: what actually

@@ -14,6 +14,7 @@ import (
 	"geostreams/internal/exec"
 	"geostreams/internal/query"
 	"geostreams/internal/share"
+	"geostreams/internal/store"
 	"geostreams/internal/wire"
 )
 
@@ -349,6 +350,9 @@ type ServerStats struct {
 	// Ingest reports the GSP feed listener's telemetry; present only
 	// when the server is serving wire ingest.
 	Ingest *IngestStats `json:"ingest,omitempty"`
+	// Store reports per-band historical store telemetry; present only
+	// when a store is mounted (-store-dir).
+	Store []store.BandSnapshot `json:"store,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"geostreams/internal/geom"
 	"geostreams/internal/obs"
 	"geostreams/internal/obs/trace"
+	"geostreams/internal/store"
 	"geostreams/internal/stream"
 )
 
@@ -82,6 +83,13 @@ type hub struct {
 
 	// log receives slow-consumer shed and routing events; nil-safe.
 	log *obs.Logger
+
+	// hist is the band's tiered historical store (nil when the server runs
+	// without one). route appends every chunk here before any subscriber
+	// can observe it, which assigns the chunk's durable (band, seq)
+	// cursor; consume is the single goroutine calling route, so the
+	// append-then-route order is a happens-before edge.
+	hist *store.Band
 }
 
 // minSubBuffer is the floor on each subscriber's pending data-chunk
@@ -232,6 +240,11 @@ func (h *hub) closeAll() {
 	}
 	h.mu.Unlock()
 	h.state.Store(int32(hubDead))
+	if h.hist != nil {
+		// The live stream is over for good: store tails must serve the
+		// remaining history and then end cleanly instead of waiting.
+		h.hist.SealLive()
+	}
 	for _, s := range subs {
 		s.finish()
 	}
@@ -283,6 +296,12 @@ func (h *hub) route(c *stream.Chunk) {
 					begin, time.Since(begin), tT, punct)
 			}()
 		}
+	}
+	// Durably sequence the chunk before any routing: once a subscriber
+	// can observe it, the store can replay it, so a resume cursor never
+	// names a chunk the store missed.
+	if h.hist != nil {
+		h.hist.Append(c)
 	}
 	h.mu.Lock()
 	var targets []*subscriber

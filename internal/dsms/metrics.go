@@ -16,6 +16,7 @@ import (
 //	geostreams_uptime_seconds / geostreams_queries      server-level gauges
 //	geostreams_hub_*{band=...}                          per-band routing
 //	geostreams_hub_chunk_age_seconds{band=...}          ingest→hub freshness
+//	geostreams_store_*{band=...}                        historical chunk store
 //	geostreams_operator_*{query=,op=,pos=}              per-operator counters
 //	geostreams_operator_latency_seconds{...}            per-chunk processing
 //	geostreams_operator_chunk_age_seconds{...}          ingest→operator age
@@ -158,6 +159,57 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Histogram("geostreams_hub_chunk_age_seconds",
 			"Seconds from instrument ingest to hub routing, per data chunk.",
 			h.age.Snapshot(), band)
+	}
+
+	if h := s.histStore(); h != nil {
+		for _, bs := range h.Snapshot() {
+			band := obs.L("band", bs.Band)
+			e.Gauge("geostreams_store_last_seq",
+				"Highest durable per-band store sequence number.",
+				float64(bs.LastSeq), band)
+			e.Gauge("geostreams_store_oldest_seq",
+				"Oldest store sequence still retained (0 = empty band).",
+				float64(bs.OldestSeq), band)
+			e.Gauge("geostreams_store_ring_chunks",
+				"Chunks held in the in-memory history ring.",
+				float64(bs.RingChunks), band)
+			e.Gauge("geostreams_store_ring_bytes",
+				"Encoded bytes held in the in-memory history ring.",
+				float64(bs.RingBytes), band)
+			e.Gauge("geostreams_store_segments",
+				"On-disk segment-log files for this band.",
+				float64(bs.Segments), band)
+			e.Gauge("geostreams_store_disk_bytes",
+				"Bytes in the band's on-disk segment log.",
+				float64(bs.DiskBytes), band)
+			e.Gauge("geostreams_store_live_tails",
+				"Replay tails currently attached to the live feed.",
+				float64(bs.Tails), band)
+			e.Counter("geostreams_store_appended_chunks_total",
+				"Chunks durably sequenced into the band's store.",
+				float64(bs.Appended), band)
+			e.Counter("geostreams_store_delta_chunks_total",
+				"Ring entries stored delta-encoded against the previous frame.",
+				float64(bs.DeltaChunks), band)
+			e.Counter("geostreams_store_raw_chunks_total",
+				"Ring entries stored raw (keyframes and low-correlation frames).",
+				float64(bs.RawChunks), band)
+			e.Counter("geostreams_store_evicted_chunks_total",
+				"Chunks evicted from the in-memory ring to bound it.",
+				float64(bs.Evicted), band)
+			e.Counter("geostreams_store_replayed_chunks_total",
+				"Chunks served from history to replay tails.",
+				float64(bs.Replayed), band)
+			e.Counter("geostreams_store_tail_lags_total",
+				"Live tails detached for lagging and re-based onto store replay.",
+				float64(bs.TailLags), band)
+			e.Counter("geostreams_store_truncated_resumes_total",
+				"Replays refused because the cursor fell below the eviction horizon.",
+				float64(bs.Truncated), band)
+			e.Counter("geostreams_store_disk_errors_total",
+				"Segment-log write failures (the ring kept serving).",
+				float64(bs.DiskErrors), band)
+		}
 	}
 
 	for _, r := range queries {

@@ -1,0 +1,405 @@
+package dsms
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/store"
+	"geostreams/internal/stream"
+	"geostreams/internal/wire"
+)
+
+// End-to-end tests for GSP resume cursors (DESIGN.md §14): a subscriber
+// that dies after the k-th sector boundary and redials with its last
+// cursor must observe, across both connections, the byte-identical chunk
+// sequence an uninterrupted subscriber received — exactly once, no gap,
+// no duplicate.
+
+// encodedStream folds received chunks into a canonical re-encoded byte
+// sequence (base chunk frames, no trace extension, so run-to-run trace
+// IDs cannot perturb the comparison), releasing each chunk as it goes so
+// pooled-buffer accounting stays flat for the leak checks.
+type encodedStream struct {
+	buf  bytes.Buffer
+	w    *wire.Writer
+	eos  []geom.Timestamp
+	data int
+}
+
+func newEncodedStream() *encodedStream {
+	es := &encodedStream{}
+	es.w = wire.NewWriter(&es.buf)
+	return es
+}
+
+func (es *encodedStream) add(t *testing.T, c *stream.Chunk) {
+	t.Helper()
+	if c.Kind == stream.KindEndOfSector {
+		es.eos = append(es.eos, c.T)
+	} else {
+		es.data++
+	}
+	if err := es.w.Chunk(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+}
+
+// readToEOF drains a subscription into es, failing on anything but a
+// clean bye.
+func readToEOF(t *testing.T, sub *wire.Subscription, es *encodedStream) {
+	t.Helper()
+	for {
+		c, err := sub.Next()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("subscription read: %v", err)
+		}
+		es.add(t, c)
+	}
+}
+
+// zeroCursor is "resume from the very beginning" for a single-band plan.
+func zeroCursor(band string) wire.Cursor {
+	return wire.Cursor{Sector: 0, Bands: []wire.BandSeq{{Band: band, Seq: 0}}}
+}
+
+// TestWireResumeBitIdentical is the kill-and-resume acceptance path: two
+// identical queries run; one subscriber reads to the end uninterrupted,
+// the other is killed right after the 2nd sector's cursor frame and
+// redials with ?resume=<cursor>. The concatenation of the killed
+// subscriber's pre-kill chunks and the resumed chunks must re-encode to
+// the exact byte sequence the uninterrupted subscriber produced.
+func TestWireResumeBitIdentical(t *testing.T) {
+	const q = "rselect(scale(vis, 2, 0), rect(-121.7, 36.3, -120.3, 37.7))"
+	const sectors = 4
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close() //nolint:errcheck
+	s, stop := startOrgServer(t, sectors, stream.RowByRow, st)
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	regRef, err := s.Register(q, DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regKill, err := s.Register(q, DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subRef, err := c.SubscribeCursors(int64(regRef.ID), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subRef.Close() //nolint:errcheck
+	if !subRef.Resumed() {
+		t.Fatal("hello did not confirm the resume extension")
+	}
+	subKill, err := c.SubscribeCursors(int64(regKill.ID), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForSubscriber(t, regRef)
+	waitForSubscriber(t, regKill)
+	s.Start()
+
+	// Kill side first: read through the 2nd sector boundary, then one
+	// more chunk — that read consumes the boundary's cursor frame (it
+	// follows the EOS on the wire) and returns the first chunk of sector
+	// 3, which the killed client has NOT acknowledged and therefore
+	// discards: resume re-delivers it.
+	killed := newEncodedStream()
+	for len(killed.eos) < 2 {
+		ck, err := subKill.Next()
+		if err != nil {
+			t.Fatalf("pre-kill read: %v", err)
+		}
+		killed.add(t, ck)
+	}
+	over, err := subKill.Next()
+	if err != nil {
+		t.Fatalf("read past 2nd boundary: %v", err)
+	}
+	over.Release()
+	cur, ok := subKill.LastCursor()
+	if !ok {
+		t.Fatal("no cursor frame received by the 2nd sector boundary")
+	}
+	if cur.Sector != int64(killed.eos[1]) {
+		t.Fatalf("last cursor names sector %d, want %d", cur.Sector, int64(killed.eos[1]))
+	}
+	subKill.Close() //nolint:errcheck
+	if ws := regKill.WireStats(); ws.DroppedChunks != 0 {
+		t.Fatalf("pre-kill subscriber lost %d chunks to backpressure", ws.DroppedChunks)
+	}
+
+	// Reference: uninterrupted to the clean end.
+	ref := newEncodedStream()
+	readToEOF(t, subRef, ref)
+	if len(ref.eos) != sectors || ref.data == 0 {
+		t.Fatalf("reference stream: %d boundaries (%d data chunks), want %d", len(ref.eos), ref.data, sectors)
+	}
+
+	// Resume from the acknowledged boundary and read to the clean end.
+	subRes, err := c.SubscribeResume(int64(regKill.ID), 256, cur)
+	if err != nil {
+		t.Fatalf("resume subscribe: %v", err)
+	}
+	defer subRes.Close() //nolint:errcheck
+	if !subRes.Resumed() {
+		t.Fatal("resume hello did not confirm the resume extension")
+	}
+	preData := killed.data
+	readToEOF(t, subRes, killed)
+	if killed.data == preData {
+		t.Fatal("resume delivered no data chunks")
+	}
+
+	if len(killed.eos) != sectors {
+		t.Fatalf("killed+resumed stream saw %d boundaries, want %d: %v", len(killed.eos), sectors, killed.eos)
+	}
+	if !bytes.Equal(killed.buf.Bytes(), ref.buf.Bytes()) {
+		t.Fatalf("killed+resumed chunk sequence (%d data, eos %v) is not byte-identical to the uninterrupted one (%d data, eos %v)",
+			killed.data, killed.eos, ref.data, ref.eos)
+	}
+}
+
+// TestWireResumeFlappingChaos flaps a resumable subscriber sector by
+// sector: every segment reads one boundary, latches its cursor, drops
+// the connection, and redials with ?resume. Across all segments the
+// delivered sequence must be byte-identical to an uninterrupted read —
+// each sector exactly once — and the churn must leak neither goroutines
+// nor pooled chunk buffers.
+func TestWireResumeFlappingChaos(t *testing.T) {
+	const q = "vis"
+	const sectors = 6
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close() //nolint:errcheck
+	s, stop := startOrgServer(t, sectors, stream.RowByRow, st)
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	reg, err := s.Register(q, DeliveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	select {
+	case <-reg.stopped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query pipeline never finished")
+	}
+	waitStoreSealed(t, st, "vis")
+
+	goroutineBase := runtime.NumGoroutine()
+	pooledBase := stream.PooledLive()
+
+	// Reference: one uninterrupted replay of the full retained history.
+	ref := newEncodedStream()
+	subRef, err := c.SubscribeResume(int64(reg.ID), 256, zeroCursor("vis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readToEOF(t, subRef, ref)
+	subRef.Close() //nolint:errcheck
+	if len(ref.eos) != sectors || ref.data == 0 {
+		t.Fatalf("reference replay: %d boundaries (%d data chunks), want %d", len(ref.eos), ref.data, sectors)
+	}
+
+	// Flap loop: each non-final segment keeps exactly one sector (up to
+	// and including its EOS), reads one chunk past the boundary to latch
+	// the cursor frame, discards that unacknowledged chunk, and drops the
+	// connection. The final segment ends in the server's clean bye.
+	got := newEncodedStream()
+	cur := zeroCursor("vis")
+	for segment := 0; ; segment++ {
+		if segment > 4*sectors {
+			t.Fatalf("flap loop did not converge: %d segments for %d sectors", segment, sectors)
+		}
+		sub, err := c.SubscribeResume(int64(reg.ID), 64, cur)
+		if err != nil {
+			t.Fatalf("segment %d: resume subscribe: %v", segment, err)
+		}
+		final := false
+		for {
+			ck, err := sub.Next()
+			if errors.Is(err, io.EOF) {
+				final = true
+				break
+			}
+			if err != nil {
+				t.Fatalf("segment %d: read: %v", segment, err)
+			}
+			got.add(t, ck)
+			if ck.Kind == stream.KindEndOfSector {
+				over, err := sub.Next()
+				if errors.Is(err, io.EOF) {
+					final = true
+					break
+				}
+				if err != nil {
+					t.Fatalf("segment %d: read past boundary: %v", segment, err)
+				}
+				over.Release()
+				break
+			}
+		}
+		if !final {
+			next, ok := sub.LastCursor()
+			if !ok {
+				t.Fatalf("segment %d: no cursor latched at the boundary", segment)
+			}
+			cur = next
+		}
+		sub.Close() //nolint:errcheck
+		if final {
+			break
+		}
+	}
+
+	if len(got.eos) != sectors {
+		t.Fatalf("flapped subscriber saw boundaries %v, want each of %d sectors exactly once", got.eos, sectors)
+	}
+	for i, sec := range got.eos {
+		if sec != ref.eos[i] {
+			t.Fatalf("boundary %d: flapped saw sector %d, reference saw %d (dup or gap)", i, int64(sec), int64(ref.eos[i]))
+		}
+	}
+	if !bytes.Equal(got.buf.Bytes(), ref.buf.Bytes()) {
+		t.Fatalf("flapped sequence (%d data chunks) is not byte-identical to uninterrupted replay (%d data chunks)",
+			got.data, ref.data)
+	}
+
+	// Churn audit: every shadow pipeline, tail, and heartbeat goroutine
+	// from the flapped segments must wind down, and pooled-chunk
+	// accounting must return to its baseline — modulo the bounded residue
+	// cancellation teardown is allowed to abandon to the GC (a sender
+	// blocked into a stage channel at cancel time is unreachable to
+	// DrainReleasing; see its doc). The residue is a few chunks per run,
+	// NOT proportional to the flap count — growth here is a real leak.
+	const pooledSlack = 8
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if stream.PooledLive() <= pooledBase+pooledSlack && runtime.NumGoroutine() <= goroutineBase+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after flap churn: goroutines %d (base %d), pooled chunks %d (base %d, slack %d)",
+				runtime.NumGoroutine(), goroutineBase, stream.PooledLive(), pooledBase, pooledSlack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWireResumeDeadBand is the regression for resuming against a band
+// that has died but whose history is stored: the server must serve the
+// full retained history and then end with a clean bye — not an error,
+// not a hang. A cursor below the eviction horizon must instead be
+// refused up front with 410 Gone.
+func TestWireResumeDeadBand(t *testing.T) {
+	t.Run("serves-history-then-clean-eos", func(t *testing.T) {
+		const sectors = 3
+		st, err := store.Open(store.Options{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close() //nolint:errcheck
+		s, stop := startOrgServer(t, sectors, stream.RowByRow, st)
+		defer stop()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		c := NewClient(ts.URL)
+
+		reg, err := s.Register("vis", DeliveryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		select {
+		case <-reg.stopped:
+		case <-time.After(30 * time.Second):
+			t.Fatal("query pipeline never finished")
+		}
+		waitStoreSealed(t, st, "vis")
+
+		sub, err := c.SubscribeResume(int64(reg.ID), 256, zeroCursor("vis"))
+		if err != nil {
+			t.Fatalf("resume against dead band refused: %v", err)
+		}
+		defer sub.Close() //nolint:errcheck
+		es := newEncodedStream()
+		readToEOF(t, sub, es)
+		if len(es.eos) != sectors || es.data == 0 {
+			t.Fatalf("dead-band replay delivered %d boundaries (%d data chunks), want %d",
+				len(es.eos), es.data, sectors)
+		}
+		cur, ok := sub.LastCursor()
+		if !ok || cur.Sector != int64(es.eos[sectors-1]) {
+			t.Fatalf("final cursor = %+v (ok=%v), want sector %d", cur, ok, int64(es.eos[sectors-1]))
+		}
+	})
+
+	t.Run("evicted-cursor-gets-410", func(t *testing.T) {
+		// Memory-only store (no segment log): eviction from the ring —
+		// which clamps to its 128-chunk floor, under the 168 records 8
+		// row-by-row sectors append to vis — truly discards history, so a
+		// from-the-beginning cursor points below the retention horizon.
+		const sectors = 8
+		st, err := store.Open(store.Options{RingChunks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close() //nolint:errcheck
+		s, stop := startOrgServer(t, sectors, stream.RowByRow, st)
+		defer stop()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		c := NewClient(ts.URL)
+
+		reg, err := s.Register("vis", DeliveryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		select {
+		case <-reg.stopped:
+		case <-time.After(30 * time.Second):
+			t.Fatal("query pipeline never finished")
+		}
+		waitStoreSealed(t, st, "vis")
+		b, ok := st.Lookup("vis")
+		if !ok || b.Snapshot().Evicted == 0 {
+			t.Fatal("ring never evicted; the horizon is not exercised")
+		}
+		if oldest := b.OldestSeq(); oldest <= 1 {
+			t.Fatalf("memory-only store retained the full history (oldest seq %d)", oldest)
+		}
+
+		_, err = c.SubscribeResume(int64(reg.ID), 256, zeroCursor("vis"))
+		if err == nil {
+			t.Fatal("resume below the eviction horizon succeeded, want 410 Gone")
+		}
+		if !strings.Contains(err.Error(), "410") {
+			t.Fatalf("resume below the eviction horizon failed with %v, want 410 Gone", err)
+		}
+	})
+}

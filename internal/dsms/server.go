@@ -16,6 +16,7 @@ import (
 	"geostreams/internal/obs/trace"
 	"geostreams/internal/query"
 	"geostreams/internal/share"
+	"geostreams/internal/store"
 	"geostreams/internal/stream"
 )
 
@@ -73,6 +74,13 @@ type Server struct {
 	// operator panic, and registrations rejected by admission control.
 	panics   atomic.Int64
 	rejected atomic.Int64
+
+	// hist, when non-nil, is the tiered historical chunk store: every hub
+	// mounts its band at AddSource time and durably sequences each routed
+	// chunk, temporal restrictions over the past execute as store scans
+	// spliced into live, and push subscribers can resume from a cursor.
+	// Set with SetStore before AddSource; nil keeps the server live-only.
+	hist *store.Store
 
 	// sharing, when non-nil, is the shared-trunk DAG queries mount onto
 	// instead of building private duplicates of common subplans. Enabled
@@ -178,6 +186,25 @@ func (s *Server) SetMaxQueries(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.maxQueries = n
+}
+
+// SetStore mounts a tiered historical chunk store. Every band attached
+// after this call durably sequences its routed chunks through the store
+// (bounded delta-encoded ring spilling to an on-disk segment log); plans
+// with temporal restrictions over the past execute as store scans spliced
+// into live delivery; push subscribers gain ?cursors=1/?resume=<cursor>
+// on GET /queries/{id}/stream. Call before AddSource — bands attached
+// earlier stay live-only.
+func (s *Server) SetStore(st *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist = st
+}
+
+func (s *Server) histStore() *store.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist
 }
 
 // Registry exposes the server's metric registry so embedders can add their
@@ -292,6 +319,13 @@ func (s *Server) AddSourceSpec(spec SourceSpec) error {
 		return err
 	}
 	h := newHub(spec.Stream.Info, s.log, s.tracer)
+	if s.hist != nil {
+		b, err := s.hist.Band(band)
+		if err != nil {
+			return fmt.Errorf("dsms: mounting store for band %q: %w", band, err)
+		}
+		h.hist = b
+	}
 	s.hubs[band] = h
 	s.catalog[band] = spec.Stream.Info
 	s.log.Info("source attached", "band", band,
@@ -425,10 +459,28 @@ func (s *Server) Explain(text string) (string, error) {
 		return "", err
 	}
 	// With sharing enabled, mark the operators that would run on shared
-	// trunks with the digest of the trunk they mount under.
+	// trunks with the digest of the trunk they mount under; with a
+	// historical store mounted, mark temporal restrictions that lower to
+	// store scans with [store].
 	var annotate func(query.Node) string
+	var shareAnn func(query.Node) string
 	if m := s.sharingManager(); m != nil {
-		annotate = shareAnnotator(fused, m)
+		shareAnn = shareAnnotator(fused, m)
+	}
+	if storeOn := s.histStore() != nil; storeOn || shareAnn != nil {
+		annotate = func(n query.Node) string {
+			var tag string
+			if shareAnn != nil {
+				tag = shareAnn(n)
+			}
+			if _, ok := n.(*query.RestrictT); ok && storeOn {
+				if tag != "" {
+					tag += " "
+				}
+				tag += "[store]"
+			}
+			return tag
+		}
 	}
 	optimized, err := query.ExplainAnnotated(fused, catalog, annotate)
 	if err != nil {
@@ -507,8 +559,28 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		detach     func()
 		subscribed []string
 		shared     []string
+		storeScan  bool
 	)
-	if sharing != nil {
+	// Temporal restriction over the past: with a store mounted, the plan
+	// reads spliced sources — retained history replayed from the first
+	// sector the restriction can reference, handed off to live at the
+	// cursor boundary. Bypasses sharing: a historical scan is positional
+	// (per-query cursor), not a common live trunk.
+	if histStart, histScan := query.HistoryStart(opt); histScan {
+		if specs, ok := s.spliceSpecs(opt, histStart); ok {
+			storeScan = true
+			var sources map[string]*stream.Stream
+			sources, detach = spliceStreams(qg, specs)
+			out, stats, err = query.Build(qg, opt, sources)
+			if err != nil {
+				detach()
+				return nil, err
+			}
+		}
+	}
+	if storeScan {
+		// Built above over spliced store sources.
+	} else if sharing != nil {
 		// Shared execution: mount the plan's shareable frontier onto the
 		// trunk DAG and build only the private suffix. Sources feed the
 		// trunks; this query holds no hub subscriptions of its own.
@@ -593,7 +665,7 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 	release()
 	log.Info("query registered", "query", int64(id), "plan", query.Format(opt),
 		"bands", len(subscribed), "operators", len(stats),
-		"shared_trunks", len(shared))
+		"shared_trunks", len(shared), "store_scan", storeScan)
 
 	// Delivery stage: assemble, encode, enqueue.
 	qg.Go(func(ctx context.Context) error { return r.deliver(ctx, out) })
@@ -633,9 +705,12 @@ func (s *Server) Deregister(id cascade.QueryID) error {
 		return fmt.Errorf("dsms: no query %d", id)
 	}
 	s.logger().Info("query deregistered", "query", int64(id))
-	// Detaching closes the query's input streams (hub subscriptions or
-	// shared-trunk taps), so the pipeline ends and the wait below returns.
+	// Detaching closes the query's input streams (hub subscriptions,
+	// shared-trunk taps, or store tails), so the pipeline ends and the
+	// wait below returns. Resume shadows are torn down here too — they
+	// survive the primary pipeline's natural end, but not deregistration.
 	r.detach()
+	r.closeShadows()
 	<-r.stopped
 	// The query is gone from every surface; drop its span ring. (A query
 	// whose pipeline merely ended stays inspectable via /trace until it is
@@ -709,6 +784,9 @@ func (s *Server) ServerStats() ServerStats {
 	}
 	if is := s.IngestStats(); is.Listening {
 		st.Ingest = &is
+	}
+	if h := s.histStore(); h != nil {
+		st.Store = h.Snapshot()
 	}
 	return st
 }

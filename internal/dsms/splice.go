@@ -1,0 +1,231 @@
+package dsms
+
+import (
+	"context"
+	"fmt"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/query"
+	"geostreams/internal/store"
+	"geostreams/internal/stream"
+	"geostreams/internal/wire"
+)
+
+// The splice layer: feeding a query pipeline from the historical store
+// instead of (strictly: ahead of) the live hubs. A spliced source replays
+// the band's retained history from a sequence cursor and hands off to the
+// live feed atomically inside store.Band.Tail, so the pipeline observes
+// the exact chunk sequence a subscriber attached from that point onward
+// would have seen — no gap, no duplicate. Two consumers use it:
+//
+//   - Register, when the plan carries a temporal restriction over the
+//     past (query.HistoryStart): G|T executes as a store scan spliced
+//     into live at the cursor boundary.
+//   - serveResume, when a push subscriber redials with ?resume=<cursor>:
+//     a shadow pipeline rebuilds the query over spliced sources starting
+//     at the client's last acknowledged sector boundary.
+
+// spliceSpec is one band's replay plan: which store band, from which
+// sequence cursor, filtered to which spatial interest.
+type spliceSpec struct {
+	band  string
+	info  stream.Info
+	rect  geom.Rect
+	hist  *store.Band
+	after uint64
+}
+
+// spliceStreams builds the per-band source streams for a spliced pipeline.
+// Data chunks are filtered by the plan's spatial interest exactly as hub
+// routing would filter them (punctuation always passes), so replayed
+// history and live delivery present one seamless sequence. The returned
+// detach closes every tail (idempotent, safe concurrently).
+func spliceStreams(qg *stream.Group, specs []spliceSpec) (map[string]*stream.Stream, func()) {
+	tails := make([]*store.Tail, 0, len(specs))
+	sources := make(map[string]*stream.Stream, len(specs))
+	for _, sp := range specs {
+		sp := sp
+		tl := sp.hist.Tail(sp.after)
+		tails = append(tails, tl)
+		ch := make(chan *stream.Chunk, stream.DefaultBuffer)
+		qg.Go(func(ctx context.Context) error {
+			defer close(ch)
+			// Close stops the tail's reader, but items it already buffered
+			// stay in its channel; drain and release them so pooled chunks
+			// recycle when a pipeline is torn down mid-replay.
+			defer func() {
+				tl.Close()
+				for it := range tl.C() {
+					it.C.Release()
+				}
+			}()
+			for {
+				select {
+				case it, ok := <-tl.C():
+					if !ok {
+						if err := tl.Err(); err != nil {
+							return fmt.Errorf("store replay %q: %w", sp.band, err)
+						}
+						// Band sealed and history exhausted: a clean end,
+						// same as the live band dying.
+						return nil
+					}
+					c := it.C
+					if c.IsData() && !c.Bounds().Intersects(sp.rect) {
+						c.Release()
+						continue
+					}
+					if err := stream.Send(ctx, ch, c); err != nil {
+						c.Release()
+						return nil
+					}
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		})
+		sources[sp.band] = &stream.Stream{Info: sp.info, C: ch}
+	}
+	detach := func() {
+		for _, tl := range tails {
+			tl.Close()
+		}
+	}
+	return sources, detach
+}
+
+// spliceSpecs resolves the store bands and replay cursors for a plan whose
+// temporal restrictions reach back to start. ok is false when the server
+// has no store or a band read by the plan has no mounted history — the
+// caller falls back to pure live execution.
+func (s *Server) spliceSpecs(plan query.Node, start geom.Timestamp) ([]spliceSpec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return nil, false
+	}
+	interests := query.Interests(plan)
+	specs := make([]spliceSpec, 0, len(interests))
+	for band, rect := range interests {
+		h, ok := s.hubs[band]
+		if !ok || h.hist == nil {
+			return nil, false
+		}
+		after := h.hist.SeqBefore(int64(start))
+		// Restriction scans are best-effort over retained history: when the
+		// restriction reaches past the eviction horizon, replay what is
+		// still held rather than failing the query.
+		if oldest := h.hist.OldestSeq(); oldest > 0 && after+1 < oldest {
+			after = oldest - 1
+		}
+		specs = append(specs, spliceSpec{
+			band: band, info: h.info, rect: rect, hist: h.hist, after: after,
+		})
+	}
+	return specs, true
+}
+
+// resumeSpecs resolves the replay plan for a push subscriber redialing
+// with a cursor. Unlike restriction scans this is exactly-once territory:
+// a cursor pointing below a band's eviction horizon is refused (the
+// caller maps errCursorGone to 410) instead of silently re-basing.
+func (s *Server) resumeSpecs(reg *Registered, cur wire.Cursor) ([]spliceSpec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return nil, fmt.Errorf("historical store not enabled (-store-dir)")
+	}
+	interests := query.Interests(reg.Plan)
+	specs := make([]spliceSpec, 0, len(interests))
+	for band, rect := range interests {
+		h, ok := s.hubs[band]
+		if !ok || h.hist == nil {
+			return nil, fmt.Errorf("band %q has no mounted history", band)
+		}
+		after := cur.Seq(band)
+		if !h.hist.Resumable(after) {
+			return nil, errCursorGone{band: band, seq: after, oldest: h.hist.OldestSeq()}
+		}
+		specs = append(specs, spliceSpec{
+			band: band, info: h.info, rect: rect, hist: h.hist, after: after,
+		})
+	}
+	return specs, nil
+}
+
+// errCursorGone reports a resume cursor that points below a band's
+// eviction horizon; the HTTP layer maps it to 410 Gone so the client
+// knows a fresh (full-window) subscription is its only option.
+type errCursorGone struct {
+	band   string
+	seq    uint64
+	oldest uint64
+}
+
+func (e errCursorGone) Error() string {
+	return fmt.Sprintf("cursor %d for band %q evicted (oldest retained seq %d)",
+		e.seq, e.band, e.oldest)
+}
+
+// cursorAt assembles the resume cursor for the sector boundary at t: each
+// input band's EndOfSector record sequence for sector t. ok is false when
+// any band the plan reads lacks an EOS mark at t (no store mounted, or an
+// operator re-times sectors so output boundaries do not align with input
+// boundaries) — no cursor frame is emitted for that boundary.
+func (s *Server) cursorAt(reg *Registered, t int64) (wire.Cursor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return wire.Cursor{}, false
+	}
+	cur := wire.Cursor{Sector: t}
+	for band := range query.Interests(reg.Plan) {
+		h, ok := s.hubs[band]
+		if !ok || h.hist == nil {
+			return wire.Cursor{}, false
+		}
+		seq, ok := h.hist.CursorAt(t)
+		if !ok {
+			return wire.Cursor{}, false
+		}
+		cur.Bands = append(cur.Bands, wire.BandSeq{Band: band, Seq: seq})
+	}
+	return cur, true
+}
+
+// addShadow registers a resume pipeline with its query so Deregister can
+// tear it down; false means the query is already being deregistered.
+// Shadows deliberately outlive the primary pipeline's natural end: resume
+// against a dead-but-stored band serves retained history to a clean EOS.
+func (r *Registered) addShadow(qg *stream.Group) bool {
+	r.shadowMu.Lock()
+	defer r.shadowMu.Unlock()
+	if r.shadowsClosed {
+		return false
+	}
+	if r.shadows == nil {
+		r.shadows = make(map[*stream.Group]struct{})
+	}
+	r.shadows[qg] = struct{}{}
+	return true
+}
+
+func (r *Registered) removeShadow(qg *stream.Group) {
+	r.shadowMu.Lock()
+	defer r.shadowMu.Unlock()
+	delete(r.shadows, qg)
+}
+
+// closeShadows cancels every resume pipeline; further addShadow calls fail.
+func (r *Registered) closeShadows() {
+	r.shadowMu.Lock()
+	shadows := make([]*stream.Group, 0, len(r.shadows))
+	for qg := range r.shadows {
+		shadows = append(shadows, qg)
+	}
+	r.shadowsClosed = true
+	r.shadowMu.Unlock()
+	for _, qg := range shadows {
+		qg.Cancel()
+	}
+}

@@ -1,0 +1,33 @@
+package query
+
+import "geostreams/internal/geom"
+
+// HistoryStart reports whether the plan carries a temporal restriction
+// (any RestrictT node) and, if so, the earliest sector timestamp those
+// restrictions can reference. A server with a historical store uses this
+// to lower G|T over the past into a store scan from the first retained
+// sector >= start, spliced into the live stream; geom.EarliestStart
+// means "from the beginning of retained history".
+func HistoryStart(n Node) (start geom.Timestamp, restricted bool) {
+	start = geom.OpenEnd
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == nil {
+			return
+		}
+		if t, ok := n.(*RestrictT); ok {
+			restricted = true
+			if e := geom.EarliestTime(t.Times); e < start {
+				start = e
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	if !restricted {
+		return 0, false
+	}
+	return start, true
+}

@@ -1,0 +1,49 @@
+package query
+
+import (
+	"testing"
+
+	"geostreams/internal/geom"
+)
+
+func TestHistoryStart(t *testing.T) {
+	mustParse := func(s string) Node {
+		n, err := Parse(s, map[string]bool{"vis": true})
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return n
+	}
+	cases := []struct {
+		text       string
+		start      geom.Timestamp
+		restricted bool
+	}{
+		{"vis", 0, false},
+		{"tselect(vis, interval(3, 9))", 3, true},
+		{"tselect(vis, since(7))", 7, true},
+		{"tselect(vis, instants(5, 2, 11))", 2, true},
+		{"tselect(vis, alltime())", geom.EarliestStart, true},
+		{"tselect(vis, recurring(24, 6, 2))", geom.EarliestStart, true},
+		// Nested restrictions: the walk is conservative (min across all
+		// RestrictT nodes), never missing history a restriction needs.
+		{"tselect(tselect(vis, since(4)), instants(9))", 4, true},
+	}
+	for _, c := range cases {
+		start, restricted := HistoryStart(mustParse(c.text))
+		if restricted != c.restricted || (restricted && start != c.start) {
+			t.Errorf("HistoryStart(%q) = %d,%v want %d,%v",
+				c.text, start, restricted, c.start, c.restricted)
+		}
+	}
+}
+
+func TestEarliestTimeIntersect(t *testing.T) {
+	ts := geom.IntersectTime(geom.NewInterval(3, 99), geom.Since(10))
+	if e := geom.EarliestTime(ts); e != 10 {
+		t.Fatalf("intersect earliest = %d, want 10", e)
+	}
+	if e := geom.EarliestTime(geom.NewInstants()); e != geom.OpenEnd {
+		t.Fatalf("empty instants earliest = %d, want OpenEnd", e)
+	}
+}

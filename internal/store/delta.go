@@ -1,0 +1,67 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The ring tier's compact recent-history encoding, after Cruces et al.'s
+// compact raster time series: consecutive frames of a band are highly
+// correlated, so a grid chunk is stored as the XOR of each value's IEEE
+// bits against the previous grid chunk's corresponding value, varint
+// encoded. Identical values cost one byte; near-identical values (same
+// sign, exponent, and leading mantissa) leave only low XOR bits and stay
+// short. A low-correlation frame whose delta encodes no smaller than the
+// raw form is stored raw instead — the fallback that keeps the worst
+// case bounded — and a raw keyframe is forced periodically so replay
+// decode chains stay short.
+//
+// A delta payload is:
+//
+//	raw wire chunk header + lattice (57 bytes, verbatim)
+//	n × uvarint(prev[i] XOR cur[i])
+//
+// The base is the previous *grid* entry in the same ring group, which
+// sequential group decode reconstructs; non-grid chunks (points,
+// end-of-sector) are always raw.
+
+// deltaHdrLen is the verbatim prefix of a delta payload: the wire chunk
+// header (kind, t, ingest) plus the grid lattice.
+const deltaHdrLen = 1 + 8 + 8 + 4*8 + 2*4
+
+// appendDelta appends the delta encoding of a grid payload against a
+// base value slice. raw must be a wire grid encoding whose value count
+// equals len(base). The caller compares len(result) against len(raw) to
+// decide whether the delta is worth keeping.
+func appendDelta(dst, raw []byte, base []float64) []byte {
+	dst = append(dst, raw[:deltaHdrLen]...)
+	vals := raw[deltaHdrLen:]
+	for i := range base {
+		cur := binary.BigEndian.Uint64(vals[i*8:])
+		dst = binary.AppendUvarint(dst, cur^math.Float64bits(base[i]))
+	}
+	return dst
+}
+
+// decodeDelta reconstructs the raw wire grid payload from a delta
+// payload and its base values, appending to dst.
+func decodeDelta(dst, delta []byte, base []float64) ([]byte, error) {
+	if len(delta) < deltaHdrLen {
+		return nil, fmt.Errorf("store: delta payload truncated at %d bytes", len(delta))
+	}
+	dst = append(dst, delta[:deltaHdrLen]...)
+	rest := delta[deltaHdrLen:]
+	for i := range base {
+		x, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: delta varint %d/%d truncated", i, len(base))
+		}
+		rest = rest[n:]
+		dst = binary.BigEndian.AppendUint64(dst, x^math.Float64bits(base[i]))
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("store: delta payload has %d trailing bytes", len(rest))
+	}
+	return dst, nil
+}

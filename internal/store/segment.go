@@ -1,0 +1,536 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"geostreams/internal/wire"
+)
+
+// The on-disk tier: an append-only segment log per band. Each segment is
+// a file of self-delimiting records plus an index sidecar; the store
+// writes through to the active segment and fsyncs in batches (on segment
+// roll and on close), accepting a bounded torn tail on crash — recovery
+// scans the data file (the authority), truncates the tear, and rebuilds
+// the sidecar when it disagrees.
+//
+// Record layout (big-endian):
+//
+//	+--------------+---------+----------+------------------+-------+
+//	| magic "GSL1" | seq u64 | len u32  | payload          | crc32 |
+//	+--------------+---------+----------+------------------+-------+
+//
+// The CRC-32 (IEEE) covers seq, len, and payload. The payload is the
+// wire chunk encoding (bit-exact, see internal/wire), so payload[0] is
+// the chunk kind and payload[1:9] its timestamp — the index sidecar is
+// derivable from record headers alone. A scanner that observes a bad
+// magic or CRC resyncs to the next magic word, so one corrupted record
+// loses itself, not the segment.
+
+// segMagic is the record sync word: "GSL1" (GeoStreams Segment Log v1).
+var segMagic = [4]byte{'G', 'S', 'L', '1'}
+
+const (
+	recHdrLen     = 4 + 8 + 4 // magic + seq + len
+	recTrailerLen = 4         // crc32
+	// recMinPayload is the smallest valid chunk payload (the wire chunk
+	// header); anything shorter cannot be a record.
+	recMinPayload = 17
+	// recMaxPayload bounds what a corrupted length field can make the
+	// scanner skip or a reader allocate.
+	recMaxPayload = wire.MaxFrame
+)
+
+// Record is one scanned segment record.
+type Record struct {
+	Seq     uint64
+	T       int64 // chunk timestamp, from the payload header
+	Kind    byte  // wire chunk kind (0 grid, 1 points, 2 eos)
+	Payload []byte
+	Off     int64 // record start offset in the segment
+	End     int64 // offset just past the record's trailer
+}
+
+// AppendRecord appends the segment-record framing of one chunk payload
+// to dst. The payload must be a wire chunk encoding (>= 17 bytes).
+func AppendRecord(dst []byte, seq uint64, payload []byte) []byte {
+	dst = append(dst, segMagic[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.NewIEEE()
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	crc.Write(hdr[:])  //nolint:errcheck
+	crc.Write(payload) //nolint:errcheck
+	return binary.BigEndian.AppendUint32(dst, crc.Sum32())
+}
+
+// ScanStats reports what a segment scan had to repair.
+type ScanStats struct {
+	// Resyncs counts how many times the scanner lost framing and searched
+	// forward for the next magic word.
+	Resyncs int
+}
+
+// ScanRecords walks a segment image and returns every decodable record,
+// the offset just past the last good record (the truncation point for a
+// torn tail), and repair statistics. It never panics and never reads past
+// p: a bad magic, an oversized or undersized length, or a CRC mismatch
+// advances the scan to the next magic word.
+func ScanRecords(p []byte) ([]Record, int64, ScanStats) {
+	var (
+		recs  []Record
+		stats ScanStats
+		valid int64
+	)
+	off := 0
+	resyncing := false
+	for off+recHdrLen+recMinPayload+recTrailerLen <= len(p) {
+		if !bytes.Equal(p[off:off+4], segMagic[:]) {
+			if !resyncing {
+				stats.Resyncs++
+				resyncing = true
+			}
+			// Search for the next magic word.
+			i := bytes.Index(p[off+1:], segMagic[:])
+			if i < 0 {
+				return recs, valid, stats
+			}
+			off += 1 + i
+			continue
+		}
+		seq := binary.BigEndian.Uint64(p[off+4 : off+12])
+		plen := int(binary.BigEndian.Uint32(p[off+12 : off+16]))
+		if plen < recMinPayload || plen > recMaxPayload ||
+			off+recHdrLen+plen+recTrailerLen > len(p) {
+			// Bad or truncated length: this magic word was not a record
+			// start (or the record is torn at the tail).
+			if !resyncing {
+				stats.Resyncs++
+				resyncing = true
+			}
+			off++
+			continue
+		}
+		payload := p[off+recHdrLen : off+recHdrLen+plen]
+		want := binary.BigEndian.Uint32(p[off+recHdrLen+plen : off+recHdrLen+plen+4])
+		crc := crc32.NewIEEE()
+		crc.Write(p[off+4 : off+16]) //nolint:errcheck
+		crc.Write(payload)           //nolint:errcheck
+		if crc.Sum32() != want {
+			if !resyncing {
+				stats.Resyncs++
+				resyncing = true
+			}
+			off++
+			continue
+		}
+		end := int64(off + recHdrLen + plen + recTrailerLen)
+		recs = append(recs, Record{
+			Seq:     seq,
+			T:       int64(binary.BigEndian.Uint64(payload[1:9])),
+			Kind:    payload[0],
+			Payload: payload,
+			Off:     int64(off),
+			End:     end,
+		})
+		valid = end
+		off = int(end)
+		resyncing = false
+	}
+	return recs, valid, stats
+}
+
+// idxEntry is one in-memory (and sidecar) index entry: enough to locate
+// and classify a record without touching its payload.
+type idxEntry struct {
+	seq  uint64
+	off  int64
+	plen uint32
+	t    int64
+	kind byte
+}
+
+const idxEntryLen = 8 + 8 + 4 + 8 + 1
+
+func appendIdxEntry(dst []byte, e idxEntry) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, e.seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.off))
+	dst = binary.BigEndian.AppendUint32(dst, e.plen)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.t))
+	return append(dst, e.kind)
+}
+
+func decodeIdxEntries(p []byte) []idxEntry {
+	n := len(p) / idxEntryLen
+	out := make([]idxEntry, 0, n)
+	for i := 0; i < n; i++ {
+		o := p[i*idxEntryLen:]
+		out = append(out, idxEntry{
+			seq:  binary.BigEndian.Uint64(o[0:8]),
+			off:  int64(binary.BigEndian.Uint64(o[8:16])),
+			plen: binary.BigEndian.Uint32(o[16:20]),
+			t:    int64(binary.BigEndian.Uint64(o[20:28])),
+			kind: o[28],
+		})
+	}
+	return out
+}
+
+// segment is one on-disk log file plus its in-memory index.
+type segment struct {
+	path string
+	f    *os.File // O_RDWR: appends at the end, ReadAt for replay
+	idx  []idxEntry
+	size int64
+}
+
+func (s *segment) firstSeq() uint64 {
+	if len(s.idx) == 0 {
+		return 0
+	}
+	return s.idx[0].seq
+}
+
+func (s *segment) lastSeq() uint64 {
+	if len(s.idx) == 0 {
+		return 0
+	}
+	return s.idx[len(s.idx)-1].seq
+}
+
+// RecoveryStats reports what opening a band's segment directory found
+// and repaired.
+type RecoveryStats struct {
+	Segments   int   `json:"segments"`
+	Records    int64 `json:"records"`
+	TornBytes  int64 `json:"torn_bytes"`    // truncated off segment tails
+	RebuiltIdx int   `json:"rebuilt_index"` // sidecars rebuilt from a data scan
+	DupRecords int64 `json:"dup_records"`   // duplicate seqs skipped
+	GapRecords int64 `json:"gap_records"`   // seq gaps (missing records)
+	Resyncs    int64 `json:"resyncs"`       // mid-file framing recoveries
+}
+
+// segmentLog is a band's on-disk tier.
+type segmentLog struct {
+	dir     string
+	maxSeg  int64
+	wrap    func(io.Writer) io.Writer
+	segs    []*segment
+	w       io.Writer // active segment's (possibly wrapped) writer
+	scratch []byte
+	idxBuf  []byte
+	// sinceSync counts records written since the last fsync; Sync runs on
+	// roll and close (batched), not per record.
+	sinceSync int
+	recovery  RecoveryStats
+	failed    bool // a write failed: disk tier disabled, ring keeps serving
+}
+
+// openSegmentLog opens (or creates) a band's segment directory, running
+// recovery over any existing segments: each sidecar is verified against
+// its data file and rebuilt by a scan when it disagrees; the last
+// segment's torn tail (a crashed batched write) is truncated; duplicate
+// and missing sequence numbers across the whole log are counted.
+func openSegmentLog(dir string, maxSeg int64, wrap func(io.Writer) io.Writer) (*segmentLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &segmentLog{dir: dir, maxSeg: maxSeg, wrap: wrap}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		seg, err := l.openSegment(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", path, err)
+		}
+		l.segs = append(l.segs, seg)
+	}
+	// Order by first seq (lexical order matches the zero-padded names, but
+	// trust the contents) and audit the global sequence.
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstSeq() < l.segs[j].firstSeq() })
+	var prev uint64
+	for _, seg := range l.segs {
+		kept := seg.idx[:0]
+		for _, e := range seg.idx {
+			if prev != 0 && e.seq <= prev {
+				l.recovery.DupRecords++
+				continue
+			}
+			if prev != 0 && e.seq != prev+1 {
+				l.recovery.GapRecords += int64(e.seq - prev - 1)
+			}
+			prev = e.seq
+			kept = append(kept, e)
+		}
+		seg.idx = kept
+		l.recovery.Records += int64(len(seg.idx))
+	}
+	l.recovery.Segments = len(l.segs)
+	if n := len(l.segs); n > 0 {
+		l.w = l.wrapWriter(l.segs[n-1].f)
+	}
+	return l, nil
+}
+
+func (l *segmentLog) wrapWriter(f *os.File) io.Writer {
+	if l.wrap != nil {
+		return l.wrap(f)
+	}
+	return f
+}
+
+// openSegment opens one data file, validating its sidecar or rebuilding
+// it from a scan (which also truncates a torn tail).
+func (l *segmentLog) openSegment(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{path: path, f: f, size: st.Size()}
+	if idx, ok := l.loadSidecar(path, seg); ok {
+		seg.idx = idx
+		// Position the write offset at the end: reopening must append, and
+		// ReadAt-based replay reads never move it afterwards.
+		if _, err := f.Seek(seg.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return seg, nil
+	}
+	// Sidecar missing or inconsistent: the data file is the authority.
+	data := make([]byte, st.Size())
+	if _, err := io.ReadFull(f, data); err != nil && err != io.ErrUnexpectedEOF {
+		f.Close()
+		return nil, err
+	}
+	recs, valid, stats := ScanRecords(data)
+	l.recovery.Resyncs += int64(stats.Resyncs)
+	l.recovery.RebuiltIdx++
+	if valid < st.Size() {
+		l.recovery.TornBytes += st.Size() - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+		seg.size = valid
+	}
+	seg.idx = make([]idxEntry, 0, len(recs))
+	for _, r := range recs {
+		seg.idx = append(seg.idx, idxEntry{
+			seq: r.Seq, off: r.Off, plen: uint32(len(r.Payload)), t: r.T, kind: r.Kind,
+		})
+	}
+	if err := l.writeSidecar(seg); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(seg.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return seg, nil
+}
+
+// loadSidecar loads <path>.idx when it exactly covers the data file:
+// whole entries only, last entry's record ends at the file size, and the
+// last record's framing verifies on disk. Anything else fails the load
+// and recovery falls back to the authoritative data scan.
+func (l *segmentLog) loadSidecar(path string, seg *segment) ([]idxEntry, bool) {
+	raw, err := os.ReadFile(path + ".idx")
+	if err != nil || len(raw) == 0 || len(raw)%idxEntryLen != 0 {
+		return nil, false
+	}
+	idx := decodeIdxEntries(raw)
+	last := idx[len(idx)-1]
+	if last.off+recHdrLen+int64(last.plen)+recTrailerLen != seg.size {
+		return nil, false
+	}
+	// Spot-check the last record's magic + seq against the sidecar claim.
+	var hdr [recHdrLen]byte
+	if _, err := seg.f.ReadAt(hdr[:], last.off); err != nil {
+		return nil, false
+	}
+	if string(hdr[:4]) != string(segMagic[:]) ||
+		binary.BigEndian.Uint64(hdr[4:12]) != last.seq ||
+		binary.BigEndian.Uint32(hdr[12:16]) != last.plen {
+		return nil, false
+	}
+	return idx, true
+}
+
+func (l *segmentLog) writeSidecar(seg *segment) error {
+	buf := l.idxBuf[:0]
+	for _, e := range seg.idx {
+		buf = appendIdxEntry(buf, e)
+	}
+	l.idxBuf = buf
+	tmp := seg.path + ".idx.tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, seg.path+".idx")
+}
+
+// active returns the current append segment.
+func (l *segmentLog) active() *segment {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	return l.segs[len(l.segs)-1]
+}
+
+// append writes one raw chunk payload as a record to the active segment,
+// rolling to a new segment when the active one is full. The sidecar is
+// appended in step with the data file; neither is fsynced per record.
+func (l *segmentLog) append(seq uint64, t int64, kind byte, payload []byte) error {
+	if l.failed {
+		return nil
+	}
+	seg := l.active()
+	if seg == nil || seg.size >= l.maxSeg {
+		if err := l.roll(seq); err != nil {
+			l.failed = true
+			return err
+		}
+		seg = l.active()
+	}
+	l.scratch = AppendRecord(l.scratch[:0], seq, payload)
+	if _, err := l.w.Write(l.scratch); err != nil {
+		l.failed = true
+		return err
+	}
+	e := idxEntry{seq: seq, off: seg.size, plen: uint32(len(payload)), t: t, kind: kind}
+	seg.size += int64(len(l.scratch))
+	seg.idx = append(seg.idx, e)
+	l.sinceSync++
+	// Append the sidecar entry; a torn or stale sidecar is tolerated by
+	// recovery (the data file is the authority), so plain appends suffice.
+	if sf, err := os.OpenFile(seg.path+".idx", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		sf.Write(appendIdxEntry(l.idxBuf[:0], e)) //nolint:errcheck
+		sf.Close()
+	}
+	return nil
+}
+
+// roll fsyncs and seals the active segment and opens a new one whose
+// name carries its first sequence number.
+func (l *segmentLog) roll(firstSeq uint64) error {
+	if seg := l.active(); seg != nil {
+		seg.f.Sync() //nolint:errcheck // batched durability: best effort on roll
+		l.sinceSync = 0
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("seg-%020d.log", firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segs = append(l.segs, &segment{path: path, f: f})
+	l.w = l.wrapWriter(f)
+	return nil
+}
+
+// firstSeqOnDisk returns the oldest stored sequence (0 when empty).
+func (l *segmentLog) firstSeqOnDisk() uint64 {
+	for _, seg := range l.segs {
+		if len(seg.idx) > 0 {
+			return seg.firstSeq()
+		}
+	}
+	return 0
+}
+
+func (l *segmentLog) lastSeqOnDisk() uint64 {
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		if len(l.segs[i].idx) > 0 {
+			return l.segs[i].lastSeq()
+		}
+	}
+	return 0
+}
+
+// diskBytes sums segment file sizes.
+func (l *segmentLog) diskBytes() int64 {
+	var n int64
+	for _, seg := range l.segs {
+		n += seg.size
+	}
+	return n
+}
+
+// lookupAfter collects up to maxN index entries with seq > after,
+// together with the segment each lives in.
+func (l *segmentLog) lookupAfter(after uint64, maxN int) []diskRef {
+	var out []diskRef
+	for _, seg := range l.segs {
+		if len(seg.idx) == 0 || seg.lastSeq() <= after {
+			continue
+		}
+		// First entry with seq > after.
+		i := sort.Search(len(seg.idx), func(i int) bool { return seg.idx[i].seq > after })
+		for ; i < len(seg.idx) && len(out) < maxN; i++ {
+			out = append(out, diskRef{seg: seg, e: seg.idx[i]})
+		}
+		if len(out) >= maxN {
+			break
+		}
+	}
+	return out
+}
+
+// diskRef locates one record for a ReadAt outside the band lock.
+type diskRef struct {
+	seg *segment
+	e   idxEntry
+}
+
+// readPayload reads one record's payload, verifying its CRC.
+func (r diskRef) readPayload(buf []byte) ([]byte, error) {
+	n := recHdrLen + int(r.e.plen) + recTrailerLen
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.seg.f.ReadAt(buf, r.e.off); err != nil {
+		return nil, err
+	}
+	recs, _, _ := ScanRecords(buf)
+	if len(recs) != 1 || recs[0].Seq != r.e.seq {
+		return nil, fmt.Errorf("store: record seq %d at %s:%d failed verification",
+			r.e.seq, filepath.Base(r.seg.path), r.e.off)
+	}
+	return recs[0].Payload, nil
+}
+
+// sync flushes the active segment to stable storage.
+func (l *segmentLog) sync() {
+	if seg := l.active(); seg != nil && l.sinceSync > 0 {
+		seg.f.Sync() //nolint:errcheck
+		l.sinceSync = 0
+	}
+}
+
+// close fsyncs and closes every segment.
+func (l *segmentLog) close() {
+	l.sync()
+	for _, seg := range l.segs {
+		seg.f.Close() //nolint:errcheck
+	}
+	l.segs = nil
+}

@@ -295,6 +295,16 @@ type helloInfo struct {
 	// and ignore it on receipt, so negotiation degrades to the base
 	// protocol bit-identically.
 	Trace bool `json:"trace,omitempty"`
+	// Resume confirms the resume extension on an egress hello: the server
+	// will follow each end-of-sector chunk frame with a cursor frame (see
+	// cursor.go). Old peers never set it and ignore it on receipt.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// HelloFlags are the extension flags a hello payload negotiated.
+type HelloFlags struct {
+	Trace  bool
+	Resume bool
 }
 
 // Hello announces a stream's metadata as the connection's first frame.
@@ -303,12 +313,18 @@ func (w *Writer) Hello(info stream.Info) error { return w.HelloExt(info, false) 
 // HelloExt announces a stream's metadata, optionally offering the
 // chunk-frame trace extension.
 func (w *Writer) HelloExt(info stream.Info, trace bool) error {
+	return w.HelloFlags(info, HelloFlags{Trace: trace})
+}
+
+// HelloFlags announces a stream's metadata with the full extension flag
+// set (trace trailer, resume cursors).
+func (w *Writer) HelloFlags(info stream.Info, flags HelloFlags) error {
 	h := helloInfo{
 		Band: info.Band, CRS: info.CRS.Name(),
 		Org: info.Org.String(), Stamp: info.Stamp.String(),
 		HasSector: info.HasSectorMeta,
 		VMin:      info.VMin, VMax: info.VMax,
-		Trace: trace,
+		Trace: flags.Trace, Resume: flags.Resume,
 	}
 	if info.HasSectorMeta {
 		g := info.SectorGeom
@@ -352,21 +368,29 @@ func DecodeHello(p []byte) (stream.Info, error) {
 // ParseHello parses a hello frame payload back into stream metadata plus
 // the trace-extension flag.
 func ParseHello(p []byte) (stream.Info, bool, error) {
+	info, flags, err := ParseHelloFlags(p)
+	return info, flags.Trace, err
+}
+
+// ParseHelloFlags parses a hello frame payload back into stream metadata
+// plus the full extension flag set.
+func ParseHelloFlags(p []byte) (stream.Info, HelloFlags, error) {
 	var h helloInfo
 	if err := json.Unmarshal(p, &h); err != nil {
-		return stream.Info{}, false, fmt.Errorf("wire: bad hello payload: %w", err)
+		return stream.Info{}, HelloFlags{}, fmt.Errorf("wire: bad hello payload: %w", err)
 	}
+	flags := HelloFlags{Trace: h.Trace, Resume: h.Resume}
 	crs, err := coord.Parse(h.CRS)
 	if err != nil {
-		return stream.Info{}, false, fmt.Errorf("wire: hello: %w", err)
+		return stream.Info{}, HelloFlags{}, fmt.Errorf("wire: hello: %w", err)
 	}
 	org, err := parseOrganization(h.Org)
 	if err != nil {
-		return stream.Info{}, false, err
+		return stream.Info{}, HelloFlags{}, err
 	}
 	stamp, err := parseStamp(h.Stamp)
 	if err != nil {
-		return stream.Info{}, false, err
+		return stream.Info{}, HelloFlags{}, err
 	}
 	info := stream.Info{
 		Band: h.Band, CRS: crs, Org: org, Stamp: stamp,
@@ -376,9 +400,9 @@ func ParseHello(p []byte) (stream.Info, bool, error) {
 		info.SectorGeom = geom.Lattice{X0: h.X0, Y0: h.Y0, DX: h.DX, DY: h.DY, W: h.W, H: h.H}
 	}
 	if err := info.Validate(); err != nil {
-		return stream.Info{}, false, fmt.Errorf("wire: hello: %w", err)
+		return stream.Info{}, HelloFlags{}, fmt.Errorf("wire: hello: %w", err)
 	}
-	return info, h.Trace, nil
+	return info, flags, nil
 }
 
 func parseOrganization(s string) (stream.Organization, error) {

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Resume cursors. The historical chunk store (internal/store) sequences
+// every routed chunk with a monotonic per-band sequence number; a Cursor
+// names a consistent resume point across the bands a query reads: the
+// sector whose end-of-sector punctuation has been delivered, plus each
+// band's last delivered sequence number at that boundary. A subscriber
+// that reconnects with its last cursor replays seq+1.. from the store and
+// splices into the live stream exactly once — no gap, no duplicate.
+//
+// Cursors travel two ways:
+//
+//   - as cursor frames (FrameCursor) on a resume-negotiated egress
+//     connection, emitted by the server right after each end-of-sector
+//     chunk frame (the binary form below);
+//   - as the ?resume= query parameter of GET /queries/{id}/stream (the
+//     URL-safe text form, see Cursor.String / ParseCursor).
+//
+// Binary layout (big-endian):
+//
+//	u8  version (1)
+//	i64 sector          timestamp of the completed sector
+//	u16 nbands
+//	nbands × { u8 len | band name | u64 seq }
+//
+// Band entries are sorted by name so encoding is deterministic.
+
+// CursorVersion is the binary cursor encoding version.
+const CursorVersion = 1
+
+// maxCursorBands bounds how many band entries a decoded cursor may carry;
+// real queries read a handful of bands, and the bound keeps a corrupted
+// count from driving a large allocation.
+const maxCursorBands = 256
+
+// BandSeq is one band's position inside a Cursor.
+type BandSeq struct {
+	Band string
+	Seq  uint64
+}
+
+// Cursor is a consistent multi-band resume point: the last fully
+// delivered sector and each input band's store sequence number at that
+// sector's end.
+type Cursor struct {
+	Sector int64
+	Bands  []BandSeq
+}
+
+// Seq returns the cursor's sequence number for one band (0 when the band
+// is not present — resume from the beginning of that band's history).
+func (c Cursor) Seq(band string) uint64 {
+	for _, b := range c.Bands {
+		if b.Band == band {
+			return b.Seq
+		}
+	}
+	return 0
+}
+
+// normalize sorts band entries by name, making encodings deterministic.
+func (c *Cursor) normalize() {
+	sort.Slice(c.Bands, func(i, j int) bool { return c.Bands[i].Band < c.Bands[j].Band })
+}
+
+// AppendCursor appends the binary encoding of c to dst.
+func AppendCursor(dst []byte, c Cursor) ([]byte, error) {
+	cc := c
+	cc.Bands = append([]BandSeq(nil), c.Bands...)
+	cc.normalize()
+	if len(cc.Bands) > maxCursorBands {
+		return nil, fmt.Errorf("wire: cursor carries %d bands (max %d)", len(cc.Bands), maxCursorBands)
+	}
+	dst = append(dst, CursorVersion)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(cc.Sector))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(cc.Bands)))
+	for _, b := range cc.Bands {
+		if len(b.Band) == 0 || len(b.Band) > 255 {
+			return nil, fmt.Errorf("wire: cursor band name length %d out of 1..255", len(b.Band))
+		}
+		dst = append(dst, byte(len(b.Band)))
+		dst = append(dst, b.Band...)
+		dst = binary.BigEndian.AppendUint64(dst, b.Seq)
+	}
+	return dst, nil
+}
+
+// DecodeCursor parses a binary cursor payload. Every length is checked
+// before it is read, so a truncated or corrupted payload yields an error,
+// never a panic or an over-read.
+func DecodeCursor(p []byte) (Cursor, error) {
+	if len(p) < 1+8+2 {
+		return Cursor{}, fmt.Errorf("wire: cursor payload truncated at %d bytes", len(p))
+	}
+	if p[0] != CursorVersion {
+		return Cursor{}, fmt.Errorf("wire: unknown cursor version %d", p[0])
+	}
+	c := Cursor{Sector: int64(binary.BigEndian.Uint64(p[1:9]))}
+	n := int(binary.BigEndian.Uint16(p[9:11]))
+	if n > maxCursorBands {
+		return Cursor{}, fmt.Errorf("wire: cursor carries %d bands (max %d)", n, maxCursorBands)
+	}
+	rest := p[11:]
+	c.Bands = make([]BandSeq, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 1 {
+			return Cursor{}, fmt.Errorf("wire: cursor band %d truncated", i)
+		}
+		l := int(rest[0])
+		rest = rest[1:]
+		if l == 0 || len(rest) < l+8 {
+			return Cursor{}, fmt.Errorf("wire: cursor band %d name/seq truncated", i)
+		}
+		c.Bands = append(c.Bands, BandSeq{
+			Band: string(rest[:l]),
+			Seq:  binary.BigEndian.Uint64(rest[l : l+8]),
+		})
+		rest = rest[l+8:]
+	}
+	if len(rest) != 0 {
+		return Cursor{}, fmt.Errorf("wire: cursor payload has %d trailing bytes", len(rest))
+	}
+	for i := 1; i < len(c.Bands); i++ {
+		if c.Bands[i].Band <= c.Bands[i-1].Band {
+			return Cursor{}, fmt.Errorf("wire: cursor bands not strictly sorted")
+		}
+	}
+	return c, nil
+}
+
+// String renders the cursor in its URL-safe text form:
+//
+//	s<sector>;<band>=<seq>;<band>=<seq>...
+//
+// e.g. "s7;nir=120;vis=121". The text form round-trips through
+// ParseCursor and is what geoquery prints and ?resume= accepts.
+func (c Cursor) String() string {
+	cc := c
+	cc.Bands = append([]BandSeq(nil), c.Bands...)
+	cc.normalize()
+	var sb strings.Builder
+	sb.WriteByte('s')
+	sb.WriteString(strconv.FormatInt(cc.Sector, 10))
+	for _, b := range cc.Bands {
+		sb.WriteByte(';')
+		sb.WriteString(b.Band)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.FormatUint(b.Seq, 10))
+	}
+	return sb.String()
+}
+
+// ParseCursor parses the URL-safe text form produced by Cursor.String.
+func ParseCursor(s string) (Cursor, error) {
+	parts := strings.Split(s, ";")
+	if len(parts) == 0 || len(parts[0]) < 2 || parts[0][0] != 's' {
+		return Cursor{}, fmt.Errorf("wire: bad cursor %q: want s<sector>;band=seq;...", s)
+	}
+	sector, err := strconv.ParseInt(parts[0][1:], 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("wire: bad cursor sector in %q: %v", s, err)
+	}
+	c := Cursor{Sector: sector}
+	if len(parts)-1 > maxCursorBands {
+		return Cursor{}, fmt.Errorf("wire: cursor carries %d bands (max %d)", len(parts)-1, maxCursorBands)
+	}
+	seen := make(map[string]bool, len(parts)-1)
+	for _, p := range parts[1:] {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 || eq == len(p)-1 {
+			return Cursor{}, fmt.Errorf("wire: bad cursor band entry %q in %q", p, s)
+		}
+		band := p[:eq]
+		if len(band) > 255 {
+			return Cursor{}, fmt.Errorf("wire: cursor band name %q too long", band)
+		}
+		if seen[band] {
+			return Cursor{}, fmt.Errorf("wire: duplicate cursor band %q in %q", band, s)
+		}
+		seen[band] = true
+		seq, err := strconv.ParseUint(p[eq+1:], 10, 64)
+		if err != nil {
+			return Cursor{}, fmt.Errorf("wire: bad cursor seq in %q: %v", p, err)
+		}
+		c.Bands = append(c.Bands, BandSeq{Band: band, Seq: seq})
+	}
+	c.normalize()
+	return c, nil
+}
+
+// Cursor frames and writes one resume cursor. Only sent on connections
+// that negotiated the resume extension; old clients never see the frame
+// type.
+func (w *Writer) Cursor(c Cursor) error {
+	buf, err := AppendCursor(w.scratch[:0], c)
+	if err != nil {
+		return err
+	}
+	w.scratch = buf
+	return w.WriteFrame(FrameCursor, buf)
+}

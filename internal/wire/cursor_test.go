@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCursorBinaryRoundTrip(t *testing.T) {
+	cases := []Cursor{
+		{Sector: 0},
+		{Sector: 7, Bands: []BandSeq{{Band: "nir", Seq: 120}, {Band: "vis", Seq: 121}}},
+		{Sector: -3, Bands: []BandSeq{{Band: "ir", Seq: 0}}},
+		{Sector: 1<<62 + 11, Bands: []BandSeq{
+			{Band: "a", Seq: 1}, {Band: "b", Seq: 1 << 63}, {Band: "z", Seq: ^uint64(0)},
+		}},
+	}
+	for _, c := range cases {
+		p, err := AppendCursor(nil, c)
+		if err != nil {
+			t.Fatalf("AppendCursor(%v): %v", c, err)
+		}
+		got, err := DecodeCursor(p)
+		if err != nil {
+			t.Fatalf("DecodeCursor(%v): %v", c, err)
+		}
+		if got.String() != c.String() {
+			t.Fatalf("round trip mismatch: %q != %q", got.String(), c.String())
+		}
+	}
+}
+
+func TestCursorTextRoundTrip(t *testing.T) {
+	c := Cursor{Sector: 42, Bands: []BandSeq{{Band: "vis", Seq: 9}, {Band: "nir", Seq: 8}}}
+	s := c.String()
+	if s != "s42;nir=8;vis=9" {
+		t.Fatalf("text form %q, want sorted s42;nir=8;vis=9", s)
+	}
+	got, err := ParseCursor(s)
+	if err != nil {
+		t.Fatalf("ParseCursor(%q): %v", s, err)
+	}
+	if got.String() != s {
+		t.Fatalf("text round trip: %q != %q", got.String(), s)
+	}
+	if got.Seq("nir") != 8 || got.Seq("vis") != 9 || got.Seq("ir") != 0 {
+		t.Fatalf("Seq lookups wrong: %+v", got)
+	}
+}
+
+func TestCursorTextRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "7", "s", "sx", "s1;", "s1;=3", "s1;vis", "s1;vis=",
+		"s1;vis=abc", "s1;vis=1;vis=2",
+	} {
+		if _, err := ParseCursor(s); err == nil {
+			t.Errorf("ParseCursor(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestCursorBinaryRejects(t *testing.T) {
+	good, err := AppendCursor(nil, Cursor{Sector: 5, Bands: []BandSeq{{Band: "vis", Seq: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every length must error, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeCursor(good[:i]); err == nil {
+			t.Errorf("DecodeCursor accepted %d-byte truncation", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeCursor(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Error("DecodeCursor accepted trailing byte")
+	}
+	// Wrong version.
+	bad := append([]byte(nil), good...)
+	bad[0] = 2
+	if _, err := DecodeCursor(bad); err == nil {
+		t.Error("DecodeCursor accepted unknown version")
+	}
+}
+
+func TestCursorEncodingDeterministic(t *testing.T) {
+	a := Cursor{Sector: 1, Bands: []BandSeq{{Band: "vis", Seq: 2}, {Band: "nir", Seq: 1}}}
+	b := Cursor{Sector: 1, Bands: []BandSeq{{Band: "nir", Seq: 1}, {Band: "vis", Seq: 2}}}
+	pa, _ := AppendCursor(nil, a)
+	pb, _ := AppendCursor(nil, b)
+	if string(pa) != string(pb) {
+		t.Fatal("band order changed the encoding")
+	}
+}
+
+func FuzzResumeCursor(f *testing.F) {
+	seed, _ := AppendCursor(nil, Cursor{Sector: 7, Bands: []BandSeq{
+		{Band: "nir", Seq: 120}, {Band: "vis", Seq: 121},
+	}})
+	f.Add(seed)
+	f.Add([]byte{CursorVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("s7;nir=120"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		// Adversarial binary decode: must never panic or over-read; a
+		// successful decode must re-encode and decode to the same cursor.
+		c, err := DecodeCursor(p)
+		if err == nil {
+			p2, err := AppendCursor(nil, c)
+			if err != nil {
+				t.Fatalf("re-encode of decoded cursor failed: %v", err)
+			}
+			c2, err := DecodeCursor(p2)
+			if err != nil {
+				t.Fatalf("decode of re-encoded cursor failed: %v", err)
+			}
+			if c2.String() != c.String() {
+				t.Fatalf("binary round trip drift: %q != %q", c2.String(), c.String())
+			}
+		}
+		// Text form: parse arbitrary strings; successful parses round-trip.
+		if tc, err := ParseCursor(string(p)); err == nil {
+			tc2, err := ParseCursor(tc.String())
+			if err != nil || tc2.String() != tc.String() {
+				t.Fatalf("text round trip drift: %q vs %q (%v)", tc.String(), tc2.String(), err)
+			}
+		}
+	})
+}
+
+func TestCursorStringNoUnsafeChars(t *testing.T) {
+	c := Cursor{Sector: 12, Bands: []BandSeq{{Band: "vis", Seq: 1}}}
+	if s := c.String(); strings.ContainsAny(s, " &?#/") {
+		t.Fatalf("cursor text %q not URL-safe", s)
+	}
+}

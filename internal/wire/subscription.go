@@ -31,6 +31,13 @@ type Subscription struct {
 	// traced is set when the server's hello confirmed the chunk-frame
 	// trace extension for this connection.
 	traced bool
+	// resumed is set when the server's hello confirmed the resume
+	// extension: cursor frames follow end-of-sector chunks.
+	resumed bool
+	// lastCursor is the most recent cursor frame received; guarded by cmu
+	// so a redial loop can read it from another goroutine.
+	cmu        sync.Mutex
+	lastCursor *Cursor
 	// IdleTimeout bounds the wait for any frame (heartbeats included);
 	// DefaultIdleTimeout if zero.
 	IdleTimeout time.Duration
@@ -74,13 +81,14 @@ func NewSubscription(conn net.Conn, br *bufio.Reader, window int) (*Subscription
 		conn.Close()
 		return nil, fmt.Errorf("wire: subscribe: first frame is %s, want hello", FrameTypeName(f.Type))
 	}
-	info, traced, err := ParseHello(f.Payload)
+	info, flags, err := ParseHelloFlags(f.Payload)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	s.Info = info
-	s.traced = traced
+	s.traced = flags.Trace
+	s.resumed = flags.Resume
 	if err := s.write(func(w *Writer) error { return w.Credit(uint32(window)) }); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: subscribe: initial credit: %w", err)
@@ -141,6 +149,15 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 			return nil, io.EOF
 		case FrameError:
 			return nil, fmt.Errorf("%w: %s", ErrServer, f.Payload)
+		case FrameCursor:
+			cur, err := DecodeCursor(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			s.cmu.Lock()
+			s.lastCursor = &cur
+			s.cmu.Unlock()
+			continue
 		case FrameChunk:
 			c, err := DecodeChunkExt(f.Payload, s.traced)
 			if err != nil {
@@ -168,6 +185,22 @@ func (s *Subscription) Next() (*stream.Chunk, error) {
 // Traced reports whether the server confirmed the chunk-frame trace
 // extension, i.e. whether received chunks can carry trace IDs.
 func (s *Subscription) Traced() bool { return s.traced }
+
+// Resumed reports whether the server confirmed the resume extension,
+// i.e. whether cursor frames follow end-of-sector chunks.
+func (s *Subscription) Resumed() bool { return s.resumed }
+
+// LastCursor returns the most recent resume cursor the server sent, and
+// whether one has been received yet. Safe to call from a goroutine other
+// than the Next loop (a redial loop holding its last-known position).
+func (s *Subscription) LastCursor() (Cursor, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.lastCursor == nil {
+		return Cursor{}, false
+	}
+	return *s.lastCursor, true
+}
 
 // Grant extends the server's credit window ahead of consumption, on top
 // of the automatic half-window top-ups Next performs. A consumer that

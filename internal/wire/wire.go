@@ -62,6 +62,17 @@
 // Old peers never offer, never ack, and ignore the unknown hello field,
 // so mixed-version connections run the base protocol bit-identically.
 //
+// # Resume extension
+//
+// The hello payload may carry "resume": true, confirming the resume
+// extension on an egress connection: the server emits a cursor frame
+// (type 7, see cursor.go) after each end-of-sector chunk frame, naming
+// the completed sector and each input band's store sequence number. A
+// client that reconnects with ?resume=<cursor> gets the history after
+// the cursor replayed from the server's chunk store and then the live
+// stream, exactly once. Old peers never ask for the extension and never
+// see cursor frames.
+//
 // # Delivery semantics
 //
 // Ingest delivery is at-least-once, not exactly-once: a feed whose frame
@@ -70,6 +81,12 @@
 // receiver does not deduplicate — across a redial a chunk can arrive
 // twice. Consumers that must not double-count should be idempotent per
 // (band, chunk timestamp) or tolerate duplicates around reconnects.
+//
+// Egress resume is the exception: a subscription resumed with a store
+// cursor is exactly-once with respect to the store's sequence — the
+// server replays seq+1.. and splices into the live stream atomically,
+// and a resumed connection never drops data chunks for lack of credit
+// (it blocks, degrading into further store replay, instead).
 package wire
 
 import "time"
@@ -82,6 +99,10 @@ const (
 	FrameCredit    byte = 4
 	FrameBye       byte = 5
 	FrameError     byte = 6
+	// FrameCursor carries a resume cursor (server → subscriber) on an
+	// egress connection that negotiated the resume extension; see
+	// cursor.go. Old peers never negotiate and never see the type.
+	FrameCursor byte = 7
 )
 
 // FrameTypeName renders a frame type for logs and errors.
@@ -99,6 +120,8 @@ func FrameTypeName(t byte) string {
 		return "bye"
 	case FrameError:
 		return "error"
+	case FrameCursor:
+		return "cursor"
 	}
 	return "unknown"
 }
