@@ -77,6 +77,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", wire.DefaultHeartbeat, "keep-alive interval while idle")
 	traced := flag.Bool("trace", true,
 		"offer the GSP trace extension: stamp sampled chunks at the instrument so server timelines start here")
+	token := flag.String("token", "",
+		"bearer token for servers running with -auth-token")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -145,7 +147,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	opts := wire.FeedOptions{Heartbeat: *heartbeat}
+	opts := wire.FeedOptions{Heartbeat: *heartbeat, Token: *token}
 	if *traced {
 		opts.Tracer = trace.New(trace.DefaultInterval, trace.DefaultRingSpans)
 	}

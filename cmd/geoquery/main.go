@@ -8,6 +8,7 @@
 //	geoquery explain -q 'ndvi(nir, vis)'
 //	geoquery register -q 'stretch(ndvi(nir, vis), linear, 0, 255)' -colormap ndvi
 //	geoquery frames -id 1 -n 5 -out ./frames
+//	geoquery watch -id 1 -n 5 -out ./frames
 //	geoquery series -id 2 -n 10
 //	geoquery subscribe -id 1 -n 5 -out ./frames [-window 64] [-resume <cursor>]
 //	geoquery trace -id 1 [-n 8]
@@ -35,7 +36,7 @@ import (
 	"geostreams/internal/wire"
 )
 
-const usage = "usage: geoquery catalog|explain|register|frames|series|subscribe|trace|stats|health|metrics|list|drop [flags]"
+const usage = "usage: geoquery catalog|explain|register|frames|watch|series|subscribe|trace|stats|health|metrics|list|drop [flags]"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -55,11 +56,14 @@ func main() {
 	window := fs.Int("window", 0, "credit window in chunks for subscribe (0 = server default)")
 	resume := fs.String("resume", "",
 		"resume cursor for subscribe, from a previous run's 'cursor:' line (server needs -store-dir or -history)")
+	token := fs.String("token", "",
+		"bearer token for servers running with -auth-token")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	// Unary calls get the client's per-request deadline; NextFrame derives
 	// its own from -wait, so no client-wide timeout gymnastics are needed.
 	c := dsms.NewClient(*server)
+	c.Token = *token
 
 	switch cmd {
 	case "catalog":
@@ -94,6 +98,9 @@ func main() {
 			fatal(os.WriteFile(name, f.PNG, 0o644))
 			fmt.Printf("wrote %s (%dx%d, %d bytes)\n", name, f.Width, f.Height, len(f.PNG))
 		}
+	case "watch":
+		requireID(*id)
+		fatal(watch(c, *id, *n, *wait, *out))
 	case "series":
 		requireID(*id)
 		next := 0
@@ -154,6 +161,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "geoquery: unknown command %q\n%s\n", cmd, usage)
 		os.Exit(2)
 	}
+}
+
+// watch attaches a WebSocket push subscription to the query's frame
+// cache: the server pushes each rendered PNG as it is encoded (one
+// encode, shared across every watcher) instead of the frames command's
+// poll round-trips. It stops after n frames or when the query ends.
+func watch(c *dsms.Client, id int64, n int, wait time.Duration, out string) error {
+	w, err := c.Watch(id)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		f, err := w.Next(wait)
+		if err == io.EOF {
+			fmt.Println("query ended")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(out, fmt.Sprintf("q%d_seq%d.png", id, f.Seq))
+		if err := os.WriteFile(name, f.PNG, 0o644); err != nil {
+			return err
+		}
+		shed := ""
+		if f.Shed > 0 {
+			shed = fmt.Sprintf("  [%d frames shed]", f.Shed)
+		}
+		fmt.Printf("wrote %s (sector %d, %dx%d, %d bytes)%s\n",
+			name, f.Sector, f.Width, f.Height, len(f.PNG), shed)
+	}
+	return nil
 }
 
 // subscribe attaches a GSP push subscription to the query and renders

@@ -123,6 +123,12 @@ func main() {
 		"ingest-to-delivery freshness budget; delivered chunks older than this burn the SLO counter (0 = no SLO)")
 	storeDir := flag.String("store-dir", "",
 		"directory for the historical store's segment logs (empty = no disk tier)")
+	authToken := flag.String("auth-token", "",
+		"bearer token required on the HTTP API and GSP ingest hellos (empty = auth off)")
+	rateLimit := flag.Float64("rate-limit", 0,
+		"per-client requests/second on register/poll/subscribe endpoints (0 = off)")
+	rateBurst := flag.Float64("rate-limit-burst", 10,
+		"per-client burst for -rate-limit")
 	history := flag.Int("history", 0,
 		"historical ring size in chunks per band (0 = store disabled unless -store-dir is set; low values clamp up to the ring floor)")
 	flag.Parse()
@@ -163,6 +169,15 @@ func main() {
 		srv.SetTraceInterval(*traceSample)
 	}
 	srv.SetFrameAgeSLO(*frameAgeSLO)
+	if *authToken != "" {
+		srv.SetAuthToken(*authToken)
+		logger.Info("edge auth enabled", "edges", "http,ingest")
+	}
+	if *rateLimit > 0 {
+		srv.SetRateLimit(*rateLimit, *rateBurst)
+		logger.Info("rate limiting enabled",
+			"rate", *rateLimit, "burst", *rateBurst)
+	}
 	// The store mounts before any source: AddSource attaches each band's
 	// history at mount time, so a band that exists before the store would
 	// never be sequenced.

@@ -121,6 +121,7 @@ func All() []Experiment {
 		{"E-N1", "networked GSP ingest/egress vs in-process", EN1Networked},
 		{"E-O1", "chunk tracing overhead on the operator hot path", EO1TraceOverhead},
 		{"E-H1", "historical store replay throughput vs live, per tier", EH1Replay},
+		{"E-D1", "render-once fan-out: subscribers per core and frame age per transport", ED1Fanout},
 	}
 }
 

@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"geostreams/internal/dsms"
+	"geostreams/internal/stream"
+	"geostreams/internal/ws"
+)
+
+// ED1Fanout measures the render-once fan-out hub (DESIGN.md §15): the
+// per-pipeline cost (one PNG encode per frame) must be decoupled from
+// the per-subscriber cost (one ring read + one write per frame per
+// subscriber), so subscriber count scales without re-rendering and frame
+// age stays bounded. Three transports share the same hub:
+//
+//   - cursor: in-process FrameSub cursors — the hub's raw fan-out
+//     capacity, run at full scale (the 1k/10k rows);
+//   - long-poll: real HTTP requests against the cursor form of
+//     GET /queries/{id}/frame;
+//   - websocket: real upgraded connections on GET /queries/{id}/ws.
+//
+// The socket transports run at reduced N (each subscriber is a real TCP
+// connection plus server goroutines); the cursor rows carry the scale
+// claim. Every run hard-fails unless the pipeline encoded each frame
+// exactly once regardless of N and every subscriber accounted for the
+// full sequence (observed + shed == frames).
+func ED1Fanout(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E-D1",
+		Title: "render-once fan-out: subscriber scale and frame age per transport",
+		Claim: "one encode per frame regardless of subscriber count; per-subscriber delivery cost stays flat enough that 10k subscribers hold a bounded p99 frame age",
+		Columns: []string{"transport", "subscribers", "frames", "encodes",
+			"wall", "age p50", "age p99", "sub·frames/s/core"},
+	}
+
+	// Scale the cohorts off the config: Quick keeps CI fast, Default runs
+	// the headline 1k/10k cursor rows.
+	cursorNs := []int{1000, 10000}
+	sockN := 256
+	if cfg.Frame() <= Quick.Frame() {
+		cursorNs = []int{100, 1000}
+		sockN = 32
+	}
+
+	type row struct {
+		transport string
+		n         int
+	}
+	rows := []row{}
+	for _, n := range cursorNs {
+		rows = append(rows, row{"cursor", n})
+	}
+	rows = append(rows, row{"long-poll", sockN}, row{"websocket", sockN})
+
+	for _, r := range rows {
+		res, err := ed1Run(cfg, r.transport, r.n)
+		if err != nil {
+			return nil, fmt.Errorf("E-D1 %s n=%d: %w", r.transport, r.n, err)
+		}
+		if res.encodes != res.frames {
+			return nil, fmt.Errorf("E-D1 %s n=%d: %d encodes for %d frames — the render-once contract broke",
+				r.transport, r.n, res.encodes, res.frames)
+		}
+		perCore := float64(r.n) * float64(res.frames) /
+			res.wall.Seconds() / float64(runtime.NumCPU())
+		t.AddRow(r.transport, fmtI(int64(r.n)), fmtI(res.frames), fmtI(res.encodes),
+			fmtDur(res.wall), fmtDur(res.p50), fmtDur(res.p99),
+			fmt.Sprintf("%.0f", perCore))
+		key := fmt.Sprintf("%s_%d", strings.ReplaceAll(r.transport, "-", ""), r.n)
+		t.SetMetric(key+"_p50_age_ms", res.p50.Seconds()*1e3)
+		t.SetMetric(key+"_p99_age_ms", res.p99.Seconds()*1e3)
+		t.SetMetric(key+"_subframes_per_sec_per_core", perCore)
+		t.SetMetric(key+"_encodes", float64(res.encodes))
+		t.SetMetric(key+"_frames", float64(res.frames))
+	}
+	t.Notes = append(t.Notes,
+		"age = receipt time minus the earliest receipt of the same frame across the cohort (publish proxy)",
+		fmt.Sprintf("long-poll and websocket rows are real sockets at n=%d; cursor rows exercise the shared hub at full scale", sockN),
+		"every row hard-fails unless encodes == frames and each subscriber accounts observed + shed == frames")
+	return t, nil
+}
+
+// ed1Result is one transport cohort's measurement.
+type ed1Result struct {
+	frames  int64
+	encodes int64
+	wall    time.Duration
+	p50     time.Duration
+	p99     time.Duration
+}
+
+// ed1Run builds a one-band server, attaches n subscribers over the given
+// transport, streams cfg.Sectors frames, and reports the cohort's frame
+// ages.
+func ed1Run(cfg Config, transport string, n int) (ed1Result, error) {
+	var zero ed1Result
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := dsms.NewServer(ctx)
+	im, err := newImager(cfg, stream.RowByRow, []string{"vis"})
+	if err != nil {
+		return zero, err
+	}
+	streams, err := im.Streams(srv.Group())
+	if err != nil {
+		return zero, err
+	}
+	if err := srv.AddSource(streams["vis"]); err != nil {
+		return zero, err
+	}
+	defer srv.Close() //nolint:errcheck
+
+	reg, err := srv.Register("vis", dsms.DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		return zero, err
+	}
+
+	var ts *httptest.Server
+	if transport != "cursor" {
+		ts = httptest.NewServer(srv.Handler())
+		defer ts.Close()
+	}
+
+	// One receipt log per subscriber: seq → wall-clock receipt.
+	logs := make([]map[uint64]time.Time, n)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		switch transport {
+		case "cursor":
+			sub := reg.SubscribeFrames() // attach before Start: everyone sees seq 0
+			go func(i int, sub *dsms.FrameSub) {
+				defer wg.Done()
+				defer sub.Close()
+				got := map[uint64]time.Time{}
+				for {
+					f, ok := sub.Next(60 * time.Second)
+					if !ok {
+						if !sub.Ended() {
+							errCh <- fmt.Errorf("cursor sub %d timed out after %d frames", i, len(got))
+							return
+						}
+						if int64(len(got))+sub.Shed() != int64(cfg.Sectors) {
+							errCh <- fmt.Errorf("cursor sub %d: observed %d + shed %d != %d",
+								i, len(got), sub.Shed(), cfg.Sectors)
+							return
+						}
+						logs[i] = got
+						return
+					}
+					got[f.Seq] = time.Now()
+					f.Release()
+				}
+			}(i, sub)
+		case "long-poll":
+			go func(i int) {
+				defer wg.Done()
+				got := map[uint64]time.Time{}
+				shed := int64(0)
+				cursor := "oldest"
+				base := ts.URL + "/queries/" + strconv.FormatInt(int64(reg.ID), 10) + "/frame"
+				for {
+					resp, err := http.Get(base + "?cursor=" + cursor + "&wait=10000")
+					if err != nil {
+						errCh <- fmt.Errorf("poller %d: %w", i, err)
+						return
+					}
+					resp.Body.Close()
+					if next := resp.Header.Get("X-Geostreams-Cursor"); next != "" {
+						cursor = next
+					}
+					if sh, _ := strconv.ParseInt(resp.Header.Get("X-Geostreams-Shed"), 10, 64); sh > 0 {
+						shed += sh
+					}
+					switch resp.StatusCode {
+					case http.StatusNoContent:
+						if resp.Header.Get("X-Geostreams-End") == "1" {
+							if int64(len(got))+shed != int64(cfg.Sectors) {
+								errCh <- fmt.Errorf("poller %d: observed %d + shed %d != %d",
+									i, len(got), shed, cfg.Sectors)
+								return
+							}
+							logs[i] = got
+							return
+						}
+					case http.StatusOK:
+						seq, _ := strconv.ParseUint(resp.Header.Get("X-Geostreams-Seq"), 10, 64)
+						got[seq] = time.Now()
+					default:
+						errCh <- fmt.Errorf("poller %d: status %d", i, resp.StatusCode)
+						return
+					}
+				}
+			}(i)
+		case "websocket":
+			go func(i int) {
+				defer wg.Done()
+				url := "ws" + strings.TrimPrefix(ts.URL, "http") +
+					"/queries/" + strconv.FormatInt(int64(reg.ID), 10) + "/ws"
+				c, err := ws.Dial(url, nil, 10*time.Second)
+				if err != nil {
+					errCh <- fmt.Errorf("ws %d dial: %w", i, err)
+					return
+				}
+				defer c.Close()
+				got := map[uint64]time.Time{}
+				shed := uint64(0)
+				c.SetReadDeadline(time.Now().Add(120 * time.Second)) //nolint:errcheck
+				for {
+					op, p, err := c.ReadMessage()
+					if err != nil {
+						if cl, ok := err.(*ws.Closed); ok && cl.Code == 1000 {
+							if uint64(len(got))+shed != uint64(cfg.Sectors) {
+								errCh <- fmt.Errorf("ws %d: observed %d + shed %d != %d",
+									i, len(got), shed, cfg.Sectors)
+								return
+							}
+							logs[i] = got
+							return
+						}
+						errCh <- fmt.Errorf("ws %d read: %w", i, err)
+						return
+					}
+					switch op {
+					case ws.OpPing:
+						if err := c.WritePong(p, time.Now().Add(5*time.Second)); err != nil {
+							errCh <- fmt.Errorf("ws %d pong: %w", i, err)
+							return
+						}
+					case ws.OpBinary:
+						f, err := dsms.DecodeWSFrame(p)
+						if err != nil {
+							errCh <- fmt.Errorf("ws %d decode: %w", i, err)
+							return
+						}
+						got[f.Seq] = time.Now()
+						shed = f.Shed
+					}
+				}
+			}(i)
+		default:
+			wg.Done()
+			return zero, fmt.Errorf("unknown transport %q", transport)
+		}
+	}
+
+	start := time.Now()
+	srv.Start()
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errCh:
+		return zero, err
+	default:
+	}
+
+	// Frame age: the earliest receipt of each seq across the cohort is
+	// the publish proxy; every other receipt's age is its lag behind it.
+	earliest := map[uint64]time.Time{}
+	for _, lg := range logs {
+		for seq, at := range lg {
+			if t0, ok := earliest[seq]; !ok || at.Before(t0) {
+				earliest[seq] = at
+			}
+		}
+	}
+	var ages []time.Duration
+	for _, lg := range logs {
+		for seq, at := range lg {
+			ages = append(ages, at.Sub(earliest[seq]))
+		}
+	}
+	if len(ages) == 0 {
+		return zero, fmt.Errorf("no frames observed")
+	}
+	sort.Slice(ages, func(a, b int) bool { return ages[a] < ages[b] })
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(ages)-1))
+		return ages[idx]
+	}
+	return ed1Result{
+		frames:  int64(cfg.Sectors),
+		encodes: reg.DeliveryStats().Frames,
+		wall:    wall,
+		p50:     pick(0.50),
+		p99:     pick(0.99),
+	}, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestED1FanoutShape is the PR 10 acceptance check: the fan-out hub must
+// deliver to every subscriber over every transport with exactly one
+// encode per frame (ED1Fanout itself hard-fails on an encode/frame
+// mismatch or an unaccounted subscriber, so a broken hub cannot produce
+// a table at all). Here we pin the table shape: both cursor cohorts plus
+// the two socket transports report ages and throughput.
+func TestED1FanoutShape(t *testing.T) {
+	tbl, err := ED1Fanout(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (cursor x2, long-poll, websocket): %v", len(tbl.Rows), tbl.Rows)
+	}
+	// Quick cohorts: cursor at 100 and 1000, sockets at 32.
+	for _, key := range []string{"cursor_100", "cursor_1000", "longpoll_32", "websocket_32"} {
+		for _, suffix := range []string{"_frames", "_encodes", "_subframes_per_sec_per_core"} {
+			if tbl.Metrics[key+suffix] <= 0 {
+				t.Fatalf("missing metric %s%s: %v", key, suffix, tbl.Metrics)
+			}
+		}
+		// p99 age can legitimately be ~0 on an idle host, so only require
+		// the key to exist.
+		if _, ok := tbl.Metrics[key+"_p99_age_ms"]; !ok {
+			t.Fatalf("missing metric %s_p99_age_ms: %v", key, tbl.Metrics)
+		}
+		if tbl.Metrics[key+"_encodes"] != tbl.Metrics[key+"_frames"] {
+			t.Fatalf("%s: encodes %v != frames %v — render-once broke", key,
+				tbl.Metrics[key+"_encodes"], tbl.Metrics[key+"_frames"])
+		}
+	}
+	if got := fmt.Sprint(tbl.Columns); got == "" {
+		t.Fatal("empty columns")
+	}
+}

@@ -1,0 +1,119 @@
+package dsms
+
+import (
+	"crypto/subtle"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"geostreams/internal/ratelimit"
+)
+
+// Edge hardening for public traffic (DESIGN.md §15): bearer-token auth on
+// the HTTP API and the GSP ingest hello, and per-client token-bucket rate
+// limiting on the subscribe/register/poll endpoints. Both are off by
+// default and enabled by flags (geoserver -auth-token, -rate-limit).
+
+// SetAuthToken requires `Authorization: Bearer <token>` on every HTTP API
+// request except GET /healthz (load balancers probe unauthenticated), and
+// a matching token field in every GSP ingest hello. An empty token
+// disables auth. Set before Handler/ServeIngest traffic arrives.
+func (s *Server) SetAuthToken(token string) {
+	s.mu.Lock()
+	s.authToken = token
+	s.mu.Unlock()
+}
+
+// SetRateLimit throttles the register/poll/subscribe endpoints to rate
+// requests/second with the given burst per client IP. rate <= 0 disables
+// limiting.
+func (s *Server) SetRateLimit(rate, burst float64) {
+	s.mu.Lock()
+	if rate <= 0 {
+		s.limiter = nil
+	} else {
+		s.limiter = ratelimit.New(rate, burst)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) authTokenValue() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.authToken
+}
+
+func (s *Server) rateLimiter() *ratelimit.Limiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limiter
+}
+
+// checkIngestToken validates a feed hello's credential against the
+// configured ingest token (constant-time; empty config admits everyone).
+func (s *Server) checkIngestToken(token string) bool {
+	want := s.authTokenValue()
+	if want == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(token), []byte(want)) == 1
+}
+
+// clientKey extracts the rate-limit bucket key for a request: the client
+// IP without the ephemeral port, falling back to the whole RemoteAddr.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// withAuth wraps the API mux with the bearer check. GET /healthz stays
+// open so probes and load balancers work unauthenticated.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		want := s.authTokenValue()
+		if want == "" || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		auth := r.Header.Get("Authorization")
+		const scheme = "Bearer "
+		ok := len(auth) > len(scheme) && strings.EqualFold(auth[:len(scheme)], scheme) &&
+			subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(want)) == 1
+		if !ok {
+			s.authRejectedHTTP.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="geostreams"`)
+			writeErr(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limited wraps one handler with the per-client token bucket, answering
+// 429 with a Retry-After estimate when the client's bucket is empty.
+func (s *Server) limited(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lim := s.rateLimiter()
+		if lim == nil {
+			next(w, r)
+			return
+		}
+		key := clientKey(r)
+		if !lim.Allow(key) {
+			retry := lim.RetryAfter(key)
+			secs := int(retry.Seconds() + 0.999)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErr(w, http.StatusTooManyRequests, errors.New("rate limit exceeded"))
+			return
+		}
+		next(w, r)
+	}
+}

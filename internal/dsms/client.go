@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"geostreams/internal/wire"
+	"geostreams/internal/ws"
 )
 
 // Client is the Go client for the DSMS HTTP API — what the paper's
@@ -27,6 +28,10 @@ type Client struct {
 	// deadline from the wait it was asked for, and Subscribe hands the
 	// connection to the wire layer's idle-timeout handling.
 	Timeout time.Duration
+	// Token, when non-empty, is sent as `Authorization: Bearer <Token>`
+	// on every request (HTTP, GSP upgrade, and WebSocket dial) for
+	// servers running with -auth-token.
+	Token string
 }
 
 // DefaultTimeout bounds a unary client request when Client.Timeout is
@@ -52,6 +57,13 @@ func (c *Client) reqCtx(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
 
+// authorize attaches the bearer credential when one is configured.
+func (c *Client) authorize(h http.Header) {
+	if c.Token != "" {
+		h.Set("Authorization", "Bearer "+c.Token)
+	}
+}
+
 // doGet issues one GET with the given per-request deadline (0 = unary
 // default). The cancel func must be held until the response body has
 // been consumed.
@@ -62,6 +74,7 @@ func (c *Client) doGet(path string, d time.Duration) (*http.Response, context.Ca
 		cancel()
 		return nil, nil, err
 	}
+	c.authorize(req.Header)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		cancel()
@@ -114,6 +127,7 @@ func (c *Client) Register(query, colormap string) (QueryInfo, error) {
 		return QueryInfo{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req.Header)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return QueryInfo{}, err
@@ -134,10 +148,14 @@ func (c *Client) Queries() ([]QueryInfo, error) {
 	return out, err
 }
 
-// ClientFrame is a received frame with its metadata.
+// ClientFrame is a received frame with its metadata. Seq and Shed are
+// populated only by the cursor and WebSocket paths (Frames, Watch); the
+// legacy NextFrame long-poll leaves them zero.
 type ClientFrame struct {
 	Sector        int64
 	Width, Height int
+	Seq           uint64
+	Shed          int64
 	PNG           []byte
 }
 
@@ -169,6 +187,75 @@ func (c *Client) NextFrame(id int64, wait time.Duration) (*ClientFrame, bool, er
 	h, _ := strconv.Atoi(resp.Header.Get("X-Geostreams-Height"))
 	return &ClientFrame{Sector: sector, Width: w, Height: h, PNG: png}, true, nil
 }
+
+// FrameCursor walks a query's shared frame cache over the cursor form of
+// the long-poll endpoint: unlike the legacy NextFrame (which shares one
+// destructive server-side cursor across all pollers), each FrameCursor
+// observes the full frame sequence independently, minus frames evicted
+// while it lagged (counted by Shed).
+type FrameCursor struct {
+	c      *Client
+	id     int64
+	cursor string
+	shed   int64
+	ended  bool
+}
+
+// Frames opens an independent cursor over query id's frame cache,
+// starting at the oldest retained frame.
+func (c *Client) Frames(id int64) *FrameCursor {
+	return &FrameCursor{c: c, id: id, cursor: "oldest"}
+}
+
+// Next long-polls for the frame at the cursor; ok is false when no frame
+// arrived within the wait window or the stream ended (check Ended).
+func (fc *FrameCursor) Next(wait time.Duration) (*ClientFrame, bool, error) {
+	if fc.ended {
+		return nil, false, nil
+	}
+	path := fmt.Sprintf("/queries/%d/frame?cursor=%s&wait=%d",
+		fc.id, fc.cursor, wait.Milliseconds())
+	resp, cancel, err := fc.c.doGet(path, wait+10*time.Second)
+	if err != nil {
+		return nil, false, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	if next := resp.Header.Get("X-Geostreams-Cursor"); next != "" {
+		fc.cursor = next
+	}
+	if shed, _ := strconv.ParseInt(resp.Header.Get("X-Geostreams-Shed"), 10, 64); shed > 0 {
+		fc.shed += shed
+	}
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		fc.ended = resp.Header.Get("X-Geostreams-End") == "1"
+		return nil, false, nil
+	case http.StatusOK:
+	default:
+		return nil, false, decodeErr(resp)
+	}
+	png, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	sector, _ := strconv.ParseInt(resp.Header.Get("X-Geostreams-Sector"), 10, 64)
+	w, _ := strconv.Atoi(resp.Header.Get("X-Geostreams-Width"))
+	h, _ := strconv.Atoi(resp.Header.Get("X-Geostreams-Height"))
+	seq, _ := strconv.ParseUint(resp.Header.Get("X-Geostreams-Seq"), 10, 64)
+	return &ClientFrame{
+		Sector: sector, Width: w, Height: h,
+		Seq: seq, Shed: fc.shed, PNG: png,
+	}, true, nil
+}
+
+// Shed reports how many frames this cursor skipped because it fell
+// behind the server's retention horizon.
+func (fc *FrameCursor) Shed() int64 { return fc.shed }
+
+// Ended reports whether the query stopped and the cursor has drained
+// every retained frame.
+func (fc *FrameCursor) Ended() bool { return fc.ended }
 
 // Series polls time-series output from index `from`; it returns the
 // points and the next index.
@@ -242,6 +329,7 @@ func (c *Client) subscribe(id int64, window int, extra string) (*wire.Subscripti
 	req.Host = u.Host
 	req.Header.Set("Connection", "Upgrade")
 	req.Header.Set("Upgrade", "gsp")
+	c.authorize(req.Header)
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
 	if err := req.Write(conn); err != nil {
 		conn.Close()
@@ -260,6 +348,73 @@ func (c *Client) subscribe(id int64, window int, extra string) (*wire.Subscripti
 		return nil, decodeErr(resp)
 	}
 	return wire.NewSubscription(conn, br, window)
+}
+
+// FrameWatch is a WebSocket push subscription to a query's frame cache:
+// the server pushes every frame as it is encoded, no polling round-trips.
+// Keep-alive pings are answered internally.
+type FrameWatch struct {
+	conn *ws.Conn
+}
+
+// Watch dials GET /queries/{id}/ws and returns the push subscription.
+func (c *Client) Watch(id int64) (*FrameWatch, error) {
+	u, err := url.Parse(c.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Scheme {
+	case "http":
+		u.Scheme = "ws"
+	case "https":
+		u.Scheme = "wss"
+	}
+	u.Path = fmt.Sprintf("%s/queries/%d/ws", u.Path, id)
+	hdr := http.Header{}
+	c.authorize(hdr)
+	conn, err := ws.Dial(u.String(), hdr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameWatch{conn: conn}, nil
+}
+
+// Next blocks up to wait for the next pushed frame. It returns io.EOF
+// when the server closes the subscription cleanly (query ended); any
+// other error means the connection died.
+func (w *FrameWatch) Next(wait time.Duration) (*ClientFrame, error) {
+	w.conn.SetReadDeadline(time.Now().Add(wait)) //nolint:errcheck
+	for {
+		op, p, err := w.conn.ReadMessage()
+		if err != nil {
+			if cl, ok := err.(*ws.Closed); ok && cl.Code == 1000 {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch op {
+		case ws.OpPing:
+			if err := w.conn.WritePong(p, time.Now().Add(5*time.Second)); err != nil {
+				return nil, err
+			}
+		case ws.OpBinary:
+			f, err := DecodeWSFrame(p)
+			if err != nil {
+				return nil, err
+			}
+			return &ClientFrame{
+				Sector: f.Sector, Width: f.Width, Height: f.Height,
+				Seq: f.Seq, Shed: int64(f.Shed),
+				PNG: append([]byte(nil), f.PNG...),
+			}, nil
+		}
+	}
+}
+
+// Close tears the subscription down.
+func (w *FrameWatch) Close() error {
+	w.conn.WriteClose(1000, "client done", time.Now().Add(time.Second)) //nolint:errcheck
+	return w.conn.Close()
 }
 
 // Explain fetches the server's plan rendering for a query string.
@@ -286,6 +441,7 @@ func (c *Client) Deregister(id int64) error {
 	if err != nil {
 		return err
 	}
+	c.authorize(req.Header)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err

@@ -37,12 +37,19 @@ func (o DeliveryOptions) withDefaults(info stream.Info) DeliveryOptions {
 	return o
 }
 
-// Frame is one delivered raster product.
+// Frame is one delivered raster product. Frames are rendered once and
+// shared by reference across every subscriber: Seq is the frame's
+// absolute position in the query's output sequence, and refs/pooled
+// drive the PNG-backing recycle contract described in fanout.go.
 type Frame struct {
 	Sector geom.Timestamp `json:"sector"`
 	Width  int            `json:"width"`
 	Height int            `json:"height"`
+	Seq    uint64         `json:"seq"`
 	PNG    []byte         `json:"-"`
+
+	refs   atomic.Int64
+	pooled bool
 }
 
 // SeriesPoint is one delivered time-series value (point-organized query
@@ -80,7 +87,7 @@ type Registered struct {
 	// trace is this query's span recorder; its ring backs
 	// GET /queries/{id}/trace.
 	trace   *trace.Recorder
-	frames  *frameQueue
+	frames  *frameHub
 	series  *seriesBuffer
 	stopped chan struct{}
 	err     error
@@ -241,8 +248,35 @@ type OperatorStats struct {
 }
 
 // encodeBufPool recycles the PNG encode scratch across frames and queries;
-// compression state dominates encode allocation otherwise.
+// compression state dominates encode allocation otherwise. Buffers are
+// reset on Get (defensive) and again before Put so retained garbage never
+// rides across queries.
 var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// renderFrame encodes one assembled image into a Frame whose PNG backing
+// comes from pngBufPool, recycling the image's value buffer. The returned
+// frame carries one reference, owned by the caller (normally handed to
+// frameHub.publish).
+func renderFrame(img *raster.Image, cm raster.Colormap, vmin, vmax float64) (*Frame, error) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := img.EncodePNG(buf, cm, vmin, vmax); err != nil {
+		buf.Reset()
+		encodeBufPool.Put(buf)
+		return nil, err
+	}
+	f := &Frame{Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, pooled: true}
+	backing := pngBufPool.Get().(*[]byte)
+	f.PNG = append((*backing)[:0], buf.Bytes()...)
+	pngLive.Add(1)
+	buf.Reset()
+	encodeBufPool.Put(buf)
+	// The assembled frame is delivery-private and fully rendered into the
+	// PNG; its value buffer goes back to the grid-buffer pool.
+	img.Recycle()
+	f.refs.Store(1)
+	return f, nil
+}
 
 // deliver consumes the pipeline output: raster outputs are assembled into
 // frames and PNG-encoded; point outputs append to the series buffer.
@@ -273,24 +307,15 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 		if lastTrace != 0 {
 			begin = time.Now()
 		}
-		// Encode into a pooled scratch buffer and copy the finished PNG
-		// out: the buffer is delivery-private (provably unique ownership),
-		// the published Frame holds its own exact-size copy.
-		buf := encodeBufPool.Get().(*bytes.Buffer)
-		buf.Reset()
-		if err := img.EncodePNG(buf, cm, r.opts.VMin, r.opts.VMax); err != nil {
-			encodeBufPool.Put(buf)
+		// Render once: the frame is encoded exactly one time here and every
+		// subscriber — long-poll, WebSocket, in-process — reads the same
+		// pooled-backed bytes through its own cursor (fanout.go).
+		f, err := renderFrame(img, cm, r.opts.VMin, r.opts.VMax)
+		if err != nil {
 			return err
 		}
-		png := append([]byte(nil), buf.Bytes()...)
-		n := buf.Len()
-		encodeBufPool.Put(buf)
-		// The assembled frame is delivery-private and fully rendered into
-		// the PNG; its value buffer goes back to the grid-buffer pool.
-		img.Recycle()
-		r.frames.push(&Frame{
-			Sector: img.T, Width: img.Lat.W, Height: img.Lat.H, PNG: png,
-		})
+		n := len(f.PNG)
+		r.frames.publish(f)
 		r.deliv.frames.Add(1)
 		r.deliv.frameBytes.Add(int64(n))
 		if lastTrace != 0 {
@@ -367,87 +392,34 @@ func (r *Registered) deliver(ctx context.Context, out *stream.Stream) error {
 }
 
 // NextFrame blocks up to wait for the next completed frame; ok is false
-// when the queue closed (query stopped) or the wait elapsed.
+// when the query stopped and every buffered frame was consumed, or the
+// wait elapsed. This is the pre-fan-out destructive API: all NextFrame
+// callers share one cursor, so concurrent callers split the stream
+// between them. Viewers that each need the full sequence use
+// SubscribeFrames (in-process), the cursor form of GET /queries/{id}/frame,
+// or the WebSocket hub.
 func (r *Registered) NextFrame(wait time.Duration) (*Frame, bool) {
-	return r.frames.popWait(wait)
+	deadline := time.Now().Add(wait)
+	for {
+		f, cursor, st := r.frames.popLegacy()
+		switch st {
+		case frameReady:
+			return f, true
+		case frameClosed:
+			return nil, false
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return nil, false
+		}
+		r.frames.await(cursor, rem)
+	}
 }
 
 // Series returns the buffered time-series points since the given index,
 // plus the next index to poll from.
 func (r *Registered) Series(from int) ([]SeriesPoint, int) {
 	return r.series.since(from)
-}
-
-// frameQueue is a bounded FIFO of rendered frames: a slow client sheds the
-// oldest frames instead of stalling the pipeline.
-type frameQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []*Frame
-	max    int
-	closed bool
-	// Shed counts frames dropped to keep the queue bounded.
-	Shed int64
-}
-
-func newFrameQueue(max int) *frameQueue {
-	q := &frameQueue{max: max}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *frameQueue) push(f *Frame) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return
-	}
-	if len(q.buf) >= q.max {
-		q.buf = q.buf[1:]
-		q.Shed++
-	}
-	q.buf = append(q.buf, f)
-	q.cond.Broadcast()
-}
-
-// shedCount reads the number of frames dropped for a slow client.
-func (q *frameQueue) shedCount() int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.Shed
-}
-
-func (q *frameQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
-}
-
-// popWait removes and returns the oldest frame, waiting up to d for one to
-// arrive.
-func (q *frameQueue) popWait(d time.Duration) (*Frame, bool) {
-	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() {
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	})
-	defer timer.Stop()
-
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if len(q.buf) > 0 {
-			f := q.buf[0]
-			q.buf = q.buf[1:]
-			return f, true
-		}
-		if q.closed || !time.Now().Before(deadline) {
-			return nil, false
-		}
-		q.cond.Wait()
-	}
 }
 
 // seriesBuffer retains the most recent time-series points with absolute

@@ -363,7 +363,7 @@ func TestDeliverClosesFramesOnErrorExits(t *testing.T) {
 		return &Registered{
 			opts:    DeliveryOptions{Colormap: colormap},
 			deliv:   newDeliveryStats(),
-			frames:  newFrameQueue(4),
+			frames:  newFrameHub(4),
 			series:  newSeriesBuffer(16),
 			stopped: make(chan struct{}),
 		}
@@ -378,7 +378,7 @@ func TestDeliverClosesFramesOnErrorExits(t *testing.T) {
 		t.Fatal("bad colormap must error")
 	}
 	start := time.Now()
-	if _, ok := r.frames.popWait(5 * time.Second); ok {
+	if _, ok := r.NextFrame(5 * time.Second); ok {
 		t.Fatal("frame appeared from failed delivery")
 	}
 	if time.Since(start) > time.Second {
@@ -394,7 +394,7 @@ func TestDeliverClosesFramesOnErrorExits(t *testing.T) {
 		t.Fatal("malformed chunk must error")
 	}
 	start = time.Now()
-	if _, ok := r.frames.popWait(5 * time.Second); ok {
+	if _, ok := r.NextFrame(5 * time.Second); ok {
 		t.Fatal("frame appeared after assembler error")
 	}
 	if time.Since(start) > time.Second {

@@ -41,13 +41,17 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /catalog", s.handleCatalog)
-	mux.HandleFunc("POST /queries", s.handleRegister)
+	// The client-facing edges — registration, polling, and the push
+	// subscriptions — carry the per-client token bucket (no-op until
+	// SetRateLimit); the observability surface stays unthrottled.
+	mux.HandleFunc("POST /queries", s.limited(s.handleRegister))
 	mux.HandleFunc("GET /queries", s.handleList)
 	mux.HandleFunc("GET /queries/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDelete)
-	mux.HandleFunc("GET /queries/{id}/frame", s.handleFrame)
-	mux.HandleFunc("GET /queries/{id}/series", s.handleSeries)
-	mux.HandleFunc("GET /queries/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /queries/{id}/frame", s.limited(s.handleFrame))
+	mux.HandleFunc("GET /queries/{id}/series", s.limited(s.handleSeries))
+	mux.HandleFunc("GET /queries/{id}/stream", s.limited(s.handleStream))
+	mux.HandleFunc("GET /queries/{id}/ws", s.limited(s.handleWS))
 	mux.HandleFunc("GET /queries/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -65,7 +69,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.withAuth(mux)
 }
 
 // BandInfo is the JSON form of a catalog entry.
@@ -287,15 +291,68 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = time.Duration(v) * time.Millisecond
 	}
-	f, ok := reg.NextFrame(wait)
-	if !ok {
-		w.WriteHeader(http.StatusNoContent)
-		return
+	// Three polling forms share this endpoint (DESIGN.md §15): no cursor
+	// keeps the legacy destructive shared-cursor pop (concurrent cursorless
+	// pollers split the stream — the pre-fan-out behaviour); ?cursor=oldest
+	// starts a private non-destructive cursor at the retention horizon; a
+	// numeric ?cursor= resumes one. Cursor responses carry the position to
+	// poll next in X-Geostreams-Cursor, so any number of clients each
+	// observe the full frame sequence.
+	var f *Frame
+	var released func()
+	switch cur := r.URL.Query().Get("cursor"); cur {
+	case "":
+		lf, ok := reg.NextFrame(wait)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		f, released = lf, func() {}
+	default:
+		var cursor uint64
+		if cur == "oldest" {
+			cursor = reg.frames.oldest()
+		} else {
+			v, err := strconv.ParseUint(cur, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", cur))
+				return
+			}
+			cursor = v
+		}
+		deadline := time.Now().Add(wait)
+		for {
+			cf, next, skipped, st := reg.frames.frameAt(cursor)
+			cursor = next
+			if skipped > 0 {
+				w.Header().Set("X-Geostreams-Shed", strconv.FormatInt(skipped, 10))
+			}
+			if st == frameReady {
+				f, released = cf, cf.Release
+				break
+			}
+			if st == frameClosed {
+				w.Header().Set("X-Geostreams-Cursor", strconv.FormatUint(cursor, 10))
+				w.Header().Set("X-Geostreams-End", "1")
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				w.Header().Set("X-Geostreams-Cursor", strconv.FormatUint(cursor, 10))
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			reg.frames.await(cursor, rem)
+		}
+		w.Header().Set("X-Geostreams-Cursor", strconv.FormatUint(cursor, 10))
 	}
+	defer released()
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-Geostreams-Sector", strconv.FormatInt(int64(f.Sector), 10))
 	w.Header().Set("X-Geostreams-Width", strconv.Itoa(f.Width))
 	w.Header().Set("X-Geostreams-Height", strconv.Itoa(f.Height))
+	w.Header().Set("X-Geostreams-Seq", strconv.FormatUint(f.Seq, 10))
 	w.WriteHeader(http.StatusOK)
 	w.Write(f.PNG) //nolint:errcheck
 }

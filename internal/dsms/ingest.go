@@ -224,9 +224,19 @@ func (s *Server) handleFeed(conn net.Conn) {
 		reject(fmt.Sprintf("first frame is %s, want hello", wire.FrameTypeName(f.Type)))
 		return
 	}
-	info, offered, err := wire.ParseHello(f.Payload)
+	info, flags, err := wire.ParseHelloFlags(f.Payload)
 	if err != nil {
 		reject(err.Error())
+		return
+	}
+	offered := flags.Trace
+	// Ingest auth (DESIGN.md §15): with a token configured, a hello that
+	// does not present the matching credential is rejected before any
+	// chunk is decoded — the same edge where a crafted frame once killed
+	// the whole server.
+	if !s.checkIngestToken(flags.Token) {
+		s.authRejectedIngest.Add(1)
+		reject("unauthorized: bad or missing ingest token")
 		return
 	}
 	band := info.Band

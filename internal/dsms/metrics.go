@@ -26,6 +26,10 @@ import (
 //	geostreams_wire_subscribers{query=...}              live push subscriptions
 //	geostreams_wire_egress_chunks_total{query=...}      chunks pushed over GSP
 //	geostreams_wire_backpressure_dropped_total{query=}  credit-exhausted drops
+//	geostreams_fanout_*{query=...}                      shared frame cache
+//	geostreams_ws_*                                     WebSocket delivery hub
+//	geostreams_ratelimit_*                              per-client token buckets
+//	geostreams_auth_rejected_total{edge=...}            refused credentials
 func (s *Server) Collect(e *obs.Exposition) {
 	s.mu.Lock()
 	hubs := make([]*hub, 0, len(s.hubs))
@@ -294,6 +298,62 @@ func (s *Server) Collect(e *obs.Exposition) {
 		e.Histogram("geostreams_delivery_chunk_age_seconds",
 			"End-to-end seconds from instrument ingest to the delivery stage.",
 			r.deliv.age.Snapshot(), q)
+
+		e.Gauge("geostreams_fanout_subscribers",
+			"Fan-out subscriptions (WebSocket and in-process cursors) attached to this query's frame cache.",
+			float64(r.frames.subs.Load()), q)
+		e.Gauge("geostreams_fanout_ring_frames",
+			"Frames currently retained in this query's shared frame ring.",
+			float64(r.frames.ringLen()), q)
+		e.Counter("geostreams_fanout_wakeups_total",
+			"Targeted waiter wakeups on this query's frame hub (stays proportional to ready readers, not parked ones).",
+			float64(r.frames.wakeups.Load()), q)
+	}
+
+	e.Gauge("geostreams_fanout_png_live",
+		"Encoded PNG backings checked out of the frame pool across all queries.",
+		float64(pngLive.Load()))
+
+	wss := s.WSStats()
+	e.Gauge("geostreams_ws_connections",
+		"WebSocket delivery connections currently open.",
+		float64(wss.ActiveConnections))
+	e.Counter("geostreams_ws_connections_total",
+		"WebSocket delivery connections ever accepted.",
+		float64(wss.ConnectionsTotal))
+	e.Counter("geostreams_ws_frames_total",
+		"Frame messages pushed over WebSocket connections.",
+		float64(wss.Frames))
+	e.Counter("geostreams_ws_frame_bytes_total",
+		"Bytes (header + shared PNG) pushed over WebSocket connections.",
+		float64(wss.FrameBytes))
+	e.Counter("geostreams_ws_pings_total",
+		"Keep-alive pings sent to WebSocket peers.",
+		float64(wss.Pings))
+	e.Counter("geostreams_ws_pong_misses_total",
+		"WebSocket connections dropped for missing their pong grace window.",
+		float64(wss.PongMisses))
+
+	if lim := s.rateLimiter(); lim != nil {
+		rs := lim.Snapshot()
+		e.Counter("geostreams_ratelimit_allowed_total",
+			"Requests admitted by the per-client token buckets.",
+			float64(rs.Allowed))
+		e.Counter("geostreams_ratelimit_throttled_total",
+			"Requests answered 429 because a client's bucket was empty.",
+			float64(rs.Throttled))
+		e.Gauge("geostreams_ratelimit_clients",
+			"Client buckets currently tracked (idle buckets are swept).",
+			float64(rs.Clients))
+	}
+
+	if s.authTokenValue() != "" {
+		e.Counter("geostreams_auth_rejected_total",
+			"HTTP API requests refused for a missing or invalid bearer token.",
+			float64(s.authRejectedHTTP.Load()), obs.L("edge", "http"))
+		e.Counter("geostreams_auth_rejected_total",
+			"GSP ingest hellos refused for a missing or invalid token.",
+			float64(s.authRejectedIngest.Load()), obs.L("edge", "ingest"))
 	}
 
 	if is := s.IngestStats(); is.Listening {

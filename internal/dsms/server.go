@@ -15,6 +15,7 @@ import (
 	"geostreams/internal/obs"
 	"geostreams/internal/obs/trace"
 	"geostreams/internal/query"
+	"geostreams/internal/ratelimit"
 	"geostreams/internal/share"
 	"geostreams/internal/store"
 	"geostreams/internal/stream"
@@ -91,6 +92,19 @@ type Server struct {
 	// output stream inside the query group — the fault-injection seam the
 	// chaos tests use to place a panicking or lossy stage mid-pipeline.
 	pipelineWrap func(g *stream.Group, out *stream.Stream) *stream.Stream
+
+	// Edge hardening (DESIGN.md §15): authToken, when non-empty, guards
+	// the HTTP API (bearer auth, /healthz exempt) and the GSP ingest
+	// hello; limiter, when non-nil, token-buckets register/poll/subscribe
+	// per client IP; the counters split auth refusals by edge. wsStats
+	// carries the WebSocket delivery hub's counters and wsPingEvery
+	// overrides its ping cadence (tests; 0 = default).
+	authToken          string
+	limiter            *ratelimit.Limiter
+	authRejectedHTTP   atomic.Int64
+	authRejectedIngest atomic.Int64
+	wsStats            wsHubStats
+	wsPingEvery        time.Duration
 
 	// Observability: registry backing GET /metrics, lifecycle logger
 	// (nil-safe), pprof gate, and the uptime epoch.
@@ -655,7 +669,7 @@ func (s *Server) Register(text string, opts DeliveryOptions) (*Registered, error
 		detach:  detach,
 		taps:    taps,
 		trace:   rec,
-		frames:  newFrameQueue(8),
+		frames:  newFrameHub(8),
 		series:  newSeriesBuffer(4096),
 		stopped: make(chan struct{}),
 	}
@@ -716,6 +730,9 @@ func (s *Server) Deregister(id cascade.QueryID) error {
 	// whose pipeline merely ended stays inspectable via /trace until it is
 	// deregistered.)
 	s.tracer.Release(int64(id))
+	// Release the frame ring's retained references so pooled PNG backings
+	// go back to the encode pool instead of dangling off the dead query.
+	r.frames.drop()
 	return nil
 }
 

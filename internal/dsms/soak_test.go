@@ -1,0 +1,379 @@
+package dsms
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geostreams/internal/geom"
+	"geostreams/internal/sat"
+	"geostreams/internal/stream"
+	"geostreams/internal/ws"
+)
+
+// TestFanoutSoak10kSubscribers drives the render-once fan-out at the
+// scale the tentpole promises: ~10k concurrent subscribers — fast
+// in-process cursors, stalled readers, churners, real WebSocket
+// connections, and HTTP long-pollers — over one query. Every subscriber
+// must account for the full frame sequence (observed + shed == total),
+// the pipeline must encode each frame exactly once regardless of
+// subscriber count, and teardown must return every goroutine and pooled
+// PNG backing (the leak baselines).
+func TestFanoutSoak10kSubscribers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		sectors  = 12
+		nFast    = 8900 // drain every frame promptly
+		nStalled = 500  // subscribe, sleep through the stream, drain the tail
+		nChurn   = 500  // subscribe/read-one/close repeatedly
+		nWS      = 64   // real WebSocket connections
+		nPoll    = 36   // HTTP long-pollers on the cursor endpoint
+	)
+
+	// A paced instrument (not startServer's full-speed drain): the
+	// long-poll transport pays one HTTP round trip per frame, so an
+	// unpaced 12-sector burst would overrun the ring before the reference
+	// poller can observe every frame — shed is correct behaviour then,
+	// but this test wants a complete bit-identity reference.
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewServer(ctx)
+	im, err := sat.NewLatLonImager(geom.R(-122, 36, -120, 38), 24, 20,
+		sat.DefaultScene(99), []string{"vis", "nir"}, stream.RowByRow, sectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.Interval = 50 * time.Millisecond
+	streams, err := im.Streams(s.Group())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range []string{"vis", "nir"} {
+		if err := s.AddSource(streams[band]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		cancel()
+		s.Close() //nolint:errcheck
+	}()
+	reg, err := s.Register("vis", DeliveryOptions{Colormap: "gray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	frameURL := ts.URL + "/queries/" + strconv.FormatInt(int64(reg.ID), 10) + "/frame"
+	wsURL := "ws" + strings.TrimPrefix(ts.URL, "http") +
+		"/queries/" + strconv.FormatInt(int64(reg.ID), 10) + "/ws"
+
+	pngBaseline := pngLive.Load()
+	goroutineBaseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nFast+nChurn+nWS+nPoll)
+
+	// Fast in-process cursors: subscribe before Start so everyone begins
+	// at seq 0, then drain to the end.
+	fastSubs := make([]*FrameSub, nFast)
+	for i := range fastSubs {
+		fastSubs[i] = reg.SubscribeFrames()
+	}
+	for i, sub := range fastSubs {
+		wg.Add(1)
+		go func(i int, sub *FrameSub) {
+			defer wg.Done()
+			defer sub.Close()
+			seen := int64(0)
+			for {
+				f, ok := sub.Next(30 * time.Second)
+				if !ok {
+					if !sub.Ended() {
+						errs <- fmt.Errorf("fast sub %d timed out after %d frames", i, seen)
+					} else if seen+sub.Shed() != sectors {
+						errs <- fmt.Errorf("fast sub %d: observed %d + shed %d != %d",
+							i, seen, sub.Shed(), sectors)
+					}
+					return
+				}
+				seen++
+				f.Release()
+			}
+		}(i, sub)
+	}
+
+	// Stalled readers: subscribe now, but don't touch the cursor until the
+	// stream is over; they must then drain the retained tail and account
+	// for the evicted frames as shed — without ever having stalled the
+	// pipeline or the fast readers.
+	stalledSubs := make([]*FrameSub, nStalled)
+	for i := range stalledSubs {
+		stalledSubs[i] = reg.SubscribeFrames()
+	}
+
+	// Churners: arrive, take one frame, leave, repeat — the subscription
+	// lifecycle under load.
+	for i := 0; i < nChurn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				sub := reg.SubscribeFrames()
+				if f, ok := sub.Next(30 * time.Second); ok {
+					f.Release()
+				} else if !sub.Ended() {
+					errs <- fmt.Errorf("churner %d round %d timed out", i, round)
+					sub.Close()
+					return
+				}
+				sub.Close()
+			}
+		}(i)
+	}
+
+	// Real WebSocket connections, each collecting the PNG bytes by seq.
+	wsFrames := make([]map[uint64][]byte, nWS)
+	for i := 0; i < nWS; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := ws.Dial(wsURL, nil, 10*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("ws %d dial: %v", i, err)
+				return
+			}
+			defer c.Close()
+			got := map[uint64][]byte{}
+			shed := uint64(0)
+			c.SetReadDeadline(time.Now().Add(60 * time.Second)) //nolint:errcheck
+			for {
+				op, p, err := c.ReadMessage()
+				if err != nil {
+					if cl, ok := err.(*ws.Closed); !ok || cl.Code != 1000 {
+						errs <- fmt.Errorf("ws %d read: %v", i, err)
+					} else if uint64(len(got))+shed != sectors {
+						errs <- fmt.Errorf("ws %d: observed %d + shed %d != %d",
+							i, len(got), shed, sectors)
+					} else {
+						wsFrames[i] = got
+					}
+					return
+				}
+				switch op {
+				case ws.OpPing:
+					if err := c.WritePong(p, time.Now().Add(5*time.Second)); err != nil {
+						errs <- fmt.Errorf("ws %d pong: %v", i, err)
+						return
+					}
+				case ws.OpBinary:
+					f, err := DecodeWSFrame(p)
+					if err != nil {
+						errs <- fmt.Errorf("ws %d decode: %v", i, err)
+						return
+					}
+					got[f.Seq] = append([]byte(nil), f.PNG...)
+					shed = f.Shed
+				}
+			}
+		}(i)
+	}
+
+	// HTTP long-pollers over independent cursors; poller 0's bytes become
+	// the bit-identity reference for the WebSocket subscribers. Starting
+	// at numeric cursor 0 (not "oldest") makes the accounting exact even
+	// if a poller's first request lands after frames were evicted: the
+	// skip forward from 0 is reported in X-Geostreams-Shed.
+	pollFramesBySeq := make([]map[uint64][]byte, nPoll)
+	var pollersLive sync.WaitGroup
+	pollersLive.Add(nPoll)
+	for i := 0; i < nPoll; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := map[uint64][]byte{}
+			shed := int64(0)
+			cursor := "0"
+			first := true
+			for {
+				wait := "5000"
+				if first {
+					wait = "0" // prove the loop is live before frames flow
+				}
+				resp, err := ts.Client().Get(frameURL + "?cursor=" + cursor + "&wait=" + wait)
+				if err != nil {
+					errs <- fmt.Errorf("poller %d: %v", i, err)
+					if first {
+						pollersLive.Done()
+					}
+					return
+				}
+				if first {
+					first = false
+					pollersLive.Done()
+				}
+				body, err := readAllAndClose(resp.Body)
+				if err != nil {
+					errs <- fmt.Errorf("poller %d: %v", i, err)
+					return
+				}
+				if next := resp.Header.Get("X-Geostreams-Cursor"); next != "" {
+					cursor = next
+				}
+				if sh, _ := strconv.ParseInt(resp.Header.Get("X-Geostreams-Shed"), 10, 64); sh > 0 {
+					shed += sh
+				}
+				if resp.StatusCode == 204 {
+					if resp.Header.Get("X-Geostreams-End") == "1" {
+						if int64(len(got))+shed != sectors {
+							errs <- fmt.Errorf("poller %d: observed %d + shed %d != %d",
+								i, len(got), shed, sectors)
+							return
+						}
+						pollFramesBySeq[i] = got
+						return
+					}
+					continue
+				}
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("poller %d: status %d", i, resp.StatusCode)
+					return
+				}
+				seq, _ := strconv.ParseUint(resp.Header.Get("X-Geostreams-Seq"), 10, 64)
+				got[seq] = body
+			}
+		}(i)
+	}
+
+	// Barrier: every cursor-holding subscriber (fast, stalled, each
+	// churner's first round, and the 64 WS handlers server-side) must be
+	// attached before the first frame publishes — frames published before
+	// a subscriber exists are history it never owned, not shed, so the
+	// observed+shed==sectors accounting below only holds for subscribers
+	// that were there from seq 0. Without this, a fast (non-race) run can
+	// drain all 12 sectors before the WS dials finish upgrading.
+	wantSubs := int64(nFast + nStalled + nChurn + nWS)
+	for deadline := time.Now().Add(30 * time.Second); reg.frames.subs.Load() < wantSubs; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d subscribers attached before start",
+				reg.frames.subs.Load(), wantSubs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pollersLive.Wait()
+
+	s.Start()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("soak subscribers did not finish within 120s")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The stalled cohort drains the retained tail now that the hub closed:
+	// ring capacity bounds what is left, the rest must be counted shed.
+	for i, sub := range stalledSubs {
+		seen := int64(0)
+		for {
+			f, ok := sub.Next(time.Second)
+			if !ok {
+				break
+			}
+			seen++
+			f.Release()
+		}
+		if !sub.Ended() {
+			t.Fatalf("stalled sub %d never reached the end", i)
+		}
+		if seen+sub.Shed() != sectors {
+			t.Fatalf("stalled sub %d: observed %d + shed %d != %d",
+				i, seen, sub.Shed(), sectors)
+		}
+		if seen == 0 {
+			t.Fatalf("stalled sub %d drained nothing; the ring should retain a tail", i)
+		}
+		sub.Close()
+	}
+
+	// Bit-identity across transports: the long-poll reference is the
+	// union of every poller's observations (cross-checked for agreement —
+	// any one poller may shed under startup scheduling pressure, but
+	// collectively the 36 must cover the sequence), and every WS
+	// subscriber's bytes must match it for every seq both observed.
+	ref := map[uint64][]byte{}
+	for i, got := range pollFramesBySeq {
+		for seq, png := range got {
+			if prev, ok := ref[seq]; ok {
+				if !bytes.Equal(prev, png) {
+					t.Fatalf("poller %d seq %d bytes differ from another poller", i, seq)
+				}
+				continue
+			}
+			ref[seq] = png
+		}
+	}
+	if len(ref) != sectors {
+		t.Fatalf("pollers collectively saw %d frames, want %d", len(ref), sectors)
+	}
+	for i, got := range wsFrames {
+		for seq, png := range got {
+			if !bytes.Equal(png, ref[seq]) {
+				t.Fatalf("ws %d seq %d bytes differ from long-poll reference", i, seq)
+			}
+		}
+	}
+
+	// Render-once: ~10k subscribers, exactly one encode per frame.
+	if n := reg.DeliveryStats().Frames; n != sectors {
+		t.Fatalf("pipeline encoded %d frames for ~10k subscribers, want %d", n, sectors)
+	}
+	if subs := reg.frames.subs.Load(); subs != 0 {
+		t.Fatalf("subscriber gauge = %d after teardown, want 0", subs)
+	}
+
+	// Leak baselines: deregistering drops the ring, so every pooled PNG
+	// backing must be back in the pool and every goroutine gone.
+	if err := s.Deregister(reg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if live := pngLive.Load(); live != pngBaseline {
+		t.Fatalf("pooled PNG backings live = %d, want baseline %d", live, pngBaseline)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= goroutineBaseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: subscriber goroutines leaked",
+				runtime.NumGoroutine(), goroutineBaseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func readAllAndClose(r interface {
+	Read([]byte) (int, error)
+	Close() error
+}) ([]byte, error) {
+	defer r.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}

@@ -11,6 +11,7 @@ import (
 	"image/png"
 	"io"
 	"math"
+	"sync"
 
 	"geostreams/internal/exec"
 	"geostreams/internal/geom"
@@ -310,7 +311,19 @@ func (im *Image) Render(cm Colormap, vmin, vmax float64) *image.RGBA {
 	return out
 }
 
+// encStatePool recycles png encoder state (filter rows + compressor)
+// across frames; without it every encode re-allocates the zlib window,
+// which dominates steady-state delivery allocation at high frame rates.
+var encStatePool = sync.Pool{New: func() any { return new(png.EncoderBuffer) }}
+
+// pngStatePool adapts encStatePool to png.EncoderBufferPool.
+type pngStatePool struct{}
+
+func (pngStatePool) Get() *png.EncoderBuffer  { return encStatePool.Get().(*png.EncoderBuffer) }
+func (pngStatePool) Put(b *png.EncoderBuffer) { encStatePool.Put(b) }
+
 // EncodePNG writes the image as PNG using a colormap over [vmin, vmax].
 func (im *Image) EncodePNG(w io.Writer, cm Colormap, vmin, vmax float64) error {
-	return png.Encode(w, im.Render(cm, vmin, vmax))
+	enc := png.Encoder{BufferPool: pngStatePool{}}
+	return enc.Encode(w, im.Render(cm, vmin, vmax))
 }

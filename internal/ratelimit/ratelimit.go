@@ -1,0 +1,145 @@
+// Package ratelimit is a per-key token-bucket limiter for the DSMS
+// public edges: each client (keyed by IP) holds a bucket of `burst`
+// tokens refilled at `rate` per second; a request spends one token or is
+// throttled. Buckets refill lazily on access and idle full buckets are
+// evicted on a periodic sweep, so memory is bounded by the set of
+// recently active clients, not by everyone ever seen.
+package ratelimit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sweepEvery bounds how often Allow scans for idle buckets.
+const sweepEvery = time.Minute
+
+// Limiter is a keyed token-bucket rate limiter. The zero value is not
+// usable; build one with New.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+
+	allowed   atomic.Int64
+	throttled atomic.Int64
+
+	// now is the clock; tests substitute it to drive refill.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New builds a limiter granting rate tokens/second with the given burst
+// capacity. rate must be > 0; burst below 1 is raised to 1 so a
+// conforming client is never starved outright.
+func New(rate, burst float64) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// SetClock substitutes the limiter's time source (tests).
+func (l *Limiter) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Allow spends one token from key's bucket, reporting whether the
+// request may proceed.
+func (l *Limiter) Allow(key string) bool {
+	l.mu.Lock()
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	ok = b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	l.maybeSweep(now)
+	l.mu.Unlock()
+	if ok {
+		l.allowed.Add(1)
+	} else {
+		l.throttled.Add(1)
+	}
+	return ok
+}
+
+// RetryAfter estimates how long key must wait for its next token.
+func (l *Limiter) RetryAfter(key string) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		return 0
+	}
+	tokens := b.tokens + l.now().Sub(b.last).Seconds()*l.rate
+	if tokens > l.burst {
+		tokens = l.burst
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / l.rate * float64(time.Second))
+}
+
+// maybeSweep drops buckets idle long enough to have refilled completely —
+// they are indistinguishable from fresh ones. Called with mu held.
+func (l *Limiter) maybeSweep(now time.Time) {
+	if now.Sub(l.lastSweep) < sweepEvery {
+		return
+	}
+	l.lastSweep = now
+	idle := sweepEvery
+	if refill := time.Duration(l.burst / l.rate * float64(time.Second)); refill > idle {
+		idle = refill
+	}
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// Stats is a snapshot of the limiter's counters.
+type Stats struct {
+	Allowed   int64 `json:"allowed"`
+	Throttled int64 `json:"throttled"`
+	Clients   int   `json:"clients"`
+}
+
+// Snapshot reads the limiter's counters and live bucket count.
+func (l *Limiter) Snapshot() Stats {
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	return Stats{
+		Allowed:   l.allowed.Load(),
+		Throttled: l.throttled.Load(),
+		Clients:   n,
+	}
+}

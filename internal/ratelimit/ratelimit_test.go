@@ -1,0 +1,144 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making refill deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(rate, burst float64) (*Limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(rate, burst)
+	l.SetClock(clk.now)
+	return l, clk
+}
+
+func TestBurstThenThrottle(t *testing.T) {
+	l, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if !l.Allow("a") {
+			t.Fatalf("request %d within burst throttled", i)
+		}
+	}
+	if l.Allow("a") {
+		t.Fatal("request past burst allowed")
+	}
+	st := l.Snapshot()
+	if st.Allowed != 3 || st.Throttled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRefillAtRate(t *testing.T) {
+	l, clk := newTestLimiter(2, 2) // 2 tokens/s, burst 2
+	l.Allow("a")
+	l.Allow("a")
+	if l.Allow("a") {
+		t.Fatal("empty bucket allowed")
+	}
+	clk.advance(500 * time.Millisecond) // +1 token
+	if !l.Allow("a") {
+		t.Fatal("refilled token refused")
+	}
+	if l.Allow("a") {
+		t.Fatal("second token appeared early")
+	}
+	// Refill caps at burst no matter how long idle.
+	clk.advance(time.Hour)
+	if got := l.RetryAfter("a"); got != 0 {
+		t.Fatalf("full bucket retry-after = %v", got)
+	}
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if l.Allow("a") {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("after long idle %d requests passed, want burst=2", ok)
+	}
+}
+
+func TestKeysIsolated(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if !l.Allow("a") || !l.Allow("b") {
+		t.Fatal("distinct clients must not share a bucket")
+	}
+	if l.Allow("a") || l.Allow("b") {
+		t.Fatal("per-key burst exceeded")
+	}
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	l, _ := newTestLimiter(2, 1)
+	l.Allow("a")
+	got := l.RetryAfter("a")
+	if got <= 0 || got > 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 500ms]", got)
+	}
+}
+
+func TestIdleBucketsEvicted(t *testing.T) {
+	l, clk := newTestLimiter(1, 1)
+	for _, k := range []string{"a", "b", "c"} {
+		l.Allow(k)
+	}
+	if got := l.Snapshot().Clients; got != 3 {
+		t.Fatalf("clients = %d", got)
+	}
+	// Past the sweep interval + full refill, one active client keeps its
+	// bucket; the idle ones are collected.
+	clk.advance(2 * time.Minute)
+	l.Allow("a")
+	clk.advance(2 * time.Minute)
+	l.Allow("a")
+	got := l.Snapshot().Clients
+	if got != 1 {
+		t.Fatalf("after sweep clients = %d, want 1 (idle buckets leaked)", got)
+	}
+}
+
+func TestConcurrentAllow(t *testing.T) {
+	l := New(1000, 100)
+	var wg sync.WaitGroup
+	passed := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if l.Allow("shared") {
+					passed[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range passed {
+		total += n
+	}
+	// 800 instant requests against burst 100: only the burst (plus any
+	// sub-millisecond refill) may pass.
+	if total < 100 || total > 110 {
+		t.Fatalf("%d of 800 concurrent requests passed, want ~100", total)
+	}
+}

@@ -299,12 +299,19 @@ type helloInfo struct {
 	// will follow each end-of-sector chunk frame with a cursor frame (see
 	// cursor.go). Old peers never set it and ignore it on receipt.
 	Resume bool `json:"resume,omitempty"`
+	// Token carries the feed's bearer credential on an ingest hello. A
+	// server with ingest auth configured rejects hellos whose token does
+	// not match; servers without auth ignore it, and old feeds simply
+	// never set it.
+	Token string `json:"token,omitempty"`
 }
 
-// HelloFlags are the extension flags a hello payload negotiated.
+// HelloFlags are the extension flags a hello payload negotiated, plus
+// the ingest bearer token when the feed presents one.
 type HelloFlags struct {
 	Trace  bool
 	Resume bool
+	Token  string
 }
 
 // Hello announces a stream's metadata as the connection's first frame.
@@ -324,7 +331,7 @@ func (w *Writer) HelloFlags(info stream.Info, flags HelloFlags) error {
 		Org: info.Org.String(), Stamp: info.Stamp.String(),
 		HasSector: info.HasSectorMeta,
 		VMin:      info.VMin, VMax: info.VMax,
-		Trace: flags.Trace, Resume: flags.Resume,
+		Trace: flags.Trace, Resume: flags.Resume, Token: flags.Token,
 	}
 	if info.HasSectorMeta {
 		g := info.SectorGeom
@@ -379,7 +386,7 @@ func ParseHelloFlags(p []byte) (stream.Info, HelloFlags, error) {
 	if err := json.Unmarshal(p, &h); err != nil {
 		return stream.Info{}, HelloFlags{}, fmt.Errorf("wire: bad hello payload: %w", err)
 	}
-	flags := HelloFlags{Trace: h.Trace, Resume: h.Resume}
+	flags := HelloFlags{Trace: h.Trace, Resume: h.Resume, Token: h.Token}
 	crs, err := coord.Parse(h.CRS)
 	if err != nil {
 		return stream.Info{}, HelloFlags{}, fmt.Errorf("wire: hello: %w", err)

@@ -25,6 +25,10 @@ type FeedOptions struct {
 	RedialBackoff time.Duration
 	// WriteTimeout bounds one frame write (default 30s).
 	WriteTimeout time.Duration
+	// Token is the bearer credential presented in the hello; required
+	// when the server's ingest port has auth configured, ignored (and
+	// harmless) otherwise.
+	Token string
 	// Tracer, when set, offers the chunk-frame trace extension in the
 	// hello and — once the server acks — stamps sampled chunks at the
 	// instrument so one causal timeline starts here rather than at the
@@ -181,30 +185,51 @@ func dialFeed(ctx context.Context, addr string, info stream.Info, opts FeedOptio
 	wr := NewWriter(conn)
 	conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)) //nolint:errcheck
 	offer := opts.Tracer != nil
-	if err := wr.HelloExt(info, offer); err != nil {
+	if err := wr.HelloFlags(info, HelloFlags{Trace: offer, Token: opts.Token}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: feed hello: %w", err)
 	}
 	fc := &feedConn{conn: conn, wr: wr}
-	if offer {
-		fc.traced = awaitHelloAck(conn)
+	if offer || opts.Token != "" {
+		traced, herr := awaitHelloVerdict(conn, offer)
+		if herr != nil {
+			conn.Close()
+			return nil, herr
+		}
+		fc.traced = traced
 	}
 	return fc, nil
 }
 
-// awaitHelloAck waits briefly for the server's hello-ack confirming the
-// trace offer. Anything other than a confirming ack — a timeout (old
-// server: the server→feeder direction is otherwise silent at startup),
-// a declined ack, or any protocol noise — falls back to base frames;
-// real connection failures surface on the next write.
-func awaitHelloAck(conn net.Conn) bool {
+// awaitHelloVerdict waits briefly for the server's response to the hello:
+// an Error frame (auth or metadata refusal) becomes a hard dial error so
+// the feeder does not redial forever against a server that will never
+// admit it; a hello-ack confirms the trace offer. Anything else — a
+// timeout (old server: the server→feeder direction is otherwise silent
+// at startup), a declined ack, or protocol noise — falls back to base
+// frames; real connection failures surface on the next write.
+func awaitHelloVerdict(conn net.Conn, offeredTrace bool) (traced bool, err error) {
 	conn.SetReadDeadline(time.Now().Add(helloAckWait)) //nolint:errcheck
 	defer conn.SetReadDeadline(time.Time{})            //nolint:errcheck
 	rd := NewReader(conn)
-	f, err := rd.Next()
-	if err != nil || f.Type != FrameHello {
-		return false
+	f, rerr := rd.Next()
+	if rerr != nil {
+		// A timeout is the old-server / no-auth silence; a closed socket
+		// right after the hello is how an old server slams the door on a
+		// bad hello, but with auth in play the Error frame arrives first,
+		// so plain EOF still degrades to "try the base protocol".
+		return false, nil
 	}
-	ok, err := DecodeHelloAck(f.Payload)
-	return err == nil && ok
+	switch f.Type {
+	case FrameError:
+		return false, fmt.Errorf("wire: feed hello refused: %s", string(f.Payload))
+	case FrameHello:
+		if !offeredTrace {
+			return false, nil
+		}
+		ok, derr := DecodeHelloAck(f.Payload)
+		return derr == nil && ok, nil
+	default:
+		return false, nil
+	}
 }
